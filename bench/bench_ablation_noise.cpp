@@ -1,0 +1,55 @@
+// Ablation (DESIGN.md): contribution of each physical noise source to
+// the heralded fidelity and success probability at a representative
+// alpha. Each row disables exactly one mechanism of Appendix D.4-D.5.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "hw/herald_model.hpp"
+
+int main() {
+  using namespace qlink;
+  bench::print_header(
+      "Ablation -- per-noise-source cost at alpha = 0.1 (Lab)\n"
+      "each row disables one mechanism; deltas vs the full model");
+
+  const double alpha = 0.1;
+  const hw::HeraldParams full = hw::ScenarioParams::lab().herald;
+  const auto base = hw::HeraldModel(full).compute(alpha, alpha);
+
+  struct Case {
+    const char* name;
+    hw::HeraldParams params;
+  };
+  Case cases[] = {
+      {"full model", full},
+      {"no two-photon emission", full},
+      {"no phase uncertainty", full},
+      {"perfect visibility", full},
+      {"no dark counts", full},
+      {"perfect detectors", full},
+      {"no fiber loss", full},
+  };
+  cases[1].params.p_double_excitation = 0.0;
+  cases[2].params.phase_sigma_rad_per_arm = 0.0;
+  cases[3].params.visibility = 1.0;
+  cases[4].params.dark_count_rate_hz = 0.0;
+  cases[5].params.detector_efficiency = 1.0;
+  cases[6].params.fiber_loss_db_per_km = 0.0;
+
+  std::printf("%-26s | %10s %10s | %12s %10s\n", "configuration", "F",
+              "dF", "p_succ", "dp/p");
+  for (const Case& c : cases) {
+    const auto d = hw::HeraldModel(c.params).compute(alpha, alpha);
+    std::printf("%-26s | %10.4f %+10.4f | %12.3e %+9.1f%%\n", c.name,
+                d.fidelity_plus, d.fidelity_plus - base.fidelity_plus,
+                d.p_success(),
+                100.0 * (d.p_success() - base.p_success()) /
+                    base.p_success());
+  }
+  std::printf(
+      "\nReading: visibility and two-photon emission dominate the fidelity\n"
+      "budget; detector efficiency and losses dominate the rate budget;\n"
+      "dark counts only matter at far smaller alpha.\n");
+  return 0;
+}

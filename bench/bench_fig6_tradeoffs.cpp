@@ -1,0 +1,103 @@
+// Reproduces Figure 6: performance trade-offs on QL2020 with k_max = 3.
+//  (a) scaled latency vs f_P (request load fraction),
+//  (b) scaled latency vs requested minimum fidelity F_min (f_P = 0.99),
+//  (c) throughput vs F_min (directly scales with p_succ(F_min)).
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace qlink;
+  using core::Priority;
+
+  const double kSimSeconds = 25.0;
+
+  bench::print_header(
+      "Figure 6(a) -- scaled latency vs load fraction f_P\n"
+      "QL2020, k_max = 3, F_min = 0.64, NL (K-type) and MD (M-type)");
+  std::printf("%6s | %16s %16s | %16s %16s\n", "f_P", "SL_NL (s)",
+              "T_NL (1/s)", "SL_MD (s)", "T_MD (1/s)");
+  for (double f : {0.7, 0.85, 0.99, 1.2, 1.5}) {
+    bench::RunSpec nl;
+    nl.scenario = hw::ScenarioParams::ql2020();
+    nl.workload.nl = {f, 3};
+    nl.workload.origin = workload::OriginMode::kRandom;
+    nl.workload.min_fidelity = 0.64;
+    nl.simulated_seconds = kSimSeconds;
+    nl.seed = 101 + static_cast<std::uint64_t>(f * 100);
+    const auto rn = bench::run_scenario(nl);
+
+    bench::RunSpec md = nl;
+    md.workload.nl = {};
+    md.workload.md = {f, 3};
+    const auto rm = bench::run_scenario(md);
+
+    std::printf("%6.2f | %16.3f %16.3f | %16.3f %16.3f\n", f,
+                rn.collector.kind(Priority::kNetworkLayer)
+                    .scaled_latency_s.mean(),
+                rn.collector.throughput(Priority::kNetworkLayer),
+                rm.collector.kind(Priority::kMeasureDirectly)
+                    .scaled_latency_s.mean(),
+                rm.collector.throughput(Priority::kMeasureDirectly));
+  }
+  std::printf(
+      "Expected shape: latency grows steeply as f_P -> 1 and explodes\n"
+      "beyond it (overload); NL latencies far above MD (Fig. 6a).\n");
+
+  bench::print_header(
+      "Figure 6(b,c) -- scaled latency and throughput vs F_min\n"
+      "QL2020, k_max = 3, f_P = 0.99");
+  std::printf("%6s | %12s %12s | %12s %12s | %12s\n", "F_min", "SL_NL (s)",
+              "SL_MD (s)", "T_NL (1/s)", "T_MD (1/s)", "alpha(MD)");
+  for (double fmin : {0.5, 0.55, 0.6, 0.64, 0.68, 0.72}) {
+    bench::RunSpec nl;
+    nl.scenario = hw::ScenarioParams::ql2020();
+    nl.workload.nl = {0.99, 3};
+    nl.workload.origin = workload::OriginMode::kRandom;
+    nl.workload.min_fidelity = fmin;
+    nl.simulated_seconds = kSimSeconds;
+    nl.seed = 202 + static_cast<std::uint64_t>(fmin * 100);
+
+    bench::RunSpec md = nl;
+    md.workload.nl = {};
+    md.workload.md = {0.99, 3};
+
+    // FEU feasibility check mirrors the paper's "higher F_min not
+    // satisfiable for NL" note in Fig. 6b.
+    const hw::HeraldModel model(nl.scenario.herald);
+    core::FidelityEstimationUnit feu(model, nl.scenario);
+    const auto advice_k = feu.advise(fmin, core::RequestType::kCreateKeep);
+    const auto advice_m = feu.advise(fmin, core::RequestType::kCreateMeasure);
+
+    if (!advice_m.feasible) {
+      std::printf("%6.2f | %12s\n", fmin, "UNSUPP");
+      continue;
+    }
+    const auto rm = bench::run_scenario(md);
+    if (!advice_k.feasible) {
+      std::printf("%6.2f | %12s %12.3f | %12s %12.3f | %12.3f\n", fmin,
+                  "UNSUPP",
+                  rm.collector.kind(Priority::kMeasureDirectly)
+                      .scaled_latency_s.mean(),
+                  "UNSUPP",
+                  rm.collector.throughput(Priority::kMeasureDirectly),
+                  advice_m.alpha);
+      continue;
+    }
+    const auto rn = bench::run_scenario(nl);
+    std::printf("%6.2f | %12.3f %12.3f | %12.3f %12.3f | %12.3f\n", fmin,
+                rn.collector.kind(Priority::kNetworkLayer)
+                    .scaled_latency_s.mean(),
+                rm.collector.kind(Priority::kMeasureDirectly)
+                    .scaled_latency_s.mean(),
+                rn.collector.throughput(Priority::kNetworkLayer),
+                rm.collector.throughput(Priority::kMeasureDirectly),
+                advice_m.alpha);
+  }
+  std::printf(
+      "Expected shape: higher F_min -> smaller alpha -> lower p_succ ->\n"
+      "throughput falls ~linearly and latency rises; high F_min becomes\n"
+      "UNSUPP for the NL/K path first (Fig. 6b/c).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 9: fidelity of a stored |Psi+> half as a function of
+// classical-communication distance (km in fiber), for (a) the
+// communication qubit and the memory qubit with Table-6 lifetimes, and
+// (b) a dynamically decoupled communication qubit with T2 = 1.46 s.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "quantum/bell.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/density_matrix.hpp"
+
+int main() {
+  using namespace qlink;
+  using quantum::DensityMatrix;
+  namespace bell = quantum::bell;
+  namespace channels = quantum::channels;
+
+  bench::print_header(
+      "Figure 9 -- fidelity while waiting for classical communication\n"
+      "Perfect |Psi+> stored on one side; x axis: one-way distance the\n"
+      "control message travels (c_fiber = 206753 km/s).");
+
+  constexpr double kFiberKmPerS = 206753.0;
+  const hw::NvParams nv;
+
+  auto stored_fidelity = [&](double km, double t1, double t2) {
+    const double t_ns = km / kFiberKmPerS * 1e9;
+    DensityMatrix rho = DensityMatrix::from_pure(
+        bell::state_vector(bell::BellState::kPsiPlus));
+    const int q0[] = {0};
+    rho.apply_kraus(channels::t1t2(t_ns, t1, t2), q0);
+    return bell::fidelity(rho, bell::BellState::kPsiPlus);
+  };
+
+  std::printf("%8s %18s %14s %22s\n", "km", "comm (T2*=1ms)",
+              "memory (3.5ms)", "decoupled (T2=1.46s)");
+  for (double km : {0.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 500.0,
+                    1000.0, 5000.0, 20000.0}) {
+    std::printf("%8.0f %18.4f %14.4f %22.4f\n", km,
+                stored_fidelity(km, nv.electron_t1_ns, nv.electron_t2_ns),
+                stored_fidelity(km, nv.carbon_t1_ns, nv.carbon_t2_ns),
+                stored_fidelity(km, -1.0, 1.46e9));
+  }
+  std::printf(
+      "\nExpected shape: the bare communication qubit dies within tens of\n"
+      "km; the memory qubit survives ~100 km; the decoupled qubit keeps\n"
+      "F > 0.9 over intercontinental distances (Fig. 9b).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: event
+// scheduling, density-matrix operations, the herald model and a full
+// protocol cycle. These bound the simulation throughput reported in
+// EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include "core/network.hpp"
+#include "hw/herald_model.hpp"
+#include "quantum/bell.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace qlink;
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  sim::Simulator s;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    s.schedule_in(10, [&] { ++sink; });
+    s.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventScheduleAndRun);
+
+void BM_PeriodicTimerTick(benchmark::State& state) {
+  sim::Simulator s;
+  std::uint64_t ticks = 0;
+  sim::PeriodicTimer t(s, 100, [&] { ++ticks; });
+  t.start();
+  for (auto _ : state) s.step();
+  benchmark::DoNotOptimize(ticks);
+}
+BENCHMARK(BM_PeriodicTimerTick);
+
+void BM_SingleQubitKraus(benchmark::State& state) {
+  sim::Random rnd(1);
+  quantum::QuantumRegistry reg(rnd);
+  const auto q = reg.create();
+  const auto kraus = quantum::channels::t1t2(1000.0, 2.86e6, 1.0e6);
+  const quantum::QubitId ids[] = {q};
+  for (auto _ : state) reg.apply_kraus(kraus, ids);
+}
+BENCHMARK(BM_SingleQubitKraus);
+
+void BM_TwoQubitFidelity(benchmark::State& state) {
+  sim::Random rnd(1);
+  quantum::QuantumRegistry reg(rnd);
+  const auto a = reg.create();
+  const auto b = reg.create();
+  const quantum::QubitId ab[] = {a, b};
+  reg.set_state(ab, quantum::DensityMatrix::from_pure(
+                        quantum::bell::state_vector(
+                            quantum::bell::BellState::kPsiPlus)));
+  const auto& psi =
+      quantum::bell::state_vector(quantum::bell::BellState::kPsiPlus);
+  for (auto _ : state) benchmark::DoNotOptimize(reg.fidelity(ab, psi));
+}
+BENCHMARK(BM_TwoQubitFidelity);
+
+void BM_HeraldModelCompute(benchmark::State& state) {
+  const hw::HeraldModel model(hw::ScenarioParams::lab().herald);
+  double alpha = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.compute(alpha, alpha));
+    alpha += 1e-6;  // defeat external caching, measure the full pipeline
+  }
+}
+BENCHMARK(BM_HeraldModelCompute);
+
+void BM_HeraldModelCachedLookup(benchmark::State& state) {
+  const hw::HeraldModel model(hw::ScenarioParams::lab().herald);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.distribution(0.1, 0.1));
+  }
+}
+BENCHMARK(BM_HeraldModelCachedLookup);
+
+void BM_ProtocolSimulatedMillisecond(benchmark::State& state) {
+  // End-to-end cost of one simulated millisecond of an idle-ish link
+  // with an active MD request stream (the dominant bench workload).
+  core::LinkConfig cfg;
+  cfg.scenario = hw::ScenarioParams::lab();
+  cfg.seed = 3;
+  core::Link link(cfg);
+  link.start();
+  core::CreateRequest r;
+  r.type = core::RequestType::kCreateMeasure;
+  r.num_pairs = 60000;
+  r.min_fidelity = 0.6;
+  r.priority = core::Priority::kMeasureDirectly;
+  r.consecutive = true;
+  link.egp_a().create(r);
+  for (auto _ : state) {
+    link.run_for(sim::duration::milliseconds(1));
+  }
+}
+BENCHMARK(BM_ProtocolSimulatedMillisecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

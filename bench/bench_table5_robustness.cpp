@@ -1,0 +1,108 @@
+// Reproduces Table 5 / Section 6.1: robustness against classical control
+// message loss. We sweep the frame-loss probability from 1e-10 up to the
+// exaggerated 1e-4 (and a punishing 1e-3) and report the relative
+// difference of fidelity, throughput, scaled latency and delivered-pair
+// count against the lossless baseline.
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace qlink;
+using core::Priority;
+
+struct Row {
+  double fidelity = 0.0;
+  double throughput = 0.0;
+  double latency = 0.0;
+  double pairs = 0.0;
+  std::uint64_t expires = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+Row run(double loss, Priority kind, double seconds) {
+  bench::RunSpec spec;
+  spec.scenario = hw::ScenarioParams::lab();
+  spec.classical_loss = loss;
+  switch (kind) {
+    case Priority::kNetworkLayer:
+      spec.workload.nl = {0.99, 3};
+      break;
+    case Priority::kCreateKeep:
+      spec.workload.ck = {0.99, 3};
+      break;
+    case Priority::kMeasureDirectly:
+      spec.workload.md = {0.99, 3};
+      break;
+  }
+  spec.workload.origin = workload::OriginMode::kRandom;
+  spec.workload.min_fidelity = 0.64;
+  spec.workload.seed = 5;
+  spec.seed = 9;
+  spec.simulated_seconds = seconds;
+  const auto result = bench::run_scenario(spec);
+
+  Row row;
+  const auto& km = result.collector.kind(kind);
+  row.fidelity = kind == Priority::kMeasureDirectly
+                     ? result.collector.fidelity_from_qber().value_or(0.0)
+                     : km.fidelity.mean();
+  row.throughput = result.collector.throughput(kind);
+  row.latency = km.scaled_latency_s.mean();
+  row.pairs = static_cast<double>(km.pairs_delivered);
+  row.expires = result.collector.total_expires();
+  row.retransmissions = result.dqp_retransmissions;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 5 / Section 6.1 -- robustness under classical frame loss\n"
+      "Max relative difference vs lossless baseline, over NL/CK/MD runs\n"
+      "(Lab, f = 0.99, k_max = 3)");
+
+  const double kSeconds = 15.0;
+  const Priority kinds[] = {Priority::kNetworkLayer, Priority::kCreateKeep,
+                            Priority::kMeasureDirectly};
+  std::vector<Row> baseline;
+  for (Priority k : kinds) baseline.push_back(run(0.0, k, kSeconds));
+
+  std::printf("%9s | %10s %10s %10s %10s | %8s %8s\n", "p_loss", "RD fid",
+              "RD thrpt", "RD laten", "RD pairs", "expires", "retrans");
+  for (double loss : {1e-10, 1e-8, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    double rd_f = 0.0;
+    double rd_t = 0.0;
+    double rd_l = 0.0;
+    double rd_p = 0.0;
+    std::uint64_t expires = 0;
+    std::uint64_t retrans = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const Row row = run(loss, kinds[i], kSeconds);
+      rd_f = std::max(rd_f, metrics::relative_difference(
+                                row.fidelity, baseline[i].fidelity));
+      rd_t = std::max(rd_t, metrics::relative_difference(
+                                row.throughput, baseline[i].throughput));
+      rd_l = std::max(rd_l, metrics::relative_difference(
+                                row.latency, baseline[i].latency));
+      rd_p = std::max(rd_p, metrics::relative_difference(
+                                row.pairs, baseline[i].pairs));
+      expires += row.expires;
+      retrans += row.retransmissions;
+    }
+    std::printf("%9.0e | %10.3f %10.3f %10.3f %10.3f | %8llu %8llu\n", loss,
+                rd_f, rd_t, rd_l, rd_p,
+                static_cast<unsigned long long>(expires),
+                static_cast<unsigned long long>(retrans));
+  }
+  std::printf(
+      "\nExpected shape (Table 5): fidelity/throughput/pair-count relative\n"
+      "differences stay in the few-percent range up to 1e-4 (latency is\n"
+      "noisier); recovery machinery (retransmissions, EXPIREs) engages as\n"
+      "loss grows but the service stays up.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "metrics/collector.hpp"
+#include "workload/workload.hpp"
+
+/// \file common.hpp
+/// Shared harness for the reproduction benches: configure a Link +
+/// WorkloadDriver, run it for a span of simulated time, and hand back the
+/// collector. Each bench binary regenerates one table/figure of the
+/// paper (see DESIGN.md's experiment index).
+
+namespace qlink::bench {
+
+struct RunSpec {
+  hw::ScenarioParams scenario = hw::ScenarioParams::lab();
+  workload::WorkloadConfig workload;
+  core::SchedulerConfig scheduler;
+  double classical_loss = 0.0;
+  std::uint64_t seed = 1;
+  double simulated_seconds = 10.0;
+  double test_round_probability = 0.0;
+};
+
+struct RunResult {
+  metrics::Collector collector;
+  core::Egp::Stats stats_a;
+  core::Egp::Stats stats_b;
+  double mean_heralded_fidelity = 0.0;
+  std::uint64_t dqp_retransmissions = 0;
+};
+
+inline RunResult run_scenario(const RunSpec& spec) {
+  core::LinkConfig link_cfg;
+  link_cfg.scenario = spec.scenario;
+  link_cfg.scenario.classical_loss_prob = spec.classical_loss;
+  link_cfg.seed = spec.seed;
+  link_cfg.scheduler = spec.scheduler;
+  link_cfg.test_round_probability = spec.test_round_probability;
+  core::Link link(link_cfg);
+
+  RunResult result;
+  workload::WorkloadDriver driver(link, spec.workload, result.collector);
+  link.start();
+  driver.start();
+  link.run_for(sim::duration::seconds(spec.simulated_seconds));
+  driver.stop();
+
+  result.stats_a = link.egp_a().stats();
+  result.stats_b = link.egp_b().stats();
+  result.mean_heralded_fidelity = link.station().mean_heralded_fidelity();
+  result.dqp_retransmissions = link.egp_a().queue().retransmissions() +
+                               link.egp_b().queue().retransmissions();
+  return result;
+}
+
+inline const char* kind_name(core::Priority p) {
+  return core::priority_name(p);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace qlink::bench

@@ -1,0 +1,137 @@
+// QKD over the link layer (the MD use case of Section 3.3).
+//
+// An E91-flavoured key exchange: both nodes request measure-directly
+// pairs; the pre-agreed random basis string plays the role of basis
+// reconciliation (no sifting loss in this simplified variant); a sample
+// of rounds is sacrificed to estimate the QBER, the rest become raw key
+// after flipping for the known (anti-)correlations.
+//
+// Run twice: with today's Lab optics (QBER too high for key — the
+// quantitative point Section 4.2 makes about fidelity as a service
+// parameter) and with projected upgraded optics where the same protocol
+// produces secret key.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/network.hpp"
+#include "quantum/bell.hpp"
+
+using namespace qlink;
+using namespace qlink::core;
+
+namespace {
+
+struct KeyRound {
+  int outcome = 0;
+  quantum::gates::Basis basis = quantum::gates::Basis::kZ;
+  int heralded = 1;
+  std::uint32_t seq = 0;
+};
+
+double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+}
+
+void run_qkd(const char* label, const hw::ScenarioParams& scenario,
+             double fmin, std::uint16_t pairs) {
+  std::printf("\n--- %s (F_min = %.2f) ---\n", label, fmin);
+  LinkConfig config;
+  config.scenario = scenario;
+  config.seed = 2024;
+  Link link(config);
+
+  std::vector<KeyRound> alice;
+  std::vector<KeyRound> bob;
+  link.egp_a().set_ok_handler([&](const OkMessage& ok) {
+    alice.push_back({ok.outcome, ok.basis, ok.heralded_state,
+                     ok.ent_id.seq_mhp});
+  });
+  link.egp_b().set_ok_handler([&](const OkMessage& ok) {
+    bob.push_back({ok.outcome, ok.basis, ok.heralded_state,
+                   ok.ent_id.seq_mhp});
+  });
+  link.egp_a().set_err_handler([&](const ErrMessage& err) {
+    if (err.error == EgpError::kUnsupported) {
+      std::printf("link layer says UNSUPP: F_min not achievable here\n");
+    }
+  });
+  link.start();
+
+  CreateRequest request;
+  request.type = RequestType::kCreateMeasure;
+  request.num_pairs = pairs;
+  request.min_fidelity = fmin;
+  request.priority = Priority::kMeasureDirectly;
+  request.consecutive = true;
+  request.purpose_id = 7;  // "the QKD app" port
+  link.egp_a().create(request);
+
+  for (int i = 0; i < 1200 && alice.size() < pairs; ++i) {
+    link.run_for(sim::duration::milliseconds(100));
+  }
+  std::printf("delivered %zu/%u rounds in %.1f simulated seconds\n",
+              alice.size(), pairs,
+              sim::to_seconds(link.simulator().now()));
+  if (alice.empty()) return;
+
+  std::size_t matched = 0;
+  std::size_t test_errors = 0;
+  std::size_t test_bits = 0;
+  std::vector<int> key_alice;
+  std::vector<int> key_bob;
+  std::size_t bi = 0;
+  for (const KeyRound& a : alice) {
+    while (bi < bob.size() && bob[bi].seq < a.seq) ++bi;
+    if (bi >= bob.size() || bob[bi].seq != a.seq) continue;
+    const KeyRound& b = bob[bi];
+    ++matched;
+    const auto state = a.heralded == 1 ? quantum::bell::BellState::kPsiPlus
+                                       : quantum::bell::BellState::kPsiMinus;
+    const bool equal_ideal =
+        quantum::bell::ideal_outcomes_equal(state, a.basis);
+    const int bob_bit = equal_ideal ? b.outcome : 1 - b.outcome;
+    if (matched % 4 == 0) {
+      ++test_bits;
+      if (a.outcome != bob_bit) ++test_errors;
+    } else {
+      key_alice.push_back(a.outcome);
+      key_bob.push_back(bob_bit);
+    }
+  }
+
+  const double qber = test_bits == 0 ? 0.0
+                                     : static_cast<double>(test_errors) /
+                                           static_cast<double>(test_bits);
+  const double secret_fraction =
+      std::max(0.0, 1.0 - 2.0 * binary_entropy(qber));
+  std::printf("matched rounds            : %zu\n", matched);
+  std::printf("estimated QBER (test bits): %.3f  (key needs < 0.11)\n",
+              qber);
+  std::printf("raw key length            : %zu bits\n", key_alice.size());
+  std::printf("asymptotic secret fraction: %.3f -> ~%.0f secret bits\n",
+              secret_fraction,
+              secret_fraction * static_cast<double>(key_alice.size()));
+}
+
+}  // namespace
+
+int main() {
+  // Today's Lab optics: the link delivers F ~ 0.7-0.8; QBER lands well
+  // above the 11% BB84/E91 threshold, so no key — higher throughput
+  // could not have fixed this, only higher fidelity can (Section 4.2).
+  run_qkd("Lab optics (today)", hw::ScenarioParams::lab(), 0.72, 300);
+
+  // Projected upgrade: better photon indistinguishability, less
+  // two-photon emission, tighter phase stabilisation (Section 4.4 cites
+  // cavities and conversion as the path). Same protocol, same code.
+  hw::ScenarioParams upgraded = hw::ScenarioParams::lab();
+  upgraded.name = "Lab-upgraded";
+  upgraded.herald.visibility = 0.99;
+  upgraded.herald.p_double_excitation = 0.005;
+  upgraded.herald.phase_sigma_rad_per_arm /= 4.0;
+  run_qkd("upgraded optics (projected)", upgraded, 0.9, 300);
+  return 0;
+}

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <memory>
+
+#include "core/egp.hpp"
+#include "hw/herald_model.hpp"
+#include "hw/nv_device.hpp"
+#include "hw/nv_params.hpp"
+#include "net/channel.hpp"
+#include "proto/mhp.hpp"
+#include "quantum/registry.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+/// \file network.hpp
+/// Assembles the full two-node link of the paper: nodes A and B (NV
+/// devices + MHP + EGP), the heralding station H, quantum/classical
+/// fiber connections, and the glue that installs heralded entanglement
+/// into the communication qubits (including the decoherence picked up
+/// while photons and replies are in flight).
+
+namespace qlink::core {
+
+struct LinkConfig {
+  hw::ScenarioParams scenario;
+  std::uint64_t seed = 1;
+  SchedulerConfig scheduler;
+  double test_round_probability = 0.0;
+  sim::SimTime mem_advert_interval = 0;
+  std::size_t max_queue_size = 256;
+  bool emission_multiplexing = true;
+  /// Consecutive one-sided midpoint errors before a request is expired
+  /// (see EgpConfig::one_sided_error_threshold).
+  int one_sided_error_threshold = 64;
+};
+
+/// A fully wired two-node quantum link.
+class Link {
+ public:
+  explicit Link(const LinkConfig& config);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Random& random() { return random_; }
+  quantum::QuantumRegistry& registry() { return *registry_; }
+  const hw::HeraldModel& herald_model() const { return *model_; }
+  const hw::ScenarioParams& scenario() const { return config_.scenario; }
+
+  hw::NvDevice& device_a() { return *device_a_; }
+  hw::NvDevice& device_b() { return *device_b_; }
+  Egp& egp_a() { return *egp_a_; }
+  Egp& egp_b() { return *egp_b_; }
+  Egp& egp(std::uint32_t node_id) {
+    return node_id == kNodeA ? *egp_a_ : *egp_b_;
+  }
+  proto::NodeMhp& mhp_a() { return *mhp_a_; }
+  proto::NodeMhp& mhp_b() { return *mhp_b_; }
+  proto::MidpointStation& station() { return *station_; }
+  net::ClassicalChannel& peer_channel() { return *chan_ab_; }
+  net::ClassicalChannel& station_channel_a() { return *chan_a_h_; }
+  net::ClassicalChannel& station_channel_b() { return *chan_b_h_; }
+
+  /// Start both MHP cycle clocks.
+  void start();
+
+  /// Run the simulation for a given span of simulated time.
+  void run_for(sim::SimTime span);
+
+  /// Set the classical frame-loss probability on every control link
+  /// (the robustness study of Section 6.1).
+  void set_classical_loss(double p);
+
+  /// Measured fidelity of a delivered K pair: reduced state of the two
+  /// qubits named in matching OKs at A and B (simulator privilege).
+  double pair_fidelity(quantum::QubitId qubit_a, quantum::QubitId qubit_b);
+
+  static constexpr std::uint32_t kNodeA = 0;
+  static constexpr std::uint32_t kNodeB = 1;
+
+ private:
+  void install_entanglement(int outcome, std::uint64_t cycle);
+  std::pair<int, int> sample_measurement(int outcome,
+                                         quantum::gates::Basis basis_a,
+                                         quantum::gates::Basis basis_b);
+
+  LinkConfig config_;
+  sim::Simulator simulator_;
+  sim::Random random_;
+  std::unique_ptr<quantum::QuantumRegistry> registry_;
+  std::unique_ptr<hw::HeraldModel> model_;
+  std::unique_ptr<hw::NvDevice> device_a_;
+  std::unique_ptr<hw::NvDevice> device_b_;
+  std::unique_ptr<net::ClassicalChannel> chan_a_h_;
+  std::unique_ptr<net::ClassicalChannel> chan_b_h_;
+  std::unique_ptr<net::ClassicalChannel> chan_ab_;
+  std::unique_ptr<proto::NodeMhp> mhp_a_;
+  std::unique_ptr<proto::NodeMhp> mhp_b_;
+  std::unique_ptr<proto::MidpointStation> station_;
+  std::unique_ptr<Egp> egp_a_;
+  std::unique_ptr<Egp> egp_b_;
+  double last_alpha_a_ = 0.1;
+  double last_alpha_b_ = 0.1;
+};
+
+}  // namespace qlink::core

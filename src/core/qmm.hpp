@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hw/nv_device.hpp"
+
+/// \file qmm.hpp
+/// Quantum Memory Manager (Section 4.5 / 5.2.2): decides which physical
+/// qubits serve which purpose and tracks allocation, so the EGP can
+/// answer OUTOFMEM/MEMEXCEEDED correctly and advertise free capacity to
+/// the peer for flow control.
+
+namespace qlink::core {
+
+class QuantumMemoryManager {
+ public:
+  explicit QuantumMemoryManager(hw::NvDevice& device) : device_(device) {
+    memory_in_use_.assign(
+        static_cast<std::size_t>(device.num_memory_qubits()), false);
+  }
+
+  /// Reserve the communication qubit for an in-flight attempt.
+  bool reserve_comm() {
+    if (comm_in_use_) return false;
+    comm_in_use_ = true;
+    return true;
+  }
+  void release_comm() { comm_in_use_ = false; }
+  bool comm_free() const { return !comm_in_use_; }
+
+  /// Reserve a memory (carbon) slot; returns its index.
+  std::optional<int> reserve_memory() {
+    for (std::size_t i = 0; i < memory_in_use_.size(); ++i) {
+      if (!memory_in_use_[i]) {
+        memory_in_use_[i] = true;
+        return static_cast<int>(i);
+      }
+    }
+    return std::nullopt;
+  }
+  void release_memory(int slot) {
+    memory_in_use_.at(static_cast<std::size_t>(slot)) = false;
+  }
+
+  int free_memory_slots() const {
+    int n = 0;
+    for (bool used : memory_in_use_) {
+      if (!used) ++n;
+    }
+    return n;
+  }
+  int total_memory_slots() const {
+    return static_cast<int>(memory_in_use_.size());
+  }
+
+  /// Logical -> physical qubit translation (Section 4.5).
+  quantum::QubitId physical_memory_qubit(int slot) const {
+    return device_.memory_qubit(slot);
+  }
+  quantum::QubitId physical_comm_qubit() const {
+    return device_.comm_qubit();
+  }
+
+  hw::NvDevice& device() { return device_; }
+
+ private:
+  hw::NvDevice& device_;
+  bool comm_in_use_ = false;
+  std::vector<bool> memory_in_use_;
+};
+
+}  // namespace qlink::core

@@ -1,0 +1,29 @@
+#include "core/requests.hpp"
+
+namespace qlink::core {
+
+const char* egp_error_name(EgpError e) {
+  switch (e) {
+    case EgpError::kNone:
+      return "OK";
+    case EgpError::kTimeout:
+      return "TIMEOUT";
+    case EgpError::kUnsupported:
+      return "UNSUPP";
+    case EgpError::kMemExceeded:
+      return "MEMEXCEEDED";
+    case EgpError::kOutOfMemory:
+      return "OUTOFMEM";
+    case EgpError::kDenied:
+      return "DENIED";
+    case EgpError::kNoTime:
+      return "ERR_NOTIME";
+    case EgpError::kRejected:
+      return "ERR_REJECT";
+    case EgpError::kExpired:
+      return "EXPIRE";
+  }
+  return "?";
+}
+
+}  // namespace qlink::core

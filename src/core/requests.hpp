@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packets.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/registry.hpp"
+#include "sim/time.hpp"
+
+/// \file requests.hpp
+/// The link-layer service interface of Section 4.1: CREATE requests and
+/// the OK / ERR / EXPIRE responses the EGP delivers to higher layers.
+
+namespace qlink::core {
+
+/// Type of a CREATE request (Section 4.1.1, item 2).
+enum class RequestType : std::uint8_t {
+  kCreateKeep = 0,     // K: store the entanglement
+  kCreateMeasure = 1,  // M: measure immediately
+};
+
+/// Priorities map to the three use cases (Section 4.1.1, item 8).
+/// Lower value = higher priority.
+enum class Priority : std::uint8_t {
+  kNetworkLayer = 0,     // NL
+  kCreateKeep = 1,       // CK
+  kMeasureDirectly = 2,  // MD
+};
+
+inline const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kNetworkLayer:
+      return "NL";
+    case Priority::kCreateKeep:
+      return "CK";
+    case Priority::kMeasureDirectly:
+      return "MD";
+  }
+  return "?";
+}
+
+/// CREATE, issued by a higher layer (Fig. 31).
+struct CreateRequest {
+  std::uint32_t remote_node_id = 0;
+  RequestType type = RequestType::kCreateKeep;
+  std::uint16_t num_pairs = 1;
+  bool atomic = false;
+  bool consecutive = false;  // OK per pair instead of per request
+  sim::SimTime max_time = 0;  // tmax; 0 = unbounded
+  std::uint16_t purpose_id = 0;
+  Priority priority = Priority::kCreateKeep;
+  double min_fidelity = 0.5;
+  bool store_in_memory = true;  // K only: move to a carbon on success
+};
+
+/// Error conditions of Section 4.1.2.
+enum class EgpError : std::uint8_t {
+  kNone = 0,
+  kTimeout,        // TIMEOUT: tmax exceeded
+  kUnsupported,    // UNSUPP: fidelity/time not achievable
+  kMemExceeded,    // MEMEXCEEDED: atomic request larger than the memory
+  kOutOfMemory,    // OUTOFMEM: temporarily no storage
+  kDenied,         // DENIED: remote refused (purpose-id policy)
+  kNoTime,         // ERR_NOTIME: distributed-queue add timed out
+  kRejected,       // ERR_REJECT: distributed-queue add rejected
+  kExpired,        // EXPIRE: a delivered OK was revoked
+};
+
+const char* egp_error_name(EgpError e);
+
+/// Network-unique entanglement identifier (Section 4.1.2, item 1).
+struct EntanglementId {
+  std::uint32_t node_a = 0;
+  std::uint32_t node_b = 0;
+  std::uint32_t seq_mhp = 0;
+
+  friend bool operator==(const EntanglementId&,
+                         const EntanglementId&) = default;
+};
+
+/// OK delivered to the higher layer (Figs. 37 and 38).
+struct OkMessage {
+  std::uint32_t create_id = 0;
+  EntanglementId ent_id;
+  std::uint16_t purpose_id = 0;
+  std::uint32_t origin_node = 0;  // directionality flag resolved to an id
+  std::uint16_t pair_index = 0;   // 0-based index within the request
+  std::uint16_t total_pairs = 1;
+  bool is_measure_directly = false;
+
+  // K-type payload: where the local half of the pair lives.
+  quantum::QubitId qubit = 0;
+  int logical_qubit_id = -1;  // memory slot, -1 = communication qubit
+
+  // M-type payload.
+  int outcome = -1;
+  quantum::gates::Basis basis = quantum::gates::Basis::kZ;
+  /// Which Bell state the midpoint heralded (1 = Psi+, 2 = Psi-). For
+  /// K-type pairs the origin's correction turns both into Psi+; M-type
+  /// outcomes keep their heralded correlations.
+  int heralded_state = 1;
+
+  // Goodness (Section 4.1.2, items 3/5/6).
+  double goodness = 0.0;
+  sim::SimTime goodness_time = 0;
+  sim::SimTime create_time = 0;
+};
+
+/// ERR delivered to the higher layer (Fig. 39).
+struct ErrMessage {
+  std::uint32_t create_id = 0;
+  EgpError error = EgpError::kNone;
+  std::uint32_t origin_node = 0;
+  // For kExpired: the revoked midpoint sequence range [low, high).
+  std::uint32_t seq_low = 0;
+  std::uint32_t seq_high = 0;
+};
+
+}  // namespace qlink::core

@@ -1,0 +1,83 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace qlink::core {
+
+using net::AbsoluteQueueId;
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config)) {
+  last_finish_.assign(16, 0.0);
+}
+
+int Scheduler::queue_for(Priority priority) const {
+  if (config_.kind == SchedulerKind::kFcfs) return 0;
+  return static_cast<int>(priority);
+}
+
+double Scheduler::weight_for_queue(int j) const {
+  if (j <= 0) return 1.0;  // NL: strict priority, weight unused
+  const std::size_t idx = static_cast<std::size_t>(j - 1);
+  if (idx < config_.weights.size()) return config_.weights[idx];
+  return 1.0;
+}
+
+double Scheduler::assign_virtual_finish(const net::DqpPacket& request,
+                                        std::uint64_t current_cycle) {
+  if (config_.kind == SchedulerKind::kFcfs) return 0.0;
+  const int j = request.aid.qid;
+  const double service =
+      static_cast<double>(request.num_pairs) *
+      static_cast<double>(std::max<std::uint32_t>(
+          request.est_cycles_per_pair, 1)) /
+      weight_for_queue(j);
+  const double start = std::max(static_cast<double>(current_cycle),
+                                last_finish_.at(static_cast<std::size_t>(j)));
+  const double finish = start + service;
+  last_finish_.at(static_cast<std::size_t>(j)) = finish;
+  return finish;
+}
+
+std::optional<AbsoluteQueueId> Scheduler::next(
+    const DistributedQueue& queue, std::uint64_t cycle,
+    const std::function<bool(const DistributedQueue::Item&)>& ready) const {
+  (void)cycle;
+  auto head_of = [&](int j) -> const DistributedQueue::Item* {
+    for (const auto& [qseq, item] : queue.queue(j)) {
+      if (ready(item)) return &item;
+      // FIFO within a queue: an unready head blocks only itself, not the
+      // items behind it, except that serving out of order would break
+      // the agreement property; we allow skipping unready items because
+      // "ready" is a deterministic function of shared state.
+    }
+    return nullptr;
+  };
+
+  if (config_.kind == SchedulerKind::kFcfs) {
+    const DistributedQueue::Item* item = head_of(0);
+    if (item == nullptr) return std::nullopt;
+    return item->request.aid;
+  }
+
+  // Strict priority for NL (queue 0).
+  if (const DistributedQueue::Item* nl = head_of(0)) return nl->request.aid;
+
+  // WFQ across the remaining queues: smallest virtual finish wins.
+  const DistributedQueue::Item* best = nullptr;
+  for (int j = 1; j < queue.num_queues(); ++j) {
+    const DistributedQueue::Item* item = head_of(j);
+    if (item == nullptr) continue;
+    if (best == nullptr ||
+        item->request.init_virtual_finish < best->request.init_virtual_finish ||
+        (item->request.init_virtual_finish ==
+             best->request.init_virtual_finish &&
+         item->request.aid < best->request.aid)) {
+      best = item;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->request.aid;
+}
+
+}  // namespace qlink::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/distributed_queue.hpp"
+#include "core/requests.hpp"
+
+/// \file scheduler.hpp
+/// EGP schedulers (Section 5.2.4, Section 6.3).
+///
+/// Any strategy is admissible as long as it is *deterministic in the
+/// shared queue state*, so that both nodes independently select the same
+/// request each cycle. Two strategies from the paper:
+///
+///  - FCFS: a single queue served in arrival (QSEQ) order.
+///  - WFQ:  NL (priority 0) has strict priority; CK and MD are served by
+///    weighted fair queueing using virtual finish times that the
+///    *originator* computes at enqueue time and ships inside the ADD
+///    frame ("Initial Virtual Finish", Fig. 24), which keeps both nodes'
+///    decisions identical.
+
+namespace qlink::core {
+
+enum class SchedulerKind { kFcfs, kWfq };
+
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kWfq;
+  /// WFQ weights for queues 1..n (queue 0 = NL is strict-priority).
+  /// Defaults follow Section 6.3 ("HigherWFQ"): CK weight 10, MD 1.
+  std::vector<double> weights = {10.0, 1.0};
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config);
+
+  SchedulerKind kind() const noexcept { return config_.kind; }
+
+  /// GET_QUEUE of Protocol 2: map a priority to a queue index.
+  /// FCFS uses a single queue; WFQ one queue per priority.
+  int queue_for(Priority priority) const;
+
+  /// Assign the WFQ virtual-finish tag at enqueue time (originator only;
+  /// the value travels in the ADD frame so both nodes share it).
+  double assign_virtual_finish(const net::DqpPacket& request,
+                               std::uint64_t current_cycle);
+
+  /// NEXT of Protocol 2: the request to serve this cycle, or nullopt.
+  /// `ready` decides whether an individual item may be served (min_time
+  /// reached, confirmed, not suspended, ...) and is supplied by the EGP.
+  std::optional<net::AbsoluteQueueId> next(
+      const DistributedQueue& queue, std::uint64_t cycle,
+      const std::function<bool(const DistributedQueue::Item&)>& ready) const;
+
+ private:
+  double weight_for_queue(int j) const;
+
+  SchedulerConfig config_;
+  std::vector<double> last_finish_;  // per queue, local WFQ bookkeeping
+};
+
+}  // namespace qlink::core

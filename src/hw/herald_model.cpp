@@ -1,0 +1,206 @@
+#include "hw/herald_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "quantum/bell.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/matrix.hpp"
+
+namespace qlink::hw {
+
+using quantum::Complex;
+using quantum::DensityMatrix;
+using quantum::Matrix;
+
+namespace {
+
+/// Spin-photon state after a trigger at one node (Appendix D.4):
+///   sqrt(alpha)|0>_C|1>_P + sqrt(1-alpha)|1>_C|0>_P
+/// with |0>_C the bright state.
+DensityMatrix spin_photon_state(double alpha) {
+  std::vector<Complex> amp(4, Complex{0.0, 0.0});
+  amp[0b01] = std::sqrt(alpha);        // |C=0, P=1>
+  amp[0b10] = std::sqrt(1.0 - alpha);  // |C=1, P=0>
+  return DensityMatrix::from_pure(amp);
+}
+
+/// Beam-splitter measurement Kraus operators for non-photon-counting
+/// detectors, Eq. 94-97, in the (P_A, P_B) basis |00>,|01>,|10>,|11>.
+/// (The paper orders the middle rows |10>,|01>; the operators are
+/// symmetric under that swap so the matrices are identical.)
+struct StationKraus {
+  Matrix e00, e10, e01, e11;
+};
+
+StationKraus station_kraus(double mu) {
+  const double ap = std::sqrt(1.0 + mu);
+  const double am = std::sqrt(1.0 - mu);
+  const double s2 = std::sqrt(2.0);
+  const double diag = (ap + am) / s2 / 2.0;
+  const double off = (ap - am) / s2 / 2.0;
+  const double corner = std::sqrt(1.0 + mu * mu) / 2.0;
+  const double e11v = std::sqrt(1.0 - mu * mu) / s2;
+
+  StationKraus k;
+  k.e00 = Matrix{{1, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}};
+  k.e10 = Matrix{{0, 0, 0, 0},
+                 {0, diag, off, 0},
+                 {0, off, diag, 0},
+                 {0, 0, 0, corner}};
+  k.e01 = Matrix{{0, 0, 0, 0},
+                 {0, diag, -off, 0},
+                 {0, -off, diag, 0},
+                 {0, 0, 0, corner}};
+  k.e11 = Matrix{{0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, e11v}};
+  return k;
+}
+
+}  // namespace
+
+HeraldModel::HeraldModel(HeraldParams params) : params_(params) {
+  if (params_.visibility < 0.0 || params_.visibility > 1.0) {
+    throw std::invalid_argument("HeraldModel: visibility out of [0,1]");
+  }
+}
+
+double HeraldModel::arm_loss(double fiber_km) const {
+  const HeraldParams& p = params_;
+  // Detection-window truncation of the coherent emission (Eq. 30).
+  const double window_damping =
+      std::exp(-p.detection_window_ns / p.emission_tau_ns);
+  // Collection losses (Eq. 31).
+  const double collection_keep = p.p_zero_phonon * p.p_collection;
+  // Fiber transmission (Eq. 33).
+  const double fiber_keep =
+      std::pow(10.0, -fiber_km * p.fiber_loss_db_per_km / 10.0);
+  const double keep = (1.0 - window_damping) * collection_keep * fiber_keep *
+                      p.detector_efficiency;
+  return 1.0 - keep;
+}
+
+double HeraldModel::arm_detection_probability(bool node_a) const {
+  const double km =
+      node_a ? params_.fiber_length_a_km : params_.fiber_length_b_km;
+  return 1.0 - arm_loss(km);
+}
+
+double HeraldModel::dark_click_probability() const {
+  return 1.0 - std::exp(-params_.detection_window_ns * 1e-9 *
+                        params_.dark_count_rate_hz);
+}
+
+HeraldDistribution HeraldModel::compute(double alpha_a,
+                                        double alpha_b) const {
+  if (alpha_a <= 0.0 || alpha_a >= 1.0 || alpha_b <= 0.0 || alpha_b >= 1.0) {
+    throw std::invalid_argument("HeraldModel::compute: alpha out of (0,1)");
+  }
+  const HeraldParams& p = params_;
+
+  // Qubit order: 0 = electron A, 1 = photon A, 2 = electron B, 3 = photon B.
+  DensityMatrix rho =
+      spin_photon_state(alpha_a).tensor(spin_photon_state(alpha_b));
+  const int kElectronA[] = {0};
+  const int kPhotonA[] = {1};
+  const int kElectronB[] = {2};
+  const int kPhotonB[] = {3};
+  const int kPhotons[] = {1, 3};
+
+  // Two-photon emission: effective electron dephasing (D.4.3).
+  {
+    const auto deph =
+        quantum::channels::dephasing(p.p_double_excitation / 2.0);
+    rho.apply_kraus(deph, kElectronA);
+    rho.apply_kraus(deph, kElectronB);
+  }
+
+  // Optical phase uncertainty per arm (Eq. 28-29).
+  {
+    const double pd = quantum::channels::phase_uncertainty_dephasing(
+        p.phase_sigma_rad_per_arm);
+    const auto deph = quantum::channels::dephasing(pd);
+    rho.apply_kraus(deph, kPhotonA);
+    rho.apply_kraus(deph, kPhotonB);
+  }
+
+  // Loss chain per arm as amplitude damping on the photonic qubits.
+  rho.apply_kraus(quantum::channels::amplitude_damping(
+                      arm_loss(p.fiber_length_a_km)),
+                  kPhotonA);
+  rho.apply_kraus(quantum::channels::amplitude_damping(
+                      arm_loss(p.fiber_length_b_km)),
+                  kPhotonB);
+
+  // Beam-splitter measurement (Eq. 90-97).
+  const double mu = std::sqrt(p.visibility);
+  const StationKraus kraus = station_kraus(mu);
+
+  struct Branch {
+    double prob;
+    DensityMatrix post{2};
+  };
+  auto project = [&](const Matrix& op) {
+    Branch b{0.0, DensityMatrix(2)};
+    DensityMatrix work = rho;
+    b.prob = work.apply_and_renormalize(op, kPhotons);
+    if (b.prob > 0.0) b.post = work.partial_trace(kPhotons);
+    return b;
+  };
+  const Branch b00 = project(kraus.e00);
+  const Branch b10 = project(kraus.e10);
+  const Branch b01 = project(kraus.e01);
+  const Branch b11 = project(kraus.e11);
+
+  // Dark counts flip quiet detectors with probability p_dark (D.4.8).
+  // Detector efficiency is already folded into the loss chain above.
+  const double pd = dark_click_probability();
+
+  HeraldDistribution out;
+
+  // Final "left only" (|Psi+> herald): ideal left-only with no dark on
+  // the right, or ideal none with a dark count on the left only.
+  const double w_left_real = b10.prob * (1.0 - pd);
+  const double w_left_dark = b00.prob * pd * (1.0 - pd);
+  out.p_psi_plus = w_left_real + w_left_dark;
+  if (out.p_psi_plus > 0.0) {
+    Matrix mix = b10.post.matrix() * Complex{w_left_real, 0.0};
+    mix += b00.post.matrix() * Complex{w_left_dark, 0.0};
+    out.post_psi_plus = DensityMatrix::from_matrix(std::move(mix));
+    out.post_psi_plus.renormalize();
+  }
+
+  const double w_right_real = b01.prob * (1.0 - pd);
+  const double w_right_dark = b00.prob * pd * (1.0 - pd);
+  out.p_psi_minus = w_right_real + w_right_dark;
+  if (out.p_psi_minus > 0.0) {
+    Matrix mix = b01.post.matrix() * Complex{w_right_real, 0.0};
+    mix += b00.post.matrix() * Complex{w_right_dark, 0.0};
+    out.post_psi_minus = DensityMatrix::from_matrix(std::move(mix));
+    out.post_psi_minus.renormalize();
+  }
+
+  out.p_fail = 1.0 - out.p_psi_plus - out.p_psi_minus;
+  (void)b11;  // both-click: failure; accounted for in p_fail.
+
+  out.fidelity_plus =
+      quantum::bell::fidelity(out.post_psi_plus,
+                              quantum::bell::BellState::kPsiPlus);
+  out.fidelity_minus =
+      quantum::bell::fidelity(out.post_psi_minus,
+                              quantum::bell::BellState::kPsiMinus);
+  return out;
+}
+
+const HeraldDistribution& HeraldModel::distribution(double alpha_a,
+                                                    double alpha_b) const {
+  const auto key = std::make_pair(std::lround(alpha_a * 1e6),
+                                  std::lround(alpha_b * 1e6));
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, compute(alpha_a, alpha_b)).first;
+  }
+  return it->second;
+}
+
+}  // namespace qlink::hw

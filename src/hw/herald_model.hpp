@@ -1,0 +1,82 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hw/nv_params.hpp"
+#include "quantum/density_matrix.hpp"
+
+/// \file herald_model.hpp
+/// Analytic single-click entanglement model (Appendix D.4-D.5).
+///
+/// One heralded attempt evolves a 4-qubit system
+///   (electron A, photon A, electron B, photon B)
+/// through: spin-photon emission with bright-state population alpha,
+/// two-photon-emission dephasing, optical phase-uncertainty dephasing,
+/// the loss chain (zero-phonon line, collection, fiber, detection window,
+/// detector efficiency) as amplitude damping, the beam-splitter POVM with
+/// photon distinguishability mu (Eq. 90-97), and detector dark counts.
+///
+/// The outcome distribution and the heralded electron-electron states
+/// depend only on (alpha_A, alpha_B) for fixed hardware, not on history,
+/// so results are cached: per attempt the simulation only samples an
+/// outcome and, on success, installs a precomputed two-qubit state.
+/// This is the decomposition that makes protocol-scale simulation
+/// tractable (DESIGN.md, substitution 5).
+
+namespace qlink::hw {
+
+/// Heralding outcome as reported by the midpoint (Fig. 3).
+enum class HeraldOutcome {
+  kFail = 0,      // no click or both detectors clicked
+  kPsiPlus = 1,   // left detector clicked
+  kPsiMinus = 2,  // right detector clicked
+};
+
+/// Cached results of one (alpha_A, alpha_B) configuration.
+struct HeraldDistribution {
+  double p_fail = 1.0;
+  double p_psi_plus = 0.0;
+  double p_psi_minus = 0.0;
+
+  /// Electron-electron states conditioned on each success outcome
+  /// (qubit 0 = node A's electron, qubit 1 = node B's).
+  quantum::DensityMatrix post_psi_plus{2};
+  quantum::DensityMatrix post_psi_minus{2};
+
+  /// Fidelities of the above to |Psi+> / |Psi->.
+  double fidelity_plus = 0.0;
+  double fidelity_minus = 0.0;
+
+  double p_success() const { return p_psi_plus + p_psi_minus; }
+};
+
+class HeraldModel {
+ public:
+  explicit HeraldModel(HeraldParams params);
+
+  /// Full computation for one alpha pair (uncached).
+  HeraldDistribution compute(double alpha_a, double alpha_b) const;
+
+  /// Cached lookup (alpha values quantised to 1e-6).
+  const HeraldDistribution& distribution(double alpha_a,
+                                         double alpha_b) const;
+
+  /// Probability that one photon emitted at the given node reaches a
+  /// detector and registers (the "p_det" of Section 4.4), combining the
+  /// full loss chain for that arm.
+  double arm_detection_probability(bool node_a) const;
+
+  /// Dark-click probability per detector per window (Eq. 34).
+  double dark_click_probability() const;
+
+  const HeraldParams& params() const { return params_; }
+
+ private:
+  double arm_loss(double fiber_km) const;
+
+  HeraldParams params_;
+  mutable std::map<std::pair<long, long>, HeraldDistribution> cache_;
+};
+
+}  // namespace qlink::hw

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hw/nv_params.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/registry.hpp"
+#include "sim/entity.hpp"
+
+/// \file nv_device.hpp
+/// QuantumProcessingDevice for the NV platform (Appendix C/D).
+///
+/// One communication qubit (the electron spin) plus a configurable number
+/// of memory qubits (carbon-13 nuclear spins). Decoherence is applied
+/// lazily: each qubit remembers when its state was last brought up to
+/// date and the appropriate T1/T2 channel is applied on access. The
+/// eager exceptions are the per-attempt carbon dephasing (Eq. 24-25) and
+/// gate noise, which are pushed when the corresponding event happens.
+
+namespace qlink::hw {
+
+class NvDevice : public sim::Entity {
+ public:
+  NvDevice(sim::Simulator& simulator, std::string name, const NvParams& params,
+           quantum::QuantumRegistry& registry);
+
+  ~NvDevice() override;
+
+  const NvParams& params() const noexcept { return params_; }
+  quantum::QuantumRegistry& registry() noexcept { return registry_; }
+
+  quantum::QubitId comm_qubit() const noexcept { return comm_; }
+  int num_memory_qubits() const noexcept {
+    return static_cast<int>(memory_.size());
+  }
+  quantum::QubitId memory_qubit(int i) const { return memory_.at(i); }
+
+  /// True if the device is executing a (blocking) operation.
+  bool busy() const noexcept { return busy_until_ > now(); }
+  sim::SimTime busy_until() const noexcept { return busy_until_; }
+
+  /// Initialise the electron spin to |0> with the Table-6 depolarising
+  /// init noise. Marks the device busy for the init duration.
+  void initialize_electron();
+
+  /// Initialise a carbon spin (blocking, 310 us, 0.95 fidelity).
+  void initialize_carbon(int i);
+
+  /// Swap the communication qubit's state into memory qubit i (1040 us,
+  /// two E-C controlled-sqrt(X) gates; gate noise applied). The electron
+  /// ends in the carbon's previous (freshly initialised) state.
+  void move_comm_to_memory(int i);
+
+  /// Rotate + read out the electron with the asymmetric readout noise of
+  /// Eq. 23. The qubit collapses; callers usually re-initialise next.
+  int measure_comm(quantum::gates::Basis basis);
+
+  /// Read out memory qubit i via the electron (Appendix D.3.4):
+  /// init electron, effective CNOT, read electron.
+  int measure_memory(int i, quantum::gates::Basis basis);
+
+  /// Noiseless-by-Table-6 single-qubit electron gate (5 ns, F = 1.0).
+  void apply_electron_gate(const quantum::Matrix& u);
+
+  /// Apply the per-attempt dephasing of Eq. 24-25 to every carbon that
+  /// currently stores live entanglement.
+  void apply_attempt_dephasing(double alpha);
+
+  /// Bring a qubit's decoherence up to date (called automatically by all
+  /// operations; exposed so metrics can snapshot a fresh state).
+  void touch(quantum::QubitId q);
+  void touch_all();
+
+  /// Mark a qubit's state as freshly written at the current time without
+  /// applying decay (used when entanglement is installed externally).
+  void mark_fresh(quantum::QubitId q);
+
+  /// Mark a qubit as holding protocol-relevant state ("live"): live
+  /// carbons receive attempt dephasing; idle ones are skipped.
+  void set_live(quantum::QubitId q, bool live);
+  bool is_live(quantum::QubitId q) const;
+
+  /// Occupy the device for an externally-timed operation.
+  void occupy_for(sim::SimTime duration);
+
+ private:
+  struct QubitMeta {
+    quantum::QubitId id = 0;
+    bool is_electron = false;
+    sim::SimTime last_update = 0;
+    bool live = false;
+  };
+
+  QubitMeta& meta(quantum::QubitId q);
+  const QubitMeta& meta(quantum::QubitId q) const;
+  void apply_decay(QubitMeta& m);
+  int noisy_readout(int true_outcome);
+
+  NvParams params_;
+  quantum::QuantumRegistry& registry_;
+  quantum::QubitId comm_ = 0;
+  std::vector<quantum::QubitId> memory_;
+  std::vector<QubitMeta> meta_;
+  sim::SimTime busy_until_ = 0;
+};
+
+}  // namespace qlink::hw

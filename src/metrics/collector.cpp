@@ -1,0 +1,92 @@
+#include "metrics/collector.hpp"
+
+namespace qlink::metrics {
+
+using core::OkMessage;
+using core::Priority;
+using quantum::gates::Basis;
+
+void Collector::record_create(std::uint32_t origin_node,
+                              std::uint32_t create_id, Priority kind,
+                              std::uint16_t num_pairs, sim::SimTime t) {
+  open_[{origin_node, create_id}] = OpenRequest{kind, num_pairs, t,
+                                                origin_node};
+  kinds_[static_cast<std::size_t>(kind)].requests_submitted += 1;
+}
+
+void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
+                          std::optional<double> fidelity) {
+  KindMetrics& km = kinds_[static_cast<std::size_t>(kind)];
+  KindMetrics& om = origin_metrics_[ok.origin_node];
+  km.pairs_delivered += 1;
+  om.pairs_delivered += 1;
+  km.goodness.add(ok.goodness);
+  if (fidelity) {
+    km.fidelity.add(*fidelity);
+    om.fidelity.add(*fidelity);
+  }
+
+  const auto it = open_.find({ok.origin_node, ok.create_id});
+  if (it == open_.end()) return;
+  const OpenRequest& req = it->second;
+  const double pair_latency = sim::to_seconds(t - req.created);
+  km.pair_latency_s.add(pair_latency);
+  om.pair_latency_s.add(pair_latency);
+
+  if (ok.pair_index + 1 == ok.total_pairs) {
+    const double request_latency = sim::to_seconds(t - req.created);
+    km.request_latency_s.add(request_latency);
+    om.request_latency_s.add(request_latency);
+    const double scaled =
+        request_latency / static_cast<double>(std::max<std::uint16_t>(
+                              req.num_pairs, 1));
+    km.scaled_latency_s.add(scaled);
+    om.scaled_latency_s.add(scaled);
+    km.requests_completed += 1;
+    om.requests_completed += 1;
+    open_.erase(it);
+  }
+}
+
+void Collector::record_err(const core::ErrMessage& err) {
+  error_counts_[err.error] += 1;
+  if (err.error != core::EgpError::kExpired) {
+    open_.erase({err.origin_node, err.create_id});
+  }
+}
+
+void Collector::record_correlation(Basis basis, int outcome_a, int outcome_b,
+                                   int heralded_state) {
+  const auto target = heralded_state == 1
+                          ? quantum::bell::BellState::kPsiPlus
+                          : quantum::bell::BellState::kPsiMinus;
+  const bool ideal_equal = quantum::bell::ideal_outcomes_equal(target, basis);
+  const bool error = (outcome_a == outcome_b) != ideal_equal;
+  auto& [errors, total] = qber_counts_[static_cast<std::size_t>(basis)];
+  if (error) ++errors;
+  ++total;
+}
+
+double Collector::total_throughput() const {
+  const double dt = elapsed_seconds();
+  if (dt <= 0.0) return 0.0;
+  std::uint64_t pairs = 0;
+  for (const auto& km : kinds_) pairs += km.pairs_delivered;
+  return static_cast<double>(pairs) / dt;
+}
+
+std::optional<double> Collector::qber(Basis basis) const {
+  const auto& [errors, total] = qber_counts_[static_cast<std::size_t>(basis)];
+  if (total == 0) return std::nullopt;
+  return static_cast<double>(errors) / static_cast<double>(total);
+}
+
+std::optional<double> Collector::fidelity_from_qber() const {
+  const auto qx = qber(Basis::kX);
+  const auto qy = qber(Basis::kY);
+  const auto qz = qber(Basis::kZ);
+  if (!qx || !qy || !qz) return std::nullopt;
+  return quantum::bell::fidelity_from_qbers(*qx, *qy, *qz);
+}
+
+}  // namespace qlink::metrics

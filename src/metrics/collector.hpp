@@ -1,0 +1,109 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/requests.hpp"
+#include "metrics/stats.hpp"
+#include "quantum/bell.hpp"
+#include "sim/time.hpp"
+
+/// \file collector.hpp
+/// Evaluation metrics of Section 4.2 / 6.2: throughput, request / pair /
+/// scaled latency, fidelity, QBER, queue lengths, error counts, and
+/// fairness splits by requesting node.
+
+namespace qlink::metrics {
+
+class Collector {
+ public:
+  struct KindMetrics {
+    RunningStat request_latency_s;
+    RunningStat pair_latency_s;
+    RunningStat scaled_latency_s;
+    RunningStat fidelity;
+    RunningStat goodness;
+    std::uint64_t pairs_delivered = 0;
+    std::uint64_t requests_submitted = 0;
+    std::uint64_t requests_completed = 0;
+  };
+
+  void begin(sim::SimTime now) { start_time_ = now; }
+  void end(sim::SimTime now) { end_time_ = now; }
+  double elapsed_seconds() const {
+    return sim::to_seconds(end_time_ - start_time_);
+  }
+
+  void record_create(std::uint32_t origin_node, std::uint32_t create_id,
+                     core::Priority kind, std::uint16_t num_pairs,
+                     sim::SimTime t);
+
+  /// An OK arriving at the *origin* node (latency is defined there).
+  void record_ok(const core::OkMessage& ok, core::Priority kind,
+                 sim::SimTime t, std::optional<double> fidelity);
+
+  void record_err(const core::ErrMessage& err);
+
+  /// One MD (or test-round) correlation sample: outcomes at A and B in a
+  /// basis, with the heralded Bell state defining the ideal correlation.
+  void record_correlation(quantum::gates::Basis basis, int outcome_a,
+                          int outcome_b, int heralded_state);
+
+  void sample_queue_length(std::size_t len) {
+    queue_length_.add(static_cast<double>(len));
+  }
+
+  const KindMetrics& kind(core::Priority p) const {
+    return kinds_[static_cast<std::size_t>(p)];
+  }
+  KindMetrics& kind(core::Priority p) {
+    return kinds_[static_cast<std::size_t>(p)];
+  }
+
+  double throughput(core::Priority p) const {
+    const double dt = elapsed_seconds();
+    return dt <= 0.0 ? 0.0
+                     : static_cast<double>(kind(p).pairs_delivered) / dt;
+  }
+  double total_throughput() const;
+
+  std::optional<double> qber(quantum::gates::Basis basis) const;
+  /// Fidelity reconstructed from QBER (how the paper extracts MD
+  /// fidelity, Section 6.2).
+  std::optional<double> fidelity_from_qber() const;
+
+  std::uint64_t errors(core::EgpError e) const {
+    return error_counts_.count(e) ? error_counts_.at(e) : 0;
+  }
+  std::uint64_t total_expires() const { return errors(core::EgpError::kExpired); }
+  const RunningStat& queue_length() const { return queue_length_; }
+
+  /// Fairness: per-origin pair counts and mean latencies (Section 6.2).
+  const KindMetrics& by_origin(std::uint32_t node) const {
+    return origin_metrics_.at(node);
+  }
+  bool has_origin(std::uint32_t node) const {
+    return origin_metrics_.count(node) > 0;
+  }
+
+ private:
+  struct OpenRequest {
+    core::Priority kind;
+    std::uint16_t num_pairs;
+    sim::SimTime created;
+    std::uint32_t origin;
+  };
+
+  sim::SimTime start_time_ = 0;
+  sim::SimTime end_time_ = 0;
+  std::array<KindMetrics, 3> kinds_{};
+  std::map<std::uint32_t, KindMetrics> origin_metrics_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, OpenRequest> open_;
+  std::map<core::EgpError, std::uint64_t> error_counts_;
+  std::array<std::pair<std::uint64_t, std::uint64_t>, 3> qber_counts_{};
+  RunningStat queue_length_;
+};
+
+}  // namespace qlink::metrics

@@ -1,0 +1,20 @@
+#include "metrics/stats.hpp"
+
+#include <stdexcept>
+
+namespace qlink::metrics {
+
+double percentile(std::vector<double> values, double pct) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty");
+  if (pct < 0.0 || pct > 100.0) {
+    throw std::invalid_argument("percentile: pct out of range");
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace qlink::metrics

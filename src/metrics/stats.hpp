@@ -1,0 +1,58 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+/// \file stats.hpp
+/// Small statistics helpers for the evaluation harness: running moments,
+/// standard error (as reported in Tables 1/4 of the paper), and
+/// percentiles.
+
+namespace qlink::metrics {
+
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Standard error of the mean: s_n / sqrt(n) (Table 4 caption).
+  double stderr_mean() const noexcept {
+    return n_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+  }
+  double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Relative difference |m1 - m2| / max(|m1|, |m2|), footnote 2 of the
+/// paper (0 when both are 0).
+inline double relative_difference(double m1, double m2) {
+  const double denom = std::max(std::abs(m1), std::abs(m2));
+  if (denom == 0.0) return 0.0;
+  return std::abs(m1 - m2) / denom;
+}
+
+/// Percentile (0..100) of a sample set; the vector is copied.
+double percentile(std::vector<double> values, double pct);
+
+}  // namespace qlink::metrics

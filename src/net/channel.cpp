@@ -1,0 +1,27 @@
+#include "net/channel.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+namespace qlink::net {
+
+void ClassicalChannel::send_from(int end, std::vector<std::uint8_t> frame) {
+  if (end != 0 && end != 1) {
+    throw std::invalid_argument("ClassicalChannel: endpoint must be 0 or 1");
+  }
+  ++sent_;
+  if (random_.bernoulli(loss_probability_)) {
+    ++dropped_;
+    return;
+  }
+  const int dest = 1 - end;
+  schedule_in(delay_, [this, dest, data = std::move(frame)]() mutable {
+    Handler& h = receivers_[static_cast<std::size_t>(dest)];
+    if (!h) return;  // unconnected endpoint: frame silently discarded
+    ++delivered_;
+    h(std::move(data));
+  });
+}
+
+}  // namespace qlink::net

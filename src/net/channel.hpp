@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/entity.hpp"
+#include "sim/random.hpp"
+
+/// \file channel.hpp
+/// Point-to-point classical channel with fixed propagation delay and
+/// Bernoulli frame loss (the 1000BASE-ZX model of Appendix D.6.1: frame
+/// errors are modelled at frame granularity, not bit granularity).
+
+namespace qlink::net {
+
+class ClassicalChannel : public sim::Entity {
+ public:
+  using Handler = std::function<void(std::vector<std::uint8_t>)>;
+
+  ClassicalChannel(sim::Simulator& simulator, std::string name,
+                   sim::SimTime delay, sim::Random& random,
+                   double loss_probability = 0.0)
+      : Entity(simulator, std::move(name)),
+        delay_(delay),
+        random_(random),
+        loss_probability_(loss_probability) {}
+
+  /// Register the receiver at endpoint `end` (0 or 1).
+  void set_receiver(int end, Handler handler) {
+    receivers_.at(static_cast<std::size_t>(end)) = std::move(handler);
+  }
+
+  /// Transmit a frame from endpoint `end` to the opposite endpoint.
+  void send_from(int end, std::vector<std::uint8_t> frame);
+
+  sim::SimTime delay() const noexcept { return delay_; }
+  double loss_probability() const noexcept { return loss_probability_; }
+  void set_loss_probability(double p) noexcept { loss_probability_ = p; }
+
+  std::uint64_t frames_sent() const noexcept { return sent_; }
+  std::uint64_t frames_delivered() const noexcept { return delivered_; }
+  std::uint64_t frames_dropped() const noexcept { return dropped_; }
+
+ private:
+  sim::SimTime delay_;
+  sim::Random& random_;
+  double loss_probability_;
+  std::array<Handler, 2> receivers_{};
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace qlink::net

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+/// \file crc.hpp
+/// CRC-32 (IEEE 802.3 polynomial), used by the MHP/EGP packet codecs.
+/// The paper's classical control runs over Ethernet-class links whose
+/// frames carry this CRC; we expose it so tests can exercise corruption
+/// detection (Appendix D.6.2).
+
+namespace qlink::net {
+
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace qlink::net

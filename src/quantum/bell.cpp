@@ -1,0 +1,89 @@
+#include "quantum/bell.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace qlink::quantum::bell {
+
+namespace {
+const double kS = 1.0 / std::sqrt(2.0);
+}
+
+const std::vector<Complex>& state_vector(BellState s) {
+  static const std::vector<Complex> phi_plus{kS, 0, 0, kS};
+  static const std::vector<Complex> phi_minus{kS, 0, 0, -kS};
+  static const std::vector<Complex> psi_plus{0, kS, kS, 0};
+  static const std::vector<Complex> psi_minus{0, kS, -kS, 0};
+  switch (s) {
+    case BellState::kPhiPlus:
+      return phi_plus;
+    case BellState::kPhiMinus:
+      return phi_minus;
+    case BellState::kPsiPlus:
+      return psi_plus;
+    case BellState::kPsiMinus:
+      return psi_minus;
+  }
+  throw std::logic_error("state_vector: invalid Bell state");
+}
+
+double fidelity(const DensityMatrix& rho, BellState s) {
+  return rho.fidelity(state_vector(s));
+}
+
+bool ideal_outcomes_equal(BellState s, gates::Basis b) {
+  // Stabiliser signs: |Phi+> = +XX, -YY, +ZZ; |Phi-> = -XX, +YY, +ZZ;
+  // |Psi+> = +XX, +YY, -ZZ; |Psi-> = -XX, -YY, -ZZ.
+  // A "+" sign for basis B means outcomes in B are equal.
+  switch (s) {
+    case BellState::kPhiPlus:
+      return b != gates::Basis::kY;
+    case BellState::kPhiMinus:
+      return b != gates::Basis::kX;
+    case BellState::kPsiPlus:
+      return b != gates::Basis::kZ;
+    case BellState::kPsiMinus:
+      return false;
+  }
+  throw std::logic_error("ideal_outcomes_equal: invalid Bell state");
+}
+
+double qber(const DensityMatrix& rho, BellState target, gates::Basis b) {
+  if (rho.num_qubits() != 2) {
+    throw std::invalid_argument("qber: need a two-qubit state");
+  }
+  // Rotate both qubits into the measurement basis, then sum the
+  // probabilities of the outcome pairs that deviate from the ideal
+  // correlation.
+  DensityMatrix work = rho;
+  const Matrix& u = gates::basis_change(b);
+  const int t0[] = {0};
+  const int t1[] = {1};
+  work.apply_unitary(u, t0);
+  work.apply_unitary(u, t1);
+  const Matrix& m = work.matrix();
+  const double p_equal = (m(0, 0) + m(3, 3)).real();
+  const double p_diff = (m(1, 1) + m(2, 2)).real();
+  return ideal_outcomes_equal(target, b) ? p_diff : p_equal;
+}
+
+double fidelity_from_qbers(double qber_x, double qber_y, double qber_z) {
+  return 1.0 - (qber_x + qber_y + qber_z) / 2.0;
+}
+
+const char* name(BellState s) {
+  switch (s) {
+    case BellState::kPhiPlus:
+      return "Phi+";
+    case BellState::kPhiMinus:
+      return "Phi-";
+    case BellState::kPsiPlus:
+      return "Psi+";
+    case BellState::kPsiMinus:
+      return "Psi-";
+  }
+  return "?";
+}
+
+}  // namespace qlink::quantum::bell

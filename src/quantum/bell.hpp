@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "quantum/density_matrix.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/matrix.hpp"
+
+/// \file bell.hpp
+/// Bell-state algebra: the four Bell states, fidelity to them, and the
+/// QBER <-> fidelity relations of Appendix A.3.
+
+namespace qlink::quantum::bell {
+
+enum class BellState { kPhiPlus, kPhiMinus, kPsiPlus, kPsiMinus };
+
+/// State vector of the requested Bell state (two qubits).
+const std::vector<Complex>& state_vector(BellState s);
+
+/// Fidelity of a two-qubit density matrix to a Bell state.
+double fidelity(const DensityMatrix& rho, BellState s);
+
+/// Whether outcomes of measuring both qubits of the *ideal* Bell state
+/// in the given basis are correlated (true) or anti-correlated (false).
+/// E.g. |Psi+>: anti-correlated in Z, correlated in X, anti in Y... the
+/// exact table is derived from the stabiliser signs and unit-tested.
+bool ideal_outcomes_equal(BellState s, gates::Basis b);
+
+/// QBER of rho in a basis relative to the ideal correlations of the
+/// target Bell state: probability that the joint measurement deviates
+/// from the ideal (anti-)correlation (footnote 3 of the paper).
+double qber(const DensityMatrix& rho, BellState target, gates::Basis b);
+
+/// Fidelity reconstructed from the three QBERs (generalisation of
+/// Eq. 16): F = 1 - (QBER_X + QBER_Y + QBER_Z) / 2.
+double fidelity_from_qbers(double qber_x, double qber_y, double qber_z);
+
+/// Name for reports, e.g. "Psi+".
+const char* name(BellState s);
+
+}  // namespace qlink::quantum::bell

@@ -1,0 +1,35 @@
+#include "quantum/bessel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qlink::quantum {
+
+double bessel_i1_over_i0(double x) {
+  if (x < 0.0) throw std::invalid_argument("bessel_i1_over_i0: x < 0");
+  if (x == 0.0) return 0.0;
+
+  // Continued fraction (Perron / Amos 1974):
+  //   I_{v+1}(x) / I_v(x) = 1 / (2(v+1)/x + 1/(2(v+2)/x + ...))
+  // evaluated with the modified Lentz algorithm for v = 0.
+  const double tiny = 1e-30;
+  double f = tiny;
+  double c = f;
+  double d = 0.0;
+  const int max_iter = 1000;
+  for (int k = 1; k <= max_iter; ++k) {
+    const double a = (k == 1) ? 1.0 : 1.0;
+    const double b = 2.0 * k / x;
+    d = b + a * d;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + a / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = c * d;
+    f *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) return f;
+  }
+  return f;
+}
+
+}  // namespace qlink::quantum

@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file bessel.hpp
+/// Ratio of modified Bessel functions I1(x)/I0(x), needed by the
+/// phase-uncertainty dephasing model (Eq. 28). Computed with the
+/// continued-fraction method of Amos (1974), as cited by the paper.
+
+namespace qlink::quantum {
+
+/// I1(x)/I0(x) for x >= 0. Accurate to ~1e-12 over the range used here.
+double bessel_i1_over_i0(double x);
+
+}  // namespace qlink::quantum

@@ -1,0 +1,93 @@
+#include "quantum/channels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "quantum/bessel.hpp"
+#include "quantum/gates.hpp"
+
+namespace qlink::quantum::channels {
+
+namespace {
+void check_prob(double p, const char* what) {
+  if (p < -1e-12 || p > 1.0 + 1e-12) {
+    throw std::invalid_argument(std::string(what) + ": out of [0,1]");
+  }
+}
+double clamp01(double p) { return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p); }
+}  // namespace
+
+std::vector<Matrix> dephasing(double p) {
+  check_prob(p, "dephasing");
+  p = clamp01(p);
+  return {gates::i2() * Complex{std::sqrt(1.0 - p), 0.0},
+          gates::z() * Complex{std::sqrt(p), 0.0}};
+}
+
+std::vector<Matrix> depolarizing(double f) {
+  check_prob(f, "depolarizing");
+  f = clamp01(f);
+  const double e = (1.0 - f) / 3.0;
+  return {gates::i2() * Complex{std::sqrt(f), 0.0},
+          gates::x() * Complex{std::sqrt(e), 0.0},
+          gates::y() * Complex{std::sqrt(e), 0.0},
+          gates::z() * Complex{std::sqrt(e), 0.0}};
+}
+
+std::vector<Matrix> amplitude_damping(double gamma) {
+  check_prob(gamma, "amplitude_damping");
+  gamma = clamp01(gamma);
+  const Matrix k0{{1, 0}, {0, std::sqrt(1.0 - gamma)}};
+  const Matrix k1{{0, std::sqrt(gamma)}, {0, 0}};
+  return {k0, k1};
+}
+
+std::vector<Matrix> t1t2(double t_ns, double t1_ns, double t2_ns) {
+  if (t_ns < 0.0) throw std::invalid_argument("t1t2: negative time");
+  const bool has_t1 = t1_ns > 0.0 && std::isfinite(t1_ns);
+  const bool has_t2 = t2_ns > 0.0 && std::isfinite(t2_ns);
+
+  const double gamma = has_t1 ? 1.0 - std::exp(-t_ns / t1_ns) : 0.0;
+
+  // Coherence after amplitude damping alone decays as sqrt(1-gamma)
+  // = exp(-t/2T1). Add pure dephasing so the total coherence factor is
+  // exp(-t/T2): (1 - 2 p_d) * exp(-t/2T1) = exp(-t/T2).
+  double pd = 0.0;
+  if (has_t2) {
+    const double target = std::exp(-t_ns / t2_ns);
+    const double from_t1 = has_t1 ? std::exp(-t_ns / (2.0 * t1_ns)) : 1.0;
+    if (target > from_t1 + 1e-12) {
+      throw std::invalid_argument("t1t2: requires T2 <= 2*T1");
+    }
+    pd = 0.5 * (1.0 - target / from_t1);
+  }
+
+  // Compose: amplitude damping then dephasing. Both sets are 2x2, so the
+  // composition is the pairwise product set.
+  const auto ad = amplitude_damping(gamma);
+  const auto dp = dephasing(pd);
+  std::vector<Matrix> out;
+  out.reserve(ad.size() * dp.size());
+  for (const auto& d : dp) {
+    for (const auto& a : ad) out.push_back(d * a);
+  }
+  return out;
+}
+
+double carbon_dephasing_probability(double alpha, double delta_omega_rad_per_s,
+                                    double tau_d_s) {
+  check_prob(alpha, "carbon_dephasing_probability alpha");
+  const double x = delta_omega_rad_per_s * tau_d_s;
+  return alpha / 2.0 * (1.0 - std::exp(-x * x / 2.0));
+}
+
+double phase_uncertainty_dephasing(double sigma_rad) {
+  if (sigma_rad < 0.0) {
+    throw std::invalid_argument("phase_uncertainty_dephasing: sigma < 0");
+  }
+  if (sigma_rad == 0.0) return 0.0;
+  const double ratio = bessel_i1_over_i0(1.0 / (sigma_rad * sigma_rad));
+  return (1.0 - ratio) / 2.0;
+}
+
+}  // namespace qlink::quantum::channels

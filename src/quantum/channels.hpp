@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "quantum/matrix.hpp"
+
+/// \file channels.hpp
+/// Kraus representations of the noise channels used by the NV physical
+/// model (Appendix D of the paper).
+
+namespace qlink::quantum::channels {
+
+/// Dephasing: rho -> (1-p) rho + p Z rho Z   (Eq. 24 / "Npdephas").
+std::vector<Matrix> dephasing(double p);
+
+/// Depolarising: rho -> f rho + (1-f)/3 (X rho X + Y rho Y + Z rho Z),
+/// i.e. p = 1 - f is the total error probability (Appendix D.3.1).
+std::vector<Matrix> depolarizing(double f);
+
+/// Amplitude damping with parameter gamma: |1> decays to |0> w.p. gamma.
+std::vector<Matrix> amplitude_damping(double gamma);
+
+/// Combined T1/T2 decay for a wait of t_ns nanoseconds.
+/// Amplitude damping gamma = 1 - exp(-t/T1), plus the extra pure
+/// dephasing required so coherences decay as exp(-t/T2) overall.
+/// T1 or T2 <= 0 means "infinite" (no decay on that axis).
+/// Requires T2 <= 2*T1 (physicality), checked.
+std::vector<Matrix> t1t2(double t_ns, double t1_ns, double t2_ns);
+
+/// The dephasing probability per entanglement attempt suffered by a
+/// carbon (memory) qubit, Eq. 25:
+///   p_d = alpha/2 * (1 - exp(-(delta_omega * tau_d)^2 / 2)).
+double carbon_dephasing_probability(double alpha, double delta_omega_rad_per_s,
+                                    double tau_d_s);
+
+/// Dephasing probability from optical-phase uncertainty, Eq. 28:
+///   p_d = (1 - I1(sigma^-2)/I0(sigma^-2)) / 2,
+/// with sigma the phase standard deviation in radians.
+double phase_uncertainty_dephasing(double sigma_rad);
+
+}  // namespace qlink::quantum::channels

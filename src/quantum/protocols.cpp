@@ -1,0 +1,103 @@
+#include "quantum/protocols.hpp"
+
+#include <stdexcept>
+
+#include "quantum/gates.hpp"
+
+namespace qlink::quantum::protocols {
+
+BellMeasurement bell_measure(QuantumRegistry& registry, QubitId source,
+                             QubitId half) {
+  const QubitId pair[] = {source, half};
+  registry.apply_unitary(gates::cnot(), pair);
+  const QubitId s[] = {source};
+  registry.apply_unitary(gates::h(), s);
+  BellMeasurement m;
+  m.m1 = registry.measure(source, gates::Basis::kZ);
+  m.m2 = registry.measure(half, gates::Basis::kZ);
+  return m;
+}
+
+void apply_teleport_corrections(QuantumRegistry& registry, QubitId receiver,
+                                const BellMeasurement& m,
+                                bell::BellState shared_state) {
+  const QubitId r[] = {receiver};
+  // Fold the shared state's offset from |Phi+> into the correction
+  // table (Eq. 13): |Psi+-> need an extra X, |Phi-/Psi-> an extra Z.
+  switch (shared_state) {
+    case bell::BellState::kPhiPlus:
+      break;
+    case bell::BellState::kPhiMinus:
+      registry.apply_unitary(gates::z(), r);
+      break;
+    case bell::BellState::kPsiPlus:
+      registry.apply_unitary(gates::x(), r);
+      break;
+    case bell::BellState::kPsiMinus:
+      registry.apply_unitary(gates::z(), r);
+      registry.apply_unitary(gates::x(), r);
+      break;
+  }
+  if (m.m2 == 1) registry.apply_unitary(gates::x(), r);
+  if (m.m1 == 1) registry.apply_unitary(gates::z(), r);
+}
+
+void teleport(QuantumRegistry& registry, QubitId source, QubitId sender_half,
+              QubitId receiver, bell::BellState shared_state) {
+  const BellMeasurement m = bell_measure(registry, source, sender_half);
+  apply_teleport_corrections(registry, receiver, m, shared_state);
+}
+
+BellMeasurement entanglement_swap(QuantumRegistry& registry,
+                                  QubitId half_left, QubitId half_right,
+                                  QubitId outer_right,
+                                  bell::BellState shared_state) {
+  // Swapping is teleporting one half through the other pair: the middle
+  // node Bell-measures its two halves; the outer-right qubit receives
+  // the corrections. The resulting outer-outer state equals the shared
+  // state when both inputs were identical Bell pairs.
+  const BellMeasurement m = bell_measure(registry, half_left, half_right);
+  apply_teleport_corrections(registry, outer_right, m, shared_state);
+  // After teleporting "half_left's entanglement" onto outer_right, the
+  // outer pair is in `shared_state` composed with the Phi+ reference of
+  // the left pair; for shared_state = Psi+ on both inputs one extra X
+  // lands on the outer pair, matching bell_measure conventions. Tests
+  // pin the exact output state.
+  return m;
+}
+
+bool distill(QuantumRegistry& registry, QubitId kept_a, QubitId kept_b,
+             QubitId sacrificed_a, QubitId sacrificed_b) {
+  // BBPSSW on |Psi+>-convention pairs: bilateral CNOT from the kept pair
+  // onto the sacrificed pair, then measure the sacrificed pair in Z at
+  // both nodes. The bilateral CNOT XORs the kept pair's (anti-correlated)
+  // bits into the sacrificed pair's (anti-correlated) bits, so in the
+  // error-free case the two outcomes are EQUAL; equality heralds success.
+  const QubitId at_a[] = {kept_a, sacrificed_a};
+  const QubitId at_b[] = {kept_b, sacrificed_b};
+  registry.apply_unitary(gates::cnot(), at_a);
+  registry.apply_unitary(gates::cnot(), at_b);
+  const int oa = registry.measure(sacrificed_a, gates::Basis::kZ);
+  const int ob = registry.measure(sacrificed_b, gates::Basis::kZ);
+  return oa == ob;
+}
+
+double bbpssw_output_fidelity(double f) {
+  if (f < 0.0 || f > 1.0) {
+    throw std::invalid_argument("bbpssw_output_fidelity: f out of [0,1]");
+  }
+  const double g = (1.0 - f) / 3.0;
+  const double num = f * f + g * g;
+  const double den = f * f + 2.0 * f * g + 5.0 * g * g;
+  return num / den;
+}
+
+double bbpssw_success_probability(double f) {
+  if (f < 0.0 || f > 1.0) {
+    throw std::invalid_argument("bbpssw_success_probability: f out of [0,1]");
+  }
+  const double g = (1.0 - f) / 3.0;
+  return f * f + 2.0 * f * g + 5.0 * g * g;
+}
+
+}  // namespace qlink::quantum::protocols

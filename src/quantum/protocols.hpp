@@ -1,0 +1,77 @@
+#pragma once
+
+#include <span>
+
+#include "quantum/bell.hpp"
+#include "quantum/registry.hpp"
+
+/// \file protocols.hpp
+/// Entanglement-consuming primitives built on the registry: the
+/// higher-layer operations the link-layer service exists to enable
+/// (Figure 1 of the paper), packaged as a reusable public API.
+///
+///  - teleport():        SQ use case — move an unknown qubit state using
+///                        one entangled pair plus two classical bits.
+///  - entanglement_swap(): NL use case — splice two pairs at a common
+///                        node into one longer pair.
+///  - distill():          BBPSSW/DEJMPS-style purification — burn one
+///                        noisy pair to raise the fidelity of another
+///                        (Section 4.1.1 cites distillation as the way
+///                        the same hardware serves higher F_min).
+
+namespace qlink::quantum::protocols {
+
+/// Classical correction bits produced by a Bell measurement.
+struct BellMeasurement {
+  int m1 = 0;  // Z-type correction selector
+  int m2 = 0;  // X-type correction selector
+};
+
+/// Bell-measure (source, half) at the sender. Both measured qubits
+/// collapse; the caller transmits {m1, m2} classically.
+BellMeasurement bell_measure(QuantumRegistry& registry, QubitId source,
+                             QubitId half);
+
+/// Apply teleportation corrections at the receiver given the sender's
+/// Bell-measurement outcome. `shared_state` names the Bell state the
+/// pair was delivered in (the EGP delivers |Psi+>); the correction table
+/// is adjusted accordingly.
+void apply_teleport_corrections(QuantumRegistry& registry, QubitId receiver,
+                                const BellMeasurement& m,
+                                bell::BellState shared_state);
+
+/// Full teleportation: source state at the sender moves onto `receiver`.
+/// Consumes `source` and `sender_half` (both are measured; the caller
+/// still owns/discards the ids).
+void teleport(QuantumRegistry& registry, QubitId source, QubitId sender_half,
+              QubitId receiver, bell::BellState shared_state);
+
+/// Entanglement swap at a middle node holding `half_left` (entangled
+/// with `outer_left`) and `half_right` (entangled with `outer_right`).
+/// After the swap and corrections (applied on `outer_right`), the outer
+/// qubits share a Bell state. Returns the measurement record the middle
+/// node would announce. Both input pairs must be delivered as
+/// `shared_state` (|Psi+> from the EGP).
+BellMeasurement entanglement_swap(QuantumRegistry& registry,
+                                  QubitId half_left, QubitId half_right,
+                                  QubitId outer_right,
+                                  bell::BellState shared_state);
+
+/// One BBPSSW-style distillation round on two |Psi+>-delivered pairs
+/// (kept = {a1, b1}, sacrificed = {a2, b2}; a* at node A, b* at node B).
+/// The sacrificed pair is measured; the round *succeeds* when the two
+/// measurement outcomes agree, in which case the kept pair's fidelity
+/// increases (for input F > 1/2). Returns success; on failure the kept
+/// pair should be discarded by the caller.
+bool distill(QuantumRegistry& registry, QubitId kept_a, QubitId kept_b,
+             QubitId sacrificed_a, QubitId sacrificed_b);
+
+/// Analytic BBPSSW output fidelity for two Werner-state inputs of
+/// fidelity f (textbook formula), exposed for tests and benches:
+///   F' = (f^2 + (1-f)^2/9) / (f^2 + 2f(1-f)/3 + 5(1-f)^2/9)
+double bbpssw_output_fidelity(double f);
+
+/// Success probability of the BBPSSW round for Werner inputs.
+double bbpssw_success_probability(double f);
+
+}  // namespace qlink::quantum::protocols

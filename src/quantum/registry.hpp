@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "quantum/density_matrix.hpp"
+#include "quantum/gates.hpp"
+#include "sim/random.hpp"
+
+/// \file registry.hpp
+/// Shared-state qubit registry: the quantum-memory backing store for all
+/// simulated devices.
+///
+/// Qubits at *different nodes* can be entangled, so their joint state
+/// must live in one density matrix. The registry tracks groups of qubits
+/// sharing a state, merges groups when a joint operation spans them, and
+/// shrinks groups when qubits are measured or discarded. This mirrors the
+/// "qstate" sharing NetSquid uses.
+
+namespace qlink::quantum {
+
+/// Opaque handle to a live qubit. Id 0 is never valid.
+using QubitId = std::uint64_t;
+
+class QuantumRegistry {
+ public:
+  explicit QuantumRegistry(sim::Random& random) : random_(random) {}
+
+  QuantumRegistry(const QuantumRegistry&) = delete;
+  QuantumRegistry& operator=(const QuantumRegistry&) = delete;
+
+  /// The deterministic random source behind all quantum sampling.
+  sim::Random& random() noexcept { return random_; }
+
+  /// Allocate a fresh qubit in |0>.
+  QubitId create();
+
+  /// Destroy a qubit: it is traced out of its group.
+  void discard(QubitId q);
+
+  bool exists(QubitId q) const { return lookup_.count(q) > 0; }
+  std::size_t live_qubits() const { return lookup_.size(); }
+
+  /// Number of qubits sharing a state with q (including q).
+  std::size_t group_size(QubitId q) const;
+
+  /// Apply a unitary on the listed qubits (groups merged as needed).
+  void apply_unitary(const Matrix& u, std::span<const QubitId> qubits);
+
+  /// Apply a Kraus channel on the listed qubits.
+  void apply_kraus(std::span<const Matrix> kraus,
+                   std::span<const QubitId> qubits);
+
+  /// Measure one qubit in the given basis. The qubit collapses, is
+  /// separated from its group, and remains allocated in the post-
+  /// measurement product state (callers typically discard it next).
+  /// Returns 0 or 1.
+  int measure(QubitId q, gates::Basis basis);
+
+  /// Overwrite the joint state of the listed qubits with a given density
+  /// matrix (used by the herald model to install fresh entanglement).
+  /// Each qubit must currently be unentangled with anything outside the
+  /// list; their old state is dropped.
+  void set_state(std::span<const QubitId> qubits, const DensityMatrix& dm);
+
+  /// Reset a single qubit to |0> (dropping correlations: it is traced
+  /// out of its group first). Models (re-)initialisation.
+  void reset(QubitId q);
+
+  /// Reduced density matrix of the listed qubits, in the given order.
+  /// Read-only diagnostic used by metrics/tests; a real device cannot do
+  /// this, the simulator can.
+  DensityMatrix peek(std::span<const QubitId> qubits) const;
+
+  /// Fidelity of the listed qubits' reduced state to a pure state.
+  double fidelity(std::span<const QubitId> qubits,
+                  std::span<const Complex> psi) const;
+
+ private:
+  struct Group {
+    DensityMatrix dm{0};
+    std::vector<QubitId> members;  // position i <-> qubit index i in dm
+  };
+  using GroupPtr = std::shared_ptr<Group>;
+
+  struct Slot {
+    GroupPtr group;
+    int index = 0;
+  };
+
+  const Slot& slot(QubitId q) const;
+  Slot& slot(QubitId q);
+
+  /// Ensure all listed qubits live in one group; returns it and fills
+  /// `indices` with each qubit's index inside that group.
+  GroupPtr merge(std::span<const QubitId> qubits, std::vector<int>& indices);
+
+  /// Remove qubit q from its group by tracing it out (q must already be
+  /// in a post-measurement/uncorrelated situation for physical use).
+  void extract(QubitId q);
+
+  sim::Random& random_;
+  QubitId next_id_ = 1;
+  std::map<QubitId, Slot> lookup_;
+};
+
+}  // namespace qlink::quantum

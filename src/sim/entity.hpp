@@ -1,0 +1,93 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+/// \file entity.hpp
+/// Base class for simulated components (nodes, channels, stations).
+///
+/// An entity owns a name for diagnostics and a reference to the engine.
+/// It deliberately has no virtual "handle event" interface: closures
+/// capture exactly the state an event needs, which keeps protocol code
+/// close to the paper's message-sequence diagrams.
+
+namespace qlink::sim {
+
+class Entity {
+ public:
+  Entity(Simulator& simulator, std::string name)
+      : simulator_(simulator), name_(std::move(name)) {}
+
+  virtual ~Entity() = default;
+
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  Simulator& simulator() noexcept { return simulator_; }
+  SimTime now() const noexcept { return simulator_.now(); }
+
+ protected:
+  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+    return simulator_.schedule_in(delay, std::move(fn));
+  }
+  EventId schedule_at(SimTime at, std::function<void()> fn) {
+    return simulator_.schedule_at(at, std::move(fn));
+  }
+
+ private:
+  Simulator& simulator_;
+  std::string name_;
+};
+
+/// Fires a callback every `period` ns until stopped. Used for the MHP
+/// cycle clock and for periodic maintenance (carbon re-initialisation,
+/// memory advertisements).
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& simulator, SimTime period,
+                std::function<void()> fn)
+      : simulator_(simulator), period_(period), fn_(std::move(fn)) {}
+
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Start firing; the first tick happens `offset` from now.
+  void start(SimTime offset = 0) {
+    if (running_) return;
+    running_ = true;
+    arm(offset);
+  }
+
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    simulator_.cancel(pending_);
+  }
+
+  bool running() const noexcept { return running_; }
+  SimTime period() const noexcept { return period_; }
+
+ private:
+  void arm(SimTime delay) {
+    pending_ = simulator_.schedule_in(delay, [this] {
+      if (!running_) return;
+      // Re-arm before invoking so the callback may stop() the timer.
+      arm(period_);
+      fn_();
+    });
+  }
+
+  Simulator& simulator_;
+  SimTime period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventId pending_ = 0;
+};
+
+}  // namespace qlink::sim

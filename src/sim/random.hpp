@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+/// \file random.hpp
+/// Deterministic random source shared by the simulation.
+///
+/// All stochastic decisions (photon detection, message loss, workload
+/// arrivals, measurement outcomes) draw from one seeded generator so a
+/// scenario is exactly reproducible from its seed, mirroring the paper's
+/// methodology of rerunning identical scenarios many times with
+/// different seeds.
+
+namespace qlink::sim {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x51ab5eedULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// True with probability p (p clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Sample an index from a discrete distribution given by weights.
+  /// Weights need not be normalised; they must be non-negative and not
+  /// all zero.
+  std::size_t discrete(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("discrete: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("discrete: zero total");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Exponentially distributed sample with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Access to the raw engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace qlink::sim

@@ -1,0 +1,57 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qlink::sim {
+
+EventId Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  if (!fn) throw std::invalid_argument("schedule_at: empty function");
+  EventId id = next_id_++;
+  queue_.push(Scheduled{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (is_cancelled(id)) return false;
+  cancelled_.push_back(id);
+  return true;
+}
+
+bool Simulator::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace qlink::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file simulator.hpp
+/// Deterministic discrete-event engine.
+///
+/// This is the substrate the paper obtains from DynAA/NetSquid: a
+/// time-ordered event queue with deterministic tie-breaking (FIFO within
+/// one timestamp), an explicit clock, and handles for cancellation.
+/// Entities (nodes, channels, the heralding station) schedule closures;
+/// the engine never spawns threads, so every run is exactly reproducible.
+
+namespace qlink::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule \p fn to run at absolute time \p at (>= now).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule \p fn to run \p delay after the current time.
+  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a previously scheduled event. Returns false if the event has
+  /// already fired or was cancelled before.
+  bool cancel(EventId id);
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or the clock would pass \p t.
+  /// The clock is left at exactly \p t (events at exactly \p t run).
+  void run_until(SimTime t);
+
+  /// Run events until the queue drains completely.
+  void run_all();
+
+  /// Number of events executed so far.
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Number of events still pending (including cancelled-but-not-popped).
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Scheduled {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO within a timestamp
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool is_cancelled(EventId id) const;
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted insertion not needed: small
+};
+
+}  // namespace qlink::sim

@@ -1,0 +1,233 @@
+#include "workload/workload.hpp"
+
+#include <stdexcept>
+
+namespace qlink::workload {
+
+using core::CreateRequest;
+using core::EgpError;
+using core::ErrMessage;
+using core::OkMessage;
+using core::Priority;
+using core::RequestType;
+
+UsagePattern usage_pattern(const std::string& name, double load) {
+  WorkloadConfig c;
+  auto set = [&](double fnl, std::uint16_t knl, double fck,
+                 std::uint16_t kck, double fmd, std::uint16_t kmd) {
+    c.nl = {load * fnl, knl};
+    c.ck = {load * fck, kck};
+    c.md = {load * fmd, kmd};
+  };
+  // Table 2 of Appendix C.2.
+  if (name == "Uniform") {
+    set(1.0 / 3, 1, 1.0 / 3, 1, 1.0 / 3, 1);
+  } else if (name == "MoreNL") {
+    set(4.0 / 6, 3, 1.0 / 6, 3, 1.0 / 6, 255);
+  } else if (name == "MoreCK") {
+    set(1.0 / 6, 3, 4.0 / 6, 3, 1.0 / 6, 255);
+  } else if (name == "MoreMD") {
+    set(1.0 / 6, 3, 1.0 / 6, 3, 4.0 / 6, 255);
+  } else if (name == "NoNLMoreCK") {
+    set(0.0, 3, 4.0 / 5, 3, 1.0 / 5, 255);
+  } else if (name == "NoNLMoreMD") {
+    set(0.0, 3, 1.0 / 5, 3, 4.0 / 5, 255);
+  } else {
+    throw std::invalid_argument("usage_pattern: unknown pattern " + name);
+  }
+  return UsagePattern{name, c};
+}
+
+WorkloadDriver::WorkloadDriver(core::Link& link, const WorkloadConfig& config,
+                               metrics::Collector& collector)
+    : Entity(link.simulator(), "workload"),
+      link_(link),
+      config_(config),
+      collector_(collector),
+      random_(config.seed),
+      timer_(link.simulator(), link.scenario().mhp_cycle,
+             [this] { on_cycle(); }) {
+  for (std::uint32_t node : {core::Link::kNodeA, core::Link::kNodeB}) {
+    core::Egp& egp = link_.egp(node);
+    egp.set_ok_handler(
+        [this, node](const OkMessage& ok) { on_ok(node, ok); });
+    egp.set_err_handler(
+        [this, node](const ErrMessage& err) { on_err(node, err); });
+  }
+}
+
+void WorkloadDriver::start() {
+  collector_.begin(now());
+  timer_.start();
+}
+
+void WorkloadDriver::stop() {
+  timer_.stop();
+  collector_.end(now());
+}
+
+double WorkloadDriver::issue_probability(Priority kind,
+                                         const KindSpec& spec) {
+  if (spec.fraction <= 0.0) return 0.0;
+  const bool is_keep = kind != Priority::kMeasureDirectly;
+  const std::size_t type_idx = is_keep ? 0 : 1;
+  if (!cached_p_succ_[type_idx]) {
+    const auto advice = link_.egp_a().feu().advise(
+        config_.min_fidelity,
+        is_keep ? RequestType::kCreateKeep : RequestType::kCreateMeasure);
+    cached_p_succ_[type_idx] =
+        advice.feasible
+            ? link_.herald_model().distribution(advice.alpha, advice.alpha)
+                  .p_success()
+            : 0.0;
+  }
+  const double p_succ = *cached_p_succ_[type_idx];
+  // E: expected MHP cycles per attempt (Section 6: ~1 for M, the REPLY
+  // round trip and carbon-refresh overhead for K).
+  double e_cycles = 1.0;
+  if (is_keep) {
+    const auto& feu = link_.egp_a().feu();
+    const auto& nv = link_.scenario().nv;
+    const double refresh =
+        static_cast<double>(nv.carbon_refresh_duration) /
+        static_cast<double>(nv.carbon_refresh_interval);
+    e_cycles = static_cast<double>(feu.k_attempt_period_cycles()) /
+               (1.0 - refresh);
+  }
+  return spec.fraction * p_succ / e_cycles;  // per pair; /k applied later
+}
+
+void WorkloadDriver::on_cycle() {
+  maybe_issue(Priority::kNetworkLayer, config_.nl);
+  maybe_issue(Priority::kCreateKeep, config_.ck);
+  maybe_issue(Priority::kMeasureDirectly, config_.md);
+  sweep_stale();
+  collector_.sample_queue_length(link_.egp_a().queue().total_size());
+}
+
+void WorkloadDriver::maybe_issue(Priority kind, const KindSpec& spec) {
+  const double base = issue_probability(kind, spec);
+  if (base <= 0.0) return;
+  const auto k = static_cast<std::uint16_t>(
+      random_.uniform_int(1, std::max<std::uint16_t>(spec.k_max, 1)));
+  const double p = base / static_cast<double>(k);
+  if (!random_.bernoulli(p)) return;
+
+  std::uint32_t origin = core::Link::kNodeA;
+  switch (config_.origin) {
+    case OriginMode::kAllA:
+      origin = core::Link::kNodeA;
+      break;
+    case OriginMode::kAllB:
+      origin = core::Link::kNodeB;
+      break;
+    case OriginMode::kRandom:
+      origin = random_.bernoulli(0.5) ? core::Link::kNodeB
+                                      : core::Link::kNodeA;
+      break;
+  }
+
+  CreateRequest req;
+  req.remote_node_id = origin == core::Link::kNodeA ? core::Link::kNodeB
+                                                    : core::Link::kNodeA;
+  req.num_pairs = k;
+  req.min_fidelity = config_.min_fidelity;
+  req.max_time = config_.max_time;
+  req.priority = kind;
+  req.consecutive = true;  // Section 6: all three kinds deliver per pair
+  switch (kind) {
+    case Priority::kNetworkLayer:
+      req.type = RequestType::kCreateKeep;
+      req.store_in_memory = true;
+      req.purpose_id = 1;
+      break;
+    case Priority::kCreateKeep:
+      req.type = RequestType::kCreateKeep;
+      req.store_in_memory = true;
+      req.purpose_id = 2;
+      break;
+    case Priority::kMeasureDirectly:
+      req.type = RequestType::kCreateMeasure;
+      req.store_in_memory = false;
+      req.purpose_id = 3;
+      break;
+  }
+
+  core::Egp& egp = link_.egp(origin);
+  const std::uint32_t create_id = egp.create(req);
+  kind_by_create_[origin][create_id] = kind;
+  collector_.record_create(origin, create_id, kind, k, now());
+  ++issued_;
+}
+
+void WorkloadDriver::on_ok(std::uint32_t node, const OkMessage& ok) {
+  Priority kind = Priority::kCreateKeep;
+  const auto it = kind_by_create_[ok.origin_node].find(ok.create_id);
+  if (it != kind_by_create_[ok.origin_node].end()) kind = it->second;
+
+  PendingPair& pending = pending_[ok.ent_id.seq_mhp];
+  if (pending.first_seen == 0) pending.first_seen = now();
+  (node == core::Link::kNodeA ? pending.ok_a : pending.ok_b) = ok;
+
+  // Latency/goodness metrics are defined at the requesting node.
+  if (node == ok.origin_node) {
+    std::optional<double> fidelity;
+    if (!ok.is_measure_directly && pending.ok_a && pending.ok_b) {
+      fidelity =
+          link_.pair_fidelity(pending.ok_a->qubit, pending.ok_b->qubit);
+    }
+    collector_.record_ok(ok, kind, now(), fidelity);
+    if (ok.pair_index + 1 == ok.total_pairs) {
+      kind_by_create_[ok.origin_node].erase(ok.create_id);
+    }
+  } else if (!ok.is_measure_directly && pending.ok_a && pending.ok_b) {
+    // The origin's OK arrived first and was recorded without fidelity;
+    // record it now that both halves are visible.
+    collector_.kind(kind).fidelity.add(
+        link_.pair_fidelity(pending.ok_a->qubit, pending.ok_b->qubit));
+  }
+
+  if (pending.ok_a && pending.ok_b) {
+    consume(pending);
+    pending_.erase(ok.ent_id.seq_mhp);
+    ++matched_;
+  }
+}
+
+void WorkloadDriver::consume(const PendingPair& pair) {
+  if (pair.ok_a->is_measure_directly) {
+    if (pair.ok_a->outcome >= 0 && pair.ok_b->outcome >= 0) {
+      collector_.record_correlation(pair.ok_a->basis, pair.ok_a->outcome,
+                                    pair.ok_b->outcome,
+                                    pair.ok_a->heralded_state);
+    }
+    return;
+  }
+  link_.egp_a().release_delivered(*pair.ok_a);
+  link_.egp_b().release_delivered(*pair.ok_b);
+}
+
+void WorkloadDriver::sweep_stale() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingPair& p = it->second;
+    if (now() - p.first_seen > config_.stale_pair_horizon) {
+      // The partner OK will never come (lost REPLY, later EXPIREd).
+      if (p.ok_a && !p.ok_a->is_measure_directly) {
+        link_.egp_a().release_delivered(*p.ok_a);
+      }
+      if (p.ok_b && !p.ok_b->is_measure_directly) {
+        link_.egp_b().release_delivered(*p.ok_b);
+      }
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WorkloadDriver::on_err(std::uint32_t node, const ErrMessage& err) {
+  (void)node;
+  collector_.record_err(err);
+}
+
+}  // namespace qlink::workload

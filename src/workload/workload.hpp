@@ -1,0 +1,92 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/network.hpp"
+#include "metrics/collector.hpp"
+#include "sim/entity.hpp"
+
+/// \file workload.hpp
+/// The evaluation harness of Section 6 / Appendix C.2.
+///
+/// In every MHP cycle a new CREATE of kind P in {NL, CK, MD} is issued
+/// with probability f_P * p_succ / (E * k), for a uniformly random
+/// number of pairs k <= k_max. f_P sets the offered load relative to
+/// link capacity: 0.7 = Low, 0.99 = High, 1.5 = Ultra. The driver also
+/// plays the higher layer: it consumes delivered pairs (measuring their
+/// true fidelity first — simulator privilege), records all metrics, and
+/// releases qubits back to the memory managers.
+
+namespace qlink::workload {
+
+/// Where CREATE requests originate (fairness axis of Section 6.2).
+enum class OriginMode { kAllA, kAllB, kRandom };
+
+struct KindSpec {
+  double fraction = 0.0;  // f_P
+  std::uint16_t k_max = 1;
+};
+
+struct WorkloadConfig {
+  KindSpec nl;
+  KindSpec ck;
+  KindSpec md;
+  OriginMode origin = OriginMode::kRandom;
+  double min_fidelity = 0.64;
+  sim::SimTime max_time = 0;  // tmax on requests; 0 = unbounded
+  std::uint64_t seed = 7;
+  /// Evict unmatched delivered pairs after this long (covers lost OKs).
+  sim::SimTime stale_pair_horizon = sim::duration::milliseconds(20);
+};
+
+/// The named usage patterns of Table 2 (Appendix C.2).
+struct UsagePattern {
+  std::string name;
+  WorkloadConfig config;
+};
+UsagePattern usage_pattern(const std::string& name, double load = 0.99);
+
+class WorkloadDriver : public sim::Entity {
+ public:
+  WorkloadDriver(core::Link& link, const WorkloadConfig& config,
+                 metrics::Collector& collector);
+
+  /// Begin issuing requests and consuming results.
+  void start();
+  void stop();
+
+  const WorkloadConfig& config() const { return config_; }
+  std::uint64_t requests_issued() const { return issued_; }
+  std::uint64_t pairs_matched() const { return matched_; }
+
+ private:
+  struct PendingPair {
+    std::optional<core::OkMessage> ok_a;
+    std::optional<core::OkMessage> ok_b;
+    sim::SimTime first_seen = 0;
+  };
+
+  void on_cycle();
+  void maybe_issue(core::Priority kind, const KindSpec& spec);
+  void on_ok(std::uint32_t node, const core::OkMessage& ok);
+  void on_err(std::uint32_t node, const core::ErrMessage& err);
+  void consume(const PendingPair& pair);
+  void sweep_stale();
+  double issue_probability(core::Priority kind, const KindSpec& spec);
+
+  core::Link& link_;
+  WorkloadConfig config_;
+  metrics::Collector& collector_;
+  sim::Random random_;
+  sim::PeriodicTimer timer_;
+  std::map<std::uint32_t, PendingPair> pending_;  // by ent_id.seq_mhp
+  std::map<std::uint32_t, core::Priority> kind_by_create_[2];
+  std::uint64_t issued_ = 0;
+  std::uint64_t matched_ = 0;
+  std::array<std::optional<double>, 2> cached_p_succ_{};  // per type K/M
+};
+
+}  // namespace qlink::workload

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/bell.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/density_matrix.hpp"
+
+namespace qlink::quantum::bell {
+namespace {
+
+using gates::Basis;
+
+TEST(Bell, StatesAreNormalisedAndOrthogonal) {
+  const BellState all[] = {BellState::kPhiPlus, BellState::kPhiMinus,
+                           BellState::kPsiPlus, BellState::kPsiMinus};
+  for (BellState a : all) {
+    for (BellState b : all) {
+      const Complex ip = inner(state_vector(a), state_vector(b));
+      EXPECT_NEAR(std::abs(ip), a == b ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Bell, LocalPauliTransformsBetweenBellStates) {
+  // Eq. 13: |Psi+> = X_A |Phi+>, |Phi-> = Z_A |Phi+>, |Psi-> = Z_A X_A |Phi+>.
+  DensityMatrix rho = DensityMatrix::from_pure(
+      state_vector(BellState::kPhiPlus));
+  const int a[] = {0};
+  rho.apply_unitary(gates::x(), a);
+  EXPECT_NEAR(fidelity(rho, BellState::kPsiPlus), 1.0, 1e-12);
+  rho.apply_unitary(gates::z(), a);
+  EXPECT_NEAR(fidelity(rho, BellState::kPsiMinus), 1.0, 1e-12);
+}
+
+TEST(Bell, PsiMinusToPsiPlusViaZ) {
+  // The EGP's correction: a Z on one side converts |Psi-> to |Psi+>.
+  DensityMatrix rho = DensityMatrix::from_pure(
+      state_vector(BellState::kPsiMinus));
+  const int a[] = {0};
+  rho.apply_unitary(gates::z(), a);
+  EXPECT_NEAR(fidelity(rho, BellState::kPsiPlus), 1.0, 1e-12);
+}
+
+TEST(Bell, CorrelationTableMatchesPaper) {
+  // Appendix A.2: |Phi+> correlated in X and Z, anti-correlated in Y;
+  // |Psi-> anti-correlated in all three.
+  EXPECT_TRUE(ideal_outcomes_equal(BellState::kPhiPlus, Basis::kX));
+  EXPECT_FALSE(ideal_outcomes_equal(BellState::kPhiPlus, Basis::kY));
+  EXPECT_TRUE(ideal_outcomes_equal(BellState::kPhiPlus, Basis::kZ));
+  EXPECT_FALSE(ideal_outcomes_equal(BellState::kPsiMinus, Basis::kX));
+  EXPECT_FALSE(ideal_outcomes_equal(BellState::kPsiMinus, Basis::kY));
+  EXPECT_FALSE(ideal_outcomes_equal(BellState::kPsiMinus, Basis::kZ));
+  EXPECT_TRUE(ideal_outcomes_equal(BellState::kPsiPlus, Basis::kX));
+  EXPECT_TRUE(ideal_outcomes_equal(BellState::kPsiPlus, Basis::kY));
+  EXPECT_FALSE(ideal_outcomes_equal(BellState::kPsiPlus, Basis::kZ));
+}
+
+TEST(Bell, PerfectStateHasZeroQber) {
+  for (BellState s : {BellState::kPsiPlus, BellState::kPsiMinus,
+                      BellState::kPhiPlus, BellState::kPhiMinus}) {
+    const DensityMatrix rho = DensityMatrix::from_pure(state_vector(s));
+    for (Basis b : {Basis::kX, Basis::kY, Basis::kZ}) {
+      EXPECT_NEAR(qber(rho, s, b), 0.0, 1e-12)
+          << name(s) << " basis " << gates::basis_name(b);
+    }
+  }
+}
+
+TEST(Bell, QberFidelityRelationEq16) {
+  // For a dephased |Psi->, F = 1 - (QBER_X + QBER_Y + QBER_Z)/2 must hold
+  // exactly (Eq. 16).
+  DensityMatrix rho = DensityMatrix::from_pure(
+      state_vector(BellState::kPsiMinus));
+  const int a[] = {0};
+  rho.apply_kraus(channels::dephasing(0.13), a);
+  const double f = fidelity(rho, BellState::kPsiMinus);
+  const double reconstructed = fidelity_from_qbers(
+      qber(rho, BellState::kPsiMinus, Basis::kX),
+      qber(rho, BellState::kPsiMinus, Basis::kY),
+      qber(rho, BellState::kPsiMinus, Basis::kZ));
+  EXPECT_NEAR(f, reconstructed, 1e-12);
+}
+
+TEST(Bell, QberFidelityRelationHoldsForAllBellStates) {
+  for (BellState s : {BellState::kPhiPlus, BellState::kPhiMinus,
+                      BellState::kPsiPlus, BellState::kPsiMinus}) {
+    DensityMatrix rho = DensityMatrix::from_pure(state_vector(s));
+    const int a[] = {0};
+    const int b[] = {1};
+    rho.apply_kraus(channels::depolarizing(0.92), a);
+    rho.apply_kraus(channels::amplitude_damping(0.05), b);
+    const double reconstructed =
+        fidelity_from_qbers(qber(rho, s, Basis::kX), qber(rho, s, Basis::kY),
+                            qber(rho, s, Basis::kZ));
+    EXPECT_NEAR(fidelity(rho, s), reconstructed, 1e-10) << name(s);
+  }
+}
+
+TEST(Bell, BitFlipNoiseShowsUpInZQber) {
+  // Eq. 14: a bit flip with p_err on one half of |Psi-> flips the Z
+  // correlation with probability p_err.
+  DensityMatrix rho = DensityMatrix::from_pure(
+      state_vector(BellState::kPsiMinus));
+  const double p_err = 0.2;
+  const std::vector<Matrix> bitflip = {
+      gates::i2() * Complex{std::sqrt(1 - p_err), 0.0},
+      gates::x() * Complex{std::sqrt(p_err), 0.0}};
+  const int a[] = {0};
+  rho.apply_kraus(bitflip, a);
+  EXPECT_NEAR(qber(rho, BellState::kPsiMinus, Basis::kZ), p_err, 1e-12);
+  // X correlation unaffected by X noise on |Psi->.
+  EXPECT_NEAR(qber(rho, BellState::kPsiMinus, Basis::kX), 0.0, 1e-12);
+}
+
+TEST(Bell, MaximallyMixedStateHasQberHalf) {
+  DensityMatrix rho(2);
+  const int a[] = {0};
+  const int b[] = {1};
+  rho.apply_kraus(channels::depolarizing(0.25), a);
+  rho.apply_kraus(channels::depolarizing(0.25), b);
+  for (Basis basis : {Basis::kX, Basis::kY, Basis::kZ}) {
+    EXPECT_NEAR(qber(rho, BellState::kPsiPlus, basis), 0.5, 1e-12);
+  }
+  EXPECT_NEAR(fidelity(rho, BellState::kPsiPlus), 0.25, 1e-12);
+}
+
+TEST(Bell, QberRequiresTwoQubits) {
+  DensityMatrix rho(1);
+  EXPECT_THROW(qber(rho, BellState::kPsiPlus, Basis::kZ),
+               std::invalid_argument);
+}
+
+TEST(Bell, Names) {
+  EXPECT_STREQ(name(BellState::kPsiPlus), "Psi+");
+  EXPECT_STREQ(name(BellState::kPhiMinus), "Phi-");
+}
+
+}  // namespace
+}  // namespace qlink::quantum::bell

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/channels.hpp"
+#include "quantum/density_matrix.hpp"
+#include "quantum/gates.hpp"
+
+namespace qlink::quantum::channels {
+namespace {
+
+const double kS = 1.0 / std::sqrt(2.0);
+
+DensityMatrix plus_state() {
+  const std::vector<Complex> plus{kS, kS};
+  return DensityMatrix::from_pure(plus);
+}
+
+DensityMatrix excited_state() {
+  const std::vector<Complex> one{0.0, 1.0};
+  return DensityMatrix::from_pure(one);
+}
+
+double kraus_completeness_error(const std::vector<Matrix>& ks) {
+  Matrix sum(ks.front().cols(), ks.front().cols());
+  for (const auto& k : ks) sum += k.dagger() * k;
+  return sum.distance(Matrix::identity(sum.rows()));
+}
+
+TEST(Channels, DephasingIsTracePreserving) {
+  for (double p : {0.0, 0.1, 0.5, 1.0}) {
+    EXPECT_LT(kraus_completeness_error(dephasing(p)), 1e-12);
+  }
+}
+
+TEST(Channels, DephasingScalesCoherence) {
+  DensityMatrix rho = plus_state();
+  const int t[] = {0};
+  rho.apply_kraus(dephasing(0.2), t);
+  // Coherence multiplies by (1 - 2p) = 0.6.
+  EXPECT_NEAR(rho.matrix()(0, 1).real(), 0.5 * 0.6, 1e-12);
+  // Populations untouched.
+  EXPECT_NEAR(rho.matrix()(0, 0).real(), 0.5, 1e-12);
+}
+
+TEST(Channels, FullDephasingFlipsCoherenceSign) {
+  DensityMatrix rho = plus_state();
+  const int t[] = {0};
+  rho.apply_kraus(dephasing(1.0), t);  // pure Z
+  EXPECT_NEAR(rho.matrix()(0, 1).real(), -0.5, 1e-12);
+}
+
+TEST(Channels, DepolarizingIsTracePreserving) {
+  for (double f : {0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_LT(kraus_completeness_error(depolarizing(f)), 1e-12);
+  }
+}
+
+TEST(Channels, DepolarizingWithFQuarterIsMaximallyMixing) {
+  DensityMatrix rho(1);
+  const int t[] = {0};
+  rho.apply_kraus(depolarizing(0.25), t);
+  EXPECT_NEAR(rho.matrix()(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.matrix()(1, 1).real(), 0.5, 1e-12);
+}
+
+TEST(Channels, DepolarizingIdentityAtFOne) {
+  DensityMatrix rho = plus_state();
+  const DensityMatrix before = rho;
+  const int t[] = {0};
+  rho.apply_kraus(depolarizing(1.0), t);
+  EXPECT_TRUE(rho.approx_equal(before, 1e-12));
+}
+
+TEST(Channels, AmplitudeDampingDecaysExcitedState) {
+  DensityMatrix rho = excited_state();
+  const int t[] = {0};
+  rho.apply_kraus(amplitude_damping(0.3), t);
+  EXPECT_NEAR(rho.matrix()(0, 0).real(), 0.3, 1e-12);
+  EXPECT_NEAR(rho.matrix()(1, 1).real(), 0.7, 1e-12);
+}
+
+TEST(Channels, AmplitudeDampingFixesGroundState) {
+  DensityMatrix rho(1);
+  const int t[] = {0};
+  rho.apply_kraus(amplitude_damping(0.9), t);
+  EXPECT_NEAR(rho.matrix()(0, 0).real(), 1.0, 1e-12);
+}
+
+TEST(Channels, AmplitudeDampingScalesCoherenceBySqrt) {
+  DensityMatrix rho = plus_state();
+  const int t[] = {0};
+  rho.apply_kraus(amplitude_damping(0.36), t);
+  EXPECT_NEAR(rho.matrix()(0, 1).real(), 0.5 * std::sqrt(0.64), 1e-12);
+}
+
+TEST(Channels, T1T2PopulationFollowsT1) {
+  const double t1 = 1000.0;
+  const double t2 = 500.0;
+  DensityMatrix rho = excited_state();
+  const int t[] = {0};
+  rho.apply_kraus(t1t2(700.0, t1, t2), t);
+  EXPECT_NEAR(rho.matrix()(1, 1).real(), std::exp(-700.0 / t1), 1e-10);
+}
+
+TEST(Channels, T1T2CoherenceFollowsT2) {
+  const double t1 = 1000.0;
+  const double t2 = 500.0;
+  DensityMatrix rho = plus_state();
+  const int t[] = {0};
+  rho.apply_kraus(t1t2(300.0, t1, t2), t);
+  EXPECT_NEAR(rho.matrix()(0, 1).real(), 0.5 * std::exp(-300.0 / t2), 1e-10);
+}
+
+TEST(Channels, T1T2InfiniteTimesAreIdentity) {
+  DensityMatrix rho = plus_state();
+  const DensityMatrix before = rho;
+  const int t[] = {0};
+  rho.apply_kraus(t1t2(12345.0, -1.0, -1.0), t);
+  EXPECT_TRUE(rho.approx_equal(before, 1e-12));
+}
+
+TEST(Channels, T1T2PureDephasingWithInfiniteT1) {
+  // Carbon: T1 = inf, T2 = 3.5 ms (Table 6).
+  const double t2 = 3.5e6;
+  DensityMatrix rho = plus_state();
+  const int t[] = {0};
+  rho.apply_kraus(t1t2(1e6, -1.0, t2), t);
+  EXPECT_NEAR(rho.matrix()(0, 1).real(), 0.5 * std::exp(-1e6 / t2), 1e-10);
+  EXPECT_NEAR(rho.matrix()(1, 1).real(), 0.5, 1e-12);
+}
+
+TEST(Channels, T1T2RejectsUnphysicalCombination) {
+  // T2 > 2*T1 is unphysical.
+  EXPECT_THROW(t1t2(100.0, 100.0, 500.0), std::invalid_argument);
+}
+
+TEST(Channels, T1T2IsTracePreserving) {
+  EXPECT_LT(kraus_completeness_error(t1t2(123.0, 1000.0, 800.0)), 1e-12);
+}
+
+TEST(Channels, T1T2Composes) {
+  // Applying t then t' equals applying t + t'.
+  const double t1 = 2000.0;
+  const double t2 = 900.0;
+  DensityMatrix a = plus_state();
+  const int t[] = {0};
+  a.apply_kraus(t1t2(100.0, t1, t2), t);
+  a.apply_kraus(t1t2(250.0, t1, t2), t);
+  DensityMatrix b = plus_state();
+  b.apply_kraus(t1t2(350.0, t1, t2), t);
+  EXPECT_TRUE(a.approx_equal(b, 1e-10));
+}
+
+TEST(Channels, CarbonDephasingMatchesEq25) {
+  // Eq. 25 with the [58] parameters: delta_omega = 2*pi*377 kHz,
+  // tau_d = 82 ns.
+  const double dw = 2.0 * M_PI * 377e3;
+  const double tau = 82e-9;
+  const double p = carbon_dephasing_probability(0.5, dw, tau);
+  const double x = dw * tau;
+  EXPECT_NEAR(p, 0.25 * (1.0 - std::exp(-x * x / 2.0)), 1e-15);
+  // Scales linearly in alpha.
+  EXPECT_NEAR(carbon_dephasing_probability(0.1, dw, tau), p * 0.2, 1e-15);
+  EXPECT_EQ(carbon_dephasing_probability(0.0, dw, tau), 0.0);
+}
+
+TEST(Channels, CarbonDephasingSurvivalAfterManyAttempts) {
+  // Eq. 26: after N attempts the equatorial Bloch length shrinks by
+  // (1-p)^N; sanity-check the scale for alpha = 0.1 over 1000 attempts.
+  const double p = carbon_dephasing_probability(0.1, 2.0 * M_PI * 377e3,
+                                                82e-9);
+  const double survival = std::pow(1.0 - p, 1000);
+  EXPECT_GT(survival, 0.1);
+  EXPECT_LT(survival, 1.0);
+}
+
+TEST(Channels, PhaseUncertaintyDephasingMonotone) {
+  const double p1 = phase_uncertainty_dephasing(0.1);
+  const double p2 = phase_uncertainty_dephasing(0.3);
+  EXPECT_GT(p2, p1);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_EQ(phase_uncertainty_dephasing(0.0), 0.0);
+}
+
+TEST(Channels, PhaseUncertaintyPaperValue) {
+  // sigma = 14.3 degrees / sqrt(2) per arm (D.4.2).
+  const double sigma = 14.3 / std::sqrt(2.0) * M_PI / 180.0;
+  const double p = phase_uncertainty_dephasing(sigma);
+  // Small-sigma expansion: p ~ sigma^2 / 4.
+  EXPECT_NEAR(p, sigma * sigma / 4.0, sigma * sigma * 0.05);
+}
+
+TEST(Channels, RejectsOutOfRangeParameters) {
+  EXPECT_THROW(dephasing(-0.1), std::invalid_argument);
+  EXPECT_THROW(dephasing(1.1), std::invalid_argument);
+  EXPECT_THROW(amplitude_damping(2.0), std::invalid_argument);
+  EXPECT_THROW(t1t2(-1.0, 100.0, 100.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qlink::quantum::channels

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "core/distributed_queue.hpp"
+#include "net/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace qlink::core {
+namespace {
+
+using net::AbsoluteQueueId;
+using net::DqpPacket;
+using net::PacketType;
+
+/// Two DQP endpoints over one lossy-capable channel. The EGP normally
+/// demultiplexes the peer link; here we wire the channel directly.
+class DqpTest : public ::testing::Test {
+ protected:
+  DqpTest() : chan_(sim_, "ab", sim::duration::microseconds(60), random_) {
+    DistributedQueue::Config master_cfg;
+    master_cfg.is_master = true;
+    DistributedQueue::Config slave_cfg;
+    slave_cfg.is_master = false;
+    master_ = std::make_unique<DistributedQueue>(sim_, "dq-m", master_cfg,
+                                                 chan_, 0);
+    slave_ = std::make_unique<DistributedQueue>(sim_, "dq-s", slave_cfg,
+                                                chan_, 1);
+    chan_.set_receiver(0, [this](std::vector<std::uint8_t> b) {
+      deliver(*master_, std::move(b));
+    });
+    chan_.set_receiver(1, [this](std::vector<std::uint8_t> b) {
+      deliver(*slave_, std::move(b));
+    });
+    master_->set_local_result_handler(
+        [this](std::uint32_t cid, bool ok, EgpError err, AbsoluteQueueId a) {
+          master_results_.push_back({cid, ok, err, a});
+        });
+    slave_->set_local_result_handler(
+        [this](std::uint32_t cid, bool ok, EgpError err, AbsoluteQueueId a) {
+          slave_results_.push_back({cid, ok, err, a});
+        });
+    master_->set_remote_add_handler(
+        [this](const DqpPacket& p) { master_remote_.push_back(p); });
+    slave_->set_remote_add_handler(
+        [this](const DqpPacket& p) { slave_remote_.push_back(p); });
+  }
+
+  static void deliver(DistributedQueue& dq, std::vector<std::uint8_t> bytes) {
+    const auto frame = net::unseal(bytes);
+    if (!frame || frame->type != PacketType::kDqpFrame) return;
+    dq.handle_frame(DqpPacket::decode(frame->payload));
+  }
+
+  static DqpPacket request(std::uint32_t create_id, std::uint8_t qid = 0) {
+    DqpPacket p;
+    p.aid.qid = qid;
+    p.create_id = create_id;
+    p.num_pairs = 1;
+    return p;
+  }
+
+  struct Result {
+    std::uint32_t create_id;
+    bool ok;
+    EgpError err;
+    AbsoluteQueueId aid;
+  };
+
+  sim::Simulator sim_;
+  sim::Random random_{77};
+  net::ClassicalChannel chan_;
+  std::unique_ptr<DistributedQueue> master_;
+  std::unique_ptr<DistributedQueue> slave_;
+  std::vector<Result> master_results_;
+  std::vector<Result> slave_results_;
+  std::vector<DqpPacket> master_remote_;
+  std::vector<DqpPacket> slave_remote_;
+};
+
+TEST_F(DqpTest, MasterAddReachesSlave) {
+  master_->submit(request(1));
+  sim_.run_all();
+  ASSERT_EQ(master_results_.size(), 1u);
+  EXPECT_TRUE(master_results_[0].ok);
+  ASSERT_EQ(slave_remote_.size(), 1u);
+  EXPECT_EQ(slave_remote_[0].create_id, 1u);
+  // Item present and confirmed on both sides with the same aid.
+  const AbsoluteQueueId aid = master_results_[0].aid;
+  ASSERT_NE(master_->find(aid), nullptr);
+  ASSERT_NE(slave_->find(aid), nullptr);
+  EXPECT_TRUE(master_->find(aid)->confirmed);
+  EXPECT_TRUE(slave_->find(aid)->confirmed);
+}
+
+TEST_F(DqpTest, SlaveAddGetsQseqFromMaster) {
+  slave_->submit(request(9));
+  sim_.run_all();
+  ASSERT_EQ(slave_results_.size(), 1u);
+  EXPECT_TRUE(slave_results_[0].ok);
+  ASSERT_EQ(master_remote_.size(), 1u);
+  const AbsoluteQueueId aid = slave_results_[0].aid;
+  EXPECT_NE(master_->find(aid), nullptr);
+  EXPECT_NE(slave_->find(aid), nullptr);
+}
+
+TEST_F(DqpTest, QseqAssignedInArrivalOrder) {
+  master_->submit(request(1));
+  master_->submit(request(2));
+  master_->submit(request(3));
+  sim_.run_all();
+  ASSERT_EQ(master_results_.size(), 3u);
+  EXPECT_EQ(master_results_[0].aid.qseq, 0u);
+  EXPECT_EQ(master_results_[1].aid.qseq, 1u);
+  EXPECT_EQ(master_results_[2].aid.qseq, 2u);
+}
+
+TEST_F(DqpTest, InterleavedOriginsShareOneSequence) {
+  master_->submit(request(1));
+  slave_->submit(request(2));
+  sim_.run_all();
+  // Two items in queue 0 with distinct qseq on both replicas.
+  EXPECT_EQ(master_->size(0), 2u);
+  EXPECT_EQ(slave_->size(0), 2u);
+  const auto& q = master_->queue(0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST_F(DqpTest, SeparateQueuesSeparateSequences) {
+  master_->submit(request(1, 0));
+  master_->submit(request(2, 2));
+  sim_.run_all();
+  EXPECT_EQ(master_results_[0].aid.qseq, 0u);
+  EXPECT_EQ(master_results_[1].aid.qseq, 0u);
+  EXPECT_EQ(master_results_[1].aid.qid, 2);
+}
+
+TEST_F(DqpTest, PolicyRejectionYieldsDenied) {
+  slave_->set_policy([](const DqpPacket& p) { return p.purpose_id != 13; });
+  DqpPacket bad = request(5);
+  bad.purpose_id = 13;
+  master_->submit(bad);
+  sim_.run_all();
+  ASSERT_EQ(master_results_.size(), 1u);
+  EXPECT_FALSE(master_results_[0].ok);
+  EXPECT_EQ(master_results_[0].err, EgpError::kDenied);
+  // Master must have rolled the item back.
+  EXPECT_EQ(master_->size(0), 0u);
+  EXPECT_EQ(slave_->size(0), 0u);
+}
+
+TEST_F(DqpTest, QueueFullRejects) {
+  DistributedQueue::Config cfg;
+  cfg.is_master = true;
+  cfg.max_items_per_queue = 2;
+  cfg.window = 8;
+  auto small = std::make_unique<DistributedQueue>(sim_, "dq-small", cfg,
+                                                  chan_, 0);
+  chan_.set_receiver(0, [&](std::vector<std::uint8_t> b) {
+    deliver(*small, std::move(b));
+  });
+  std::vector<Result> results;
+  small->set_local_result_handler(
+      [&](std::uint32_t cid, bool ok, EgpError err, AbsoluteQueueId a) {
+        results.push_back({cid, ok, err, a});
+      });
+  small->submit(request(1));
+  small->submit(request(2));
+  small->submit(request(3));
+  sim_.run_all();
+  ASSERT_EQ(results.size(), 3u);
+  // The queue-full rejection is synchronous, so match by create id.
+  for (const Result& r : results) {
+    if (r.create_id == 3) {
+      EXPECT_FALSE(r.ok);
+      EXPECT_EQ(r.err, EgpError::kRejected);
+    } else {
+      EXPECT_TRUE(r.ok) << r.create_id;
+    }
+  }
+}
+
+TEST_F(DqpTest, LostAddIsRetransmitted) {
+  chan_.set_loss_probability(1.0);
+  master_->submit(request(1));
+  sim_.run_until(sim::duration::milliseconds(1));
+  EXPECT_TRUE(master_results_.empty());
+  chan_.set_loss_probability(0.0);
+  sim_.run_all();
+  ASSERT_EQ(master_results_.size(), 1u);
+  EXPECT_TRUE(master_results_[0].ok);
+  EXPECT_GT(master_->retransmissions(), 0u);
+  EXPECT_EQ(slave_remote_.size(), 1u);  // delivered exactly once
+}
+
+TEST_F(DqpTest, PermanentLossTimesOutWithNoTime) {
+  chan_.set_loss_probability(1.0);
+  master_->submit(request(1));
+  sim_.run_until(sim::duration::seconds(5));
+  ASSERT_EQ(master_results_.size(), 1u);
+  EXPECT_FALSE(master_results_[0].ok);
+  EXPECT_EQ(master_results_[0].err, EgpError::kNoTime);
+  EXPECT_EQ(master_->size(0), 0u);
+}
+
+TEST_F(DqpTest, DuplicateAddFromRetransmissionNotDoubleInserted) {
+  // Drop the first ACK so the master retransmits; the slave must ACK
+  // again but only insert/notify once.
+  int drop_next_ack = 1;
+  chan_.set_receiver(0, [&](std::vector<std::uint8_t> b) {
+    if (drop_next_ack > 0) {
+      --drop_next_ack;
+      return;  // swallow the ACK
+    }
+    deliver(*master_, std::move(b));
+  });
+  master_->submit(request(1));
+  sim_.run_all();
+  ASSERT_EQ(master_results_.size(), 1u);
+  EXPECT_TRUE(master_results_[0].ok);
+  EXPECT_EQ(slave_remote_.size(), 1u);
+  EXPECT_EQ(slave_->size(0), 1u);
+}
+
+TEST_F(DqpTest, SlaveRetransmissionGetsSameQseq) {
+  // Drop the master's ACK to the slave once; the slave's retry must be
+  // answered with the same assigned qseq (idempotency).
+  int drops = 1;
+  chan_.set_receiver(1, [&](std::vector<std::uint8_t> b) {
+    if (drops > 0) {
+      --drops;
+      return;
+    }
+    deliver(*slave_, std::move(b));
+  });
+  slave_->submit(request(4));
+  sim_.run_all();
+  ASSERT_EQ(slave_results_.size(), 1u);
+  EXPECT_TRUE(slave_results_[0].ok);
+  EXPECT_EQ(master_remote_.size(), 1u);
+  EXPECT_EQ(master_->size(0), 1u);
+  EXPECT_EQ(slave_->size(0), 1u);
+}
+
+TEST_F(DqpTest, WindowLimitsOutstandingAdds) {
+  DistributedQueue::Config cfg;
+  cfg.is_master = true;
+  cfg.window = 2;
+  auto windowed = std::make_unique<DistributedQueue>(sim_, "dq-w", cfg,
+                                                     chan_, 0);
+  chan_.set_receiver(0, [&](std::vector<std::uint8_t> b) {
+    deliver(*windowed, std::move(b));
+  });
+  for (std::uint32_t i = 1; i <= 6; ++i) windowed->submit(request(i));
+  EXPECT_EQ(windowed->backlog_size(), 4u);
+  sim_.run_all();
+  EXPECT_EQ(windowed->backlog_size(), 0u);
+  EXPECT_EQ(windowed->size(0), 6u);
+}
+
+TEST_F(DqpTest, RemoveDeletesItem) {
+  master_->submit(request(1));
+  sim_.run_all();
+  const AbsoluteQueueId aid = master_results_[0].aid;
+  master_->remove(aid);
+  slave_->remove(aid);
+  EXPECT_EQ(master_->find(aid), nullptr);
+  EXPECT_EQ(slave_->find(aid), nullptr);
+  EXPECT_EQ(master_->total_size(), 0u);
+}
+
+TEST_F(DqpTest, HeavyLossEventuallyConverges) {
+  chan_.set_loss_probability(0.4);
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    master_->submit(request(i));
+    slave_->submit(request(100 + i));
+  }
+  sim_.run_until(sim::duration::seconds(10));
+  int ok_m = 0;
+  for (const auto& r : master_results_) ok_m += r.ok ? 1 : 0;
+  int ok_s = 0;
+  for (const auto& r : slave_results_) ok_s += r.ok ? 1 : 0;
+  EXPECT_GT(ok_m + ok_s, 10);
+  // Agreement guarantees of the DQP under loss:
+  //  - every item the slave holds exists at the master (the master
+  //    assigned its qseq);
+  //  - every *confirmed* master item exists at the slave.
+  // (A master item whose final ACK was lost may linger one-sidedly; the
+  // EGP's one-sided-error recovery reaps those, Section 5.2.5.)
+  for (const auto& [qseq, item] : slave_->queue(0)) {
+    EXPECT_NE(master_->find(item.request.aid), nullptr) << qseq;
+  }
+  std::size_t confirmed_m = 0;
+  for (const auto& [qseq, item] : master_->queue(0)) {
+    // Slave-originated items at the master may linger if every ACK to
+    // the slave was lost; only master-originated confirmed items are
+    // guaranteed to be replicated.
+    if (!item.confirmed || !item.request.master_request) continue;
+    ++confirmed_m;
+    EXPECT_NE(slave_->find(item.request.aid), nullptr) << qseq;
+  }
+  EXPECT_EQ(confirmed_m, static_cast<std::size_t>(ok_m));
+}
+
+}  // namespace
+}  // namespace qlink::core

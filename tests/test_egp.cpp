@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "quantum/bell.hpp"
+
+namespace qlink::core {
+namespace {
+
+class EgpTest : public ::testing::Test {
+ protected:
+  static LinkConfig lab_config(std::uint64_t seed = 11) {
+    LinkConfig c;
+    c.scenario = hw::ScenarioParams::lab();
+    c.seed = seed;
+    return c;
+  }
+
+  void attach(Link& link) {
+    for (std::uint32_t node : {Link::kNodeA, Link::kNodeB}) {
+      Egp& egp = link.egp(node);
+      egp.set_ok_handler([this, node](const OkMessage& ok) {
+        (node == Link::kNodeA ? oks_a_ : oks_b_).push_back(ok);
+      });
+      egp.set_err_handler([this, node](const ErrMessage& err) {
+        (node == Link::kNodeA ? errs_a_ : errs_b_).push_back(err);
+      });
+    }
+  }
+
+  static CreateRequest measure_request(std::uint16_t pairs = 1,
+                                       double fmin = 0.6) {
+    CreateRequest r;
+    r.type = RequestType::kCreateMeasure;
+    r.num_pairs = pairs;
+    r.min_fidelity = fmin;
+    r.priority = Priority::kMeasureDirectly;
+    r.consecutive = true;
+    r.store_in_memory = false;
+    return r;
+  }
+
+  static CreateRequest keep_request(std::uint16_t pairs = 1,
+                                    double fmin = 0.6) {
+    CreateRequest r;
+    r.type = RequestType::kCreateKeep;
+    r.num_pairs = pairs;
+    r.min_fidelity = fmin;
+    r.priority = Priority::kCreateKeep;
+    r.consecutive = true;
+    r.store_in_memory = true;
+    return r;
+  }
+
+  std::vector<OkMessage> oks_a_;
+  std::vector<OkMessage> oks_b_;
+  std::vector<ErrMessage> errs_a_;
+  std::vector<ErrMessage> errs_b_;
+};
+
+TEST_F(EgpTest, MeasureRequestCompletesAtBothNodes) {
+  Link link(lab_config());
+  attach(link);
+  link.start();
+  link.egp_a().create(measure_request(1));
+  link.run_for(sim::duration::seconds(2));
+  ASSERT_EQ(oks_a_.size(), 1u);
+  ASSERT_EQ(oks_b_.size(), 1u);
+  const OkMessage& ok = oks_a_.front();
+  EXPECT_TRUE(ok.is_measure_directly);
+  EXPECT_GE(ok.outcome, 0);
+  EXPECT_LE(ok.outcome, 1);
+  EXPECT_EQ(ok.ent_id.seq_mhp, oks_b_.front().ent_id.seq_mhp);
+  EXPECT_EQ(ok.origin_node, Link::kNodeA);
+  EXPECT_GT(ok.goodness, 0.5);
+  // Request gone from both queues.
+  EXPECT_EQ(link.egp_a().queue().total_size(), 0u);
+  EXPECT_EQ(link.egp_b().queue().total_size(), 0u);
+}
+
+TEST_F(EgpTest, KeepRequestDeliversStoredEntanglement) {
+  Link link(lab_config(22));
+  attach(link);
+  // Measure fidelity the moment both halves are delivered — stored pairs
+  // keep decaying in memory, so measuring later would test storage, not
+  // delivery.
+  double fidelity_at_delivery = -1.0;
+  link.egp_b().set_ok_handler([&](const OkMessage& ok) {
+    oks_b_.push_back(ok);
+    if (!oks_a_.empty() && fidelity_at_delivery < 0.0) {
+      fidelity_at_delivery =
+          link.pair_fidelity(oks_a_.front().qubit, ok.qubit);
+    }
+  });
+  link.start();
+  link.egp_a().create(keep_request(1));
+  link.run_for(sim::duration::seconds(5));
+  ASSERT_EQ(oks_a_.size(), 1u);
+  ASSERT_EQ(oks_b_.size(), 1u);
+  const OkMessage& oa = oks_a_.front();
+  EXPECT_FALSE(oa.is_measure_directly);
+  EXPECT_EQ(oa.logical_qubit_id, 0);  // moved to the carbon
+  // The delivered pair is genuinely entangled with decent fidelity.
+  EXPECT_GT(fidelity_at_delivery, 0.55);
+  EXPECT_LE(fidelity_at_delivery, 1.0);
+}
+
+TEST_F(EgpTest, MultiPairConsecutiveDeliversEachPair) {
+  Link link(lab_config(33));
+  attach(link);
+  link.start();
+  link.egp_a().create(measure_request(3));
+  link.run_for(sim::duration::seconds(4));
+  ASSERT_EQ(oks_a_.size(), 3u);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(oks_a_[i].pair_index, i);
+    EXPECT_EQ(oks_a_[i].total_pairs, 3);
+  }
+}
+
+TEST_F(EgpTest, RequestsFromSlaveSideWork) {
+  Link link(lab_config(44));
+  attach(link);
+  link.start();
+  link.egp_b().create(measure_request(2));
+  link.run_for(sim::duration::seconds(3));
+  ASSERT_EQ(oks_b_.size(), 2u);
+  EXPECT_EQ(oks_b_.front().origin_node, Link::kNodeB);
+}
+
+TEST_F(EgpTest, ConcurrentRequestsFromBothSidesAllComplete) {
+  Link link(lab_config(55));
+  attach(link);
+  link.start();
+  link.egp_a().create(measure_request(1));
+  link.egp_b().create(measure_request(1));
+  link.egp_a().create(measure_request(1));
+  link.run_for(sim::duration::seconds(4));
+  EXPECT_EQ(oks_a_.size() + oks_b_.size(), 6u);  // each OK at both ends
+  EXPECT_EQ(link.egp_a().queue().total_size(), 0u);
+}
+
+TEST_F(EgpTest, UnsupportedFidelityRejectedImmediately) {
+  Link link(lab_config(66));
+  attach(link);
+  link.start();
+  link.egp_a().create(measure_request(1, 0.999));
+  link.run_for(sim::duration::milliseconds(1));
+  ASSERT_EQ(errs_a_.size(), 1u);
+  EXPECT_EQ(errs_a_.front().error, EgpError::kUnsupported);
+  EXPECT_TRUE(oks_a_.empty());
+}
+
+TEST_F(EgpTest, ImpossibleDeadlineRejectedAsUnsupported) {
+  Link link(lab_config(77));
+  attach(link);
+  link.start();
+  CreateRequest r = measure_request(100);
+  r.max_time = sim::duration::microseconds(50);  // far below 100 pairs
+  link.egp_a().create(r);
+  link.run_for(sim::duration::milliseconds(1));
+  ASSERT_EQ(errs_a_.size(), 1u);
+  EXPECT_EQ(errs_a_.front().error, EgpError::kUnsupported);
+}
+
+TEST_F(EgpTest, AtomicKeepBeyondMemoryIsMemExceeded) {
+  Link link(lab_config(88));
+  attach(link);
+  link.start();
+  CreateRequest r = keep_request(3);
+  r.atomic = true;  // 3 pairs, 1 memory qubit
+  link.egp_a().create(r);
+  link.run_for(sim::duration::milliseconds(1));
+  ASSERT_EQ(errs_a_.size(), 1u);
+  EXPECT_EQ(errs_a_.front().error, EgpError::kMemExceeded);
+}
+
+TEST_F(EgpTest, TimeoutExpiresQueuedRequest) {
+  Link link(lab_config(99));
+  attach(link);
+  link.start();
+  CreateRequest r = measure_request(1);
+  // Deadline generous for the FEU estimate but too short in practice is
+  // flaky; instead queue behind a huge request so it cannot start.
+  link.egp_a().create(measure_request(2000));
+  r.max_time = sim::duration::milliseconds(300);
+  link.egp_a().create(r);
+  link.run_for(sim::duration::seconds(2));
+  bool timed_out = false;
+  for (const auto& e : errs_a_) {
+    timed_out |= e.error == EgpError::kTimeout;
+  }
+  EXPECT_TRUE(timed_out);
+}
+
+TEST_F(EgpTest, PurposeIdPolicyYieldsDenied) {
+  Link link(lab_config(111));
+  attach(link);
+  link.egp_b().set_queue_policy(
+      [](const net::DqpPacket& p) { return p.purpose_id != 99; });
+  link.start();
+  CreateRequest r = measure_request(1);
+  r.purpose_id = 99;
+  link.egp_a().create(r);
+  link.run_for(sim::duration::milliseconds(5));
+  ASSERT_EQ(errs_a_.size(), 1u);
+  EXPECT_EQ(errs_a_.front().error, EgpError::kDenied);
+}
+
+TEST_F(EgpTest, GoodnessTracksMeasuredFidelity) {
+  Link link(lab_config(123));
+  attach(link);
+  std::vector<double> measured;
+  std::vector<double> goodness;
+  link.egp_b().set_ok_handler([&](const OkMessage& ok) {
+    // B's OK always arrives second in the Lab scenario; measure, record
+    // and consume both halves immediately.
+    ASSERT_FALSE(oks_a_.empty());
+    const OkMessage& oa = oks_a_.back();
+    measured.push_back(link.pair_fidelity(oa.qubit, ok.qubit));
+    goodness.push_back(oa.goodness);
+    link.egp_a().release_delivered(oa);
+    link.egp_b().release_delivered(ok);
+  });
+  link.start();
+  for (int i = 0; i < 6; ++i) link.egp_a().create(keep_request(1));
+  link.run_for(sim::duration::seconds(10));
+  ASSERT_GE(measured.size(), 3u);
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    EXPECT_NEAR(goodness[i], measured[i], 0.25);
+  }
+}
+
+TEST_F(EgpTest, MeasureOutcomesAreCorrelatedPerBellState) {
+  Link link(lab_config(321));
+  attach(link);
+  link.start();
+  link.egp_a().create(measure_request(60, 0.7));
+  link.run_for(sim::duration::seconds(30));
+  ASSERT_GE(oks_a_.size(), 30u);
+  int errors = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < std::min(oks_a_.size(), oks_b_.size()); ++i) {
+    const auto& oa = oks_a_[i];
+    const auto& ob = oks_b_[i];
+    ASSERT_EQ(oa.ent_id.seq_mhp, ob.ent_id.seq_mhp);
+    EXPECT_EQ(oa.basis, ob.basis);  // shared pseudo-random basis strings
+    const auto target = oa.heralded_state == 1
+                            ? quantum::bell::BellState::kPsiPlus
+                            : quantum::bell::BellState::kPsiMinus;
+    const bool ideal_equal =
+        quantum::bell::ideal_outcomes_equal(target, oa.basis);
+    if ((oa.outcome == ob.outcome) != ideal_equal) ++errors;
+    ++total;
+  }
+  // QBER well below 50% proves quantum correlations survive end-to-end.
+  EXPECT_LT(static_cast<double>(errors) / total, 0.35);
+}
+
+TEST_F(EgpTest, StatsCountersAreConsistent) {
+  Link link(lab_config(555));
+  attach(link);
+  link.start();
+  link.egp_a().create(measure_request(2));
+  link.run_for(sim::duration::seconds(3));
+  const Egp::Stats& sa = link.egp_a().stats();
+  EXPECT_EQ(sa.creates, 1u);
+  EXPECT_GE(sa.attempts, 2u);
+  EXPECT_EQ(sa.oks, 2u);
+  EXPECT_EQ(sa.successes, 2u);
+  EXPECT_EQ(sa.expires_sent, 0u);
+  EXPECT_EQ(sa.seq_gaps, 0u);
+}
+
+TEST_F(EgpTest, DeterministicGivenSeed) {
+  auto run = [this](std::uint64_t seed) {
+    oks_a_.clear();
+    oks_b_.clear();
+    Link link(lab_config(seed));
+    attach(link);
+    link.start();
+    link.egp_a().create(measure_request(5));
+    link.run_for(sim::duration::seconds(5));
+    std::vector<std::pair<std::uint32_t, int>> sig;
+    for (const auto& ok : oks_a_) sig.push_back({ok.ent_id.seq_mhp, ok.outcome});
+    return sig;
+  };
+  const auto r1 = run(4242);
+  const auto r2 = run(4242);
+  EXPECT_EQ(r1, r2);
+  EXPECT_FALSE(r1.empty());
+}
+
+}  // namespace
+}  // namespace qlink::core

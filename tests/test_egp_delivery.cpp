@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+/// Delivery-semantics corners of the EGP service interface: the
+/// consecutive/atomic flags (Section 4.1.1 items 4-5), delivery without
+/// storage, and the flow-control paths.
+
+namespace qlink::core {
+namespace {
+
+class EgpDeliveryTest : public ::testing::Test {
+ protected:
+  static LinkConfig lab(std::uint64_t seed) {
+    LinkConfig c;
+    c.scenario = hw::ScenarioParams::lab();
+    c.seed = seed;
+    return c;
+  }
+
+  void attach(Link& link) {
+    link.egp_a().set_ok_handler([this](const OkMessage& ok) {
+      ok_times_.push_back({ok, sim_now_});
+    });
+    link.egp_b().set_ok_handler([](const OkMessage&) {});
+  }
+
+  struct Timed {
+    OkMessage ok;
+    sim::SimTime at;
+  };
+  std::vector<Timed> ok_times_;
+  sim::SimTime sim_now_ = 0;
+};
+
+TEST_F(EgpDeliveryTest, NonConsecutiveDeliversAllOksAtCompletion) {
+  Link link(lab(61));
+  std::vector<std::pair<std::uint16_t, sim::SimTime>> deliveries;
+  link.egp_a().set_ok_handler([&](const OkMessage& ok) {
+    deliveries.push_back({ok.pair_index, link.simulator().now()});
+  });
+  link.egp_b().set_ok_handler([](const OkMessage&) {});
+  link.start();
+
+  CreateRequest r;
+  r.type = RequestType::kCreateMeasure;
+  r.num_pairs = 3;
+  r.min_fidelity = 0.6;
+  r.priority = Priority::kMeasureDirectly;
+  r.consecutive = false;  // one OK batch when the whole request completes
+  link.egp_a().create(r);
+  link.run_for(sim::duration::seconds(5));
+
+  ASSERT_EQ(deliveries.size(), 3u);
+  // All three OKs carry the same delivery timestamp (flushed together),
+  // in pair order.
+  EXPECT_EQ(deliveries[0].second, deliveries[2].second);
+  EXPECT_EQ(deliveries[0].first, 0);
+  EXPECT_EQ(deliveries[1].first, 1);
+  EXPECT_EQ(deliveries[2].first, 2);
+}
+
+TEST_F(EgpDeliveryTest, ConsecutiveDeliversAsProduced) {
+  Link link(lab(62));
+  std::vector<sim::SimTime> times;
+  link.egp_a().set_ok_handler([&](const OkMessage&) {
+    times.push_back(link.simulator().now());
+  });
+  link.egp_b().set_ok_handler([](const OkMessage&) {});
+  link.start();
+
+  CreateRequest r;
+  r.type = RequestType::kCreateMeasure;
+  r.num_pairs = 3;
+  r.min_fidelity = 0.6;
+  r.priority = Priority::kMeasureDirectly;
+  r.consecutive = true;
+  link.egp_a().create(r);
+  link.run_for(sim::duration::seconds(5));
+
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_LT(times[0], times[1]);
+  EXPECT_LT(times[1], times[2]);
+}
+
+TEST_F(EgpDeliveryTest, AtomicSinglePairDeliversWithQubit) {
+  Link link(lab(63));
+  std::vector<OkMessage> oks;
+  link.egp_a().set_ok_handler([&](const OkMessage& ok) { oks.push_back(ok); });
+  link.egp_b().set_ok_handler([&link](const OkMessage& ok) {
+    link.egp_b().release_delivered(ok);
+  });
+  link.start();
+
+  CreateRequest r;
+  r.type = RequestType::kCreateKeep;
+  r.num_pairs = 1;
+  r.atomic = true;  // fits: one memory qubit
+  r.min_fidelity = 0.6;
+  r.priority = Priority::kCreateKeep;
+  r.consecutive = true;
+  r.store_in_memory = true;
+  link.egp_a().create(r);
+  link.run_for(sim::duration::seconds(5));
+  ASSERT_EQ(oks.size(), 1u);
+  EXPECT_EQ(oks.front().logical_qubit_id, 0);
+  EXPECT_NE(oks.front().qubit, 0u);
+}
+
+TEST_F(EgpDeliveryTest, UnstoredKeepPairBlocksCommUntilReleased) {
+  // Memory advertisements keep the peer from attempting one-sidedly
+  // while our comm qubit is occupied (and from expiring the request via
+  // the one-sided error recovery).
+  LinkConfig cfg = lab(64);
+  cfg.mem_advert_interval = sim::duration::microseconds(100);
+  Link link(cfg);
+  std::vector<OkMessage> oks_a;
+  link.egp_a().set_ok_handler([&](const OkMessage& ok) { oks_a.push_back(ok); });
+  link.egp_b().set_ok_handler([&link](const OkMessage& ok) {
+    link.egp_b().release_delivered(ok);
+  });
+  link.start();
+
+  CreateRequest r;
+  r.type = RequestType::kCreateKeep;
+  r.num_pairs = 2;
+  r.min_fidelity = 0.6;
+  r.priority = Priority::kCreateKeep;
+  r.consecutive = true;
+  r.store_in_memory = false;  // deliver in the communication qubit
+  link.egp_a().create(r);
+  link.run_for(sim::duration::seconds(4));
+
+  // Pair 1 occupies A's comm qubit: pair 2 cannot be produced until the
+  // application releases it.
+  ASSERT_EQ(oks_a.size(), 1u);
+  EXPECT_EQ(oks_a.front().logical_qubit_id, -1);
+  link.egp_a().release_delivered(oks_a.front());
+  link.run_for(sim::duration::seconds(4));
+  EXPECT_EQ(oks_a.size(), 2u);
+}
+
+TEST_F(EgpDeliveryTest, FlowControlPausesWhenPeerAdvertisesNoMemory) {
+  LinkConfig cfg = lab(65);
+  cfg.mem_advert_interval = sim::duration::microseconds(200);
+  Link link(cfg);
+  std::vector<OkMessage> oks_a;
+  std::vector<OkMessage> oks_b;
+  link.egp_a().set_ok_handler([&](const OkMessage& ok) { oks_a.push_back(ok); });
+  link.egp_b().set_ok_handler([&](const OkMessage& ok) { oks_b.push_back(ok); });
+  link.start();
+
+  // Occupy B's only memory slot so its advertisements say 0 free.
+  const auto slot = link.egp_b().qmm().reserve_memory();
+  ASSERT_TRUE(slot.has_value());
+
+  CreateRequest r;
+  r.type = RequestType::kCreateKeep;
+  r.num_pairs = 1;
+  r.min_fidelity = 0.6;
+  r.priority = Priority::kCreateKeep;
+  r.consecutive = true;
+  r.store_in_memory = true;
+  link.egp_a().create(r);
+  link.run_for(sim::duration::seconds(3));
+  // A refuses to generate while the peer has no room.
+  EXPECT_TRUE(oks_a.empty());
+  EXPECT_EQ(link.egp_a().stats().attempts, 0u);
+
+  // Free the slot: generation resumes.
+  link.egp_b().qmm().release_memory(*slot);
+  link.run_for(sim::duration::seconds(5));
+  EXPECT_EQ(oks_a.size(), 1u);
+}
+
+TEST_F(EgpDeliveryTest, TwoMemoryQubitsAllowTwoStoredPairs) {
+  LinkConfig cfg = lab(66);
+  cfg.scenario.nv.num_memory_qubits = 2;
+  Link link(cfg);
+  std::vector<OkMessage> oks_a;
+  std::vector<OkMessage> oks_b;
+  link.egp_a().set_ok_handler([&](const OkMessage& ok) { oks_a.push_back(ok); });
+  link.egp_b().set_ok_handler([&](const OkMessage& ok) { oks_b.push_back(ok); });
+  link.start();
+
+  CreateRequest r;
+  r.type = RequestType::kCreateKeep;
+  r.num_pairs = 2;
+  r.atomic = true;  // both pairs alive simultaneously
+  r.min_fidelity = 0.6;
+  r.priority = Priority::kCreateKeep;
+  r.consecutive = false;
+  r.store_in_memory = true;
+  link.egp_a().create(r);
+  link.run_for(sim::duration::seconds(20));
+
+  ASSERT_EQ(oks_a.size(), 2u);
+  EXPECT_NE(oks_a[0].logical_qubit_id, oks_a[1].logical_qubit_id);
+  // Both pairs exist concurrently in distinct carbons at both ends.
+  ASSERT_EQ(oks_b.size(), 2u);
+  EXPECT_NE(oks_b[0].qubit, oks_b[1].qubit);
+}
+
+}  // namespace
+}  // namespace qlink::core

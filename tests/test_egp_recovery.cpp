@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+namespace qlink::core {
+namespace {
+
+/// Robustness of the EGP under inflated classical losses (Section 6.1):
+/// the protocol must keep running, keep the distributed queue consistent,
+/// and revoke unmatched OKs through EXPIRE.
+class EgpRecoveryTest : public ::testing::Test {
+ protected:
+  static LinkConfig config(std::uint64_t seed, double loss) {
+    LinkConfig c;
+    c.scenario = hw::ScenarioParams::lab();
+    c.scenario.classical_loss_prob = loss;
+    c.seed = seed;
+    return c;
+  }
+
+  void attach(Link& link) {
+    for (std::uint32_t node : {Link::kNodeA, Link::kNodeB}) {
+      link.egp(node).set_ok_handler([this, node](const OkMessage& ok) {
+        (node == Link::kNodeA ? oks_a_ : oks_b_).push_back(ok);
+        // Consume immediately so memory slots recycle.
+        if (!ok.is_measure_directly) {
+          // release via the owning EGP
+        }
+      });
+      link.egp(node).set_err_handler([this, node](const ErrMessage& e) {
+        (node == Link::kNodeA ? errs_a_ : errs_b_).push_back(e);
+      });
+    }
+  }
+
+  static CreateRequest md(std::uint16_t pairs) {
+    CreateRequest r;
+    r.type = RequestType::kCreateMeasure;
+    r.num_pairs = pairs;
+    r.min_fidelity = 0.6;
+    r.priority = Priority::kMeasureDirectly;
+    r.consecutive = true;
+    r.store_in_memory = false;
+    return r;
+  }
+
+  std::vector<OkMessage> oks_a_;
+  std::vector<OkMessage> oks_b_;
+  std::vector<ErrMessage> errs_a_;
+  std::vector<ErrMessage> errs_b_;
+};
+
+TEST_F(EgpRecoveryTest, SurvivesModerateLossAndStillDelivers) {
+  Link link(config(7, 1e-3));
+  attach(link);
+  link.start();
+  for (int i = 0; i < 4; ++i) link.egp_a().create(md(2));
+  link.run_for(sim::duration::seconds(6));
+  // All requests eventually complete or expire; nothing hangs.
+  EXPECT_GE(oks_a_.size(), 4u);
+  EXPECT_EQ(link.egp_a().queue().total_size(), 0u);
+  EXPECT_EQ(link.egp_b().queue().total_size(), 0u);
+}
+
+TEST_F(EgpRecoveryTest, ExtremeLossStillMakesProgress) {
+  // 1e-2 is 6 orders of magnitude above the real link (Appendix D.6.1);
+  // retransmission and EXPIRE recovery must keep the system live.
+  Link link(config(8, 1e-2));
+  attach(link);
+  link.start();
+  for (int i = 0; i < 6; ++i) link.egp_a().create(md(1));
+  link.run_for(sim::duration::seconds(10));
+  EXPECT_GE(oks_a_.size() + errs_a_.size(), 4u);
+  EXPECT_GT(link.egp_a().stats().successes, 0u);
+}
+
+TEST_F(EgpRecoveryTest, SequenceGapTriggersExpire) {
+  // Disable the one-sided recovery so the 50% loss below exercises the
+  // sequence-gap EXPIRE path instead of whole-request expiry.
+  LinkConfig cfg = config(9, 0.0);
+  cfg.one_sided_error_threshold = 1 << 30;
+  Link link(cfg);
+  attach(link);
+  link.start();
+  // Drop station->A replies for a while mid-run by flipping the loss on
+  // only the A-H channel.
+  link.egp_a().create(md(200));
+  link.run_for(sim::duration::milliseconds(100));
+  link.station_channel_a().set_loss_probability(0.5);
+  link.run_for(sim::duration::seconds(4));
+  link.station_channel_a().set_loss_probability(0.0);
+  link.run_for(sim::duration::seconds(6));
+  // A observed sequence gaps and sent EXPIREs; B received them.
+  EXPECT_GT(link.egp_a().stats().seq_gaps, 0u);
+  EXPECT_GT(link.egp_a().stats().expires_sent, 0u);
+  EXPECT_GT(link.egp_b().stats().expires_received, 0u);
+  bool b_saw_expire_err = false;
+  for (const auto& e : errs_b_) {
+    b_saw_expire_err |= e.error == EgpError::kExpired;
+  }
+  EXPECT_TRUE(b_saw_expire_err);
+}
+
+TEST_F(EgpRecoveryTest, ExpectedSeqConvergesAfterRecovery) {
+  // Default one-sided recovery enabled: even if the final success REPLY
+  // is lost on one side, the EXPIRE/ACK exchange reconverges the
+  // expected sequence numbers.
+  Link link(config(10, 0.0));
+  attach(link);
+  link.start();
+  link.egp_a().create(md(200));
+  link.run_for(sim::duration::milliseconds(100));
+  link.station_channel_b().set_loss_probability(0.7);
+  link.run_for(sim::duration::seconds(3));
+  link.station_channel_b().set_loss_probability(0.0);
+  link.run_for(sim::duration::seconds(8));
+  // Both nodes agree on the next expected midpoint sequence number.
+  EXPECT_EQ(link.egp_a().expected_seq(), link.egp_b().expected_seq());
+}
+
+TEST_F(EgpRecoveryTest, OneSidedErrorsExpireStuckRequests) {
+  Link link(config(11, 0.0));
+  attach(link);
+  link.start();
+  link.egp_a().create(md(5));
+  // Cut A's link to the station entirely: B attempts alone, gets
+  // NO_MESSAGE_OTHER until the one-sided threshold expires the request.
+  link.station_channel_a().set_loss_probability(1.0);
+  link.run_for(sim::duration::seconds(10));
+  EXPECT_GT(link.egp_b().stats().one_sided_errors, 0u);
+  EXPECT_EQ(link.egp_b().queue().total_size(), 0u);
+}
+
+TEST_F(EgpRecoveryTest, MetricsDegradeGracefullyNotCatastrophically) {
+  // Core claim of Section 6.1: inflated losses cost little throughput.
+  auto run = [this](double loss) {
+    oks_a_.clear();
+    oks_b_.clear();
+    errs_a_.clear();
+    errs_b_.clear();
+    Link link(config(12, loss));
+    attach(link);
+    link.start();
+    for (int i = 0; i < 30; ++i) link.egp_a().create(md(3));
+    link.run_for(sim::duration::seconds(20));
+    return oks_a_.size();
+  };
+  const auto clean = run(0.0);
+  const auto lossy = run(1e-4);
+  ASSERT_GT(clean, 10u);
+  EXPECT_GT(static_cast<double>(lossy),
+            0.8 * static_cast<double>(clean));
+}
+
+}  // namespace
+}  // namespace qlink::core

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/herald_model.hpp"
+#include "hw/nv_params.hpp"
+#include "quantum/bell.hpp"
+
+namespace qlink::hw {
+namespace {
+
+HeraldParams ideal_params() {
+  HeraldParams p;
+  p.p_double_excitation = 0.0;
+  p.phase_sigma_rad_per_arm = 0.0;
+  p.p_zero_phonon = 1.0;
+  p.p_collection = 1.0;
+  p.emission_tau_ns = 1e-9;  // window >> tau: no truncation loss
+  p.detection_window_ns = 25.0;
+  p.fiber_length_a_km = 0.0;
+  p.fiber_length_b_km = 0.0;
+  p.fiber_loss_db_per_km = 0.0;
+  p.visibility = 1.0;
+  p.detector_efficiency = 1.0;
+  p.dark_count_rate_hz = 0.0;
+  return p;
+}
+
+TEST(HeraldModel, ProbabilitiesFormDistribution) {
+  const HeraldModel model(ScenarioParams::lab().herald);
+  for (double alpha : {0.05, 0.1, 0.3, 0.5}) {
+    const auto d = model.compute(alpha, alpha);
+    EXPECT_GE(d.p_fail, 0.0);
+    EXPECT_GE(d.p_psi_plus, 0.0);
+    EXPECT_GE(d.p_psi_minus, 0.0);
+    EXPECT_NEAR(d.p_fail + d.p_psi_plus + d.p_psi_minus, 1.0, 1e-9);
+  }
+}
+
+TEST(HeraldModel, PostStatesAreValidDensityMatrices) {
+  const HeraldModel model(ScenarioParams::lab().herald);
+  const auto d = model.compute(0.2, 0.2);
+  EXPECT_NEAR(d.post_psi_plus.trace_real(), 1.0, 1e-9);
+  EXPECT_NEAR(d.post_psi_minus.trace_real(), 1.0, 1e-9);
+  EXPECT_TRUE(d.post_psi_plus.matrix().is_hermitian(1e-9));
+  EXPECT_LE(d.post_psi_plus.purity(), 1.0 + 1e-9);
+}
+
+TEST(HeraldModel, IdealCaseFidelityMatchesAnalyticFormula) {
+  // With perfect optics a single click keeps the |Psi+/-> branch with
+  // weight 2*alpha(1-alpha)/2 while the double-bright |00>_e|11>_P term
+  // leaks into the same click with weight alpha^2 * (1+mu^2)/4; at mu = 1
+  // this gives exactly F = (1-alpha) / (1 - alpha/2).
+  const HeraldModel model(ideal_params());
+  for (double alpha : {0.05, 0.1, 0.2}) {
+    const auto d = model.compute(alpha, alpha);
+    const double expected = (1.0 - alpha) / (1.0 - alpha / 2.0);
+    EXPECT_NEAR(d.fidelity_plus, expected, 1e-9) << "alpha " << alpha;
+    EXPECT_NEAR(d.fidelity_minus, expected, 1e-9);
+  }
+}
+
+TEST(HeraldModel, LossyCaseFidelityApproachesOneMinusAlpha) {
+  // With strong photon loss the double-bright term contaminates single
+  // clicks fully and the textbook F ~ 1 - alpha emerges.
+  HeraldParams p = ideal_params();
+  p.p_collection = 1e-3;
+  const HeraldModel model(p);
+  for (double alpha : {0.05, 0.1, 0.2}) {
+    const auto d = model.compute(alpha, alpha);
+    EXPECT_NEAR(d.fidelity_plus, 1.0 - alpha, 0.01) << "alpha " << alpha;
+  }
+}
+
+TEST(HeraldModel, IdealSuccessProbabilityScalesWithAlpha) {
+  // p_succ ~ 2 alpha (1-alpha) p_det with p_det = 1 here.
+  const HeraldModel model(ideal_params());
+  const auto d = model.compute(0.1, 0.1);
+  EXPECT_NEAR(d.p_success(), 2.0 * 0.1 * 0.9, 0.03);
+}
+
+TEST(HeraldModel, SymmetricOutcomeSplit) {
+  const HeraldModel model(ScenarioParams::lab().herald);
+  const auto d = model.compute(0.15, 0.15);
+  EXPECT_NEAR(d.p_psi_plus, d.p_psi_minus, 1e-9);
+}
+
+TEST(HeraldModel, LabSuccessProbabilityMatchesPaperScale) {
+  // Section 4.4: p_succ ~ alpha * 1e-3 in the Lab setup.
+  const HeraldModel model(ScenarioParams::lab().herald);
+  for (double alpha : {0.1, 0.3}) {
+    const auto d = model.compute(alpha, alpha);
+    const double ratio = d.p_success() / alpha;
+    EXPECT_GT(ratio, 4e-4) << "alpha " << alpha;
+    EXPECT_LT(ratio, 2e-3) << "alpha " << alpha;
+  }
+}
+
+TEST(HeraldModel, Ql2020SuccessProbabilityMatchesPaperScale) {
+  const HeraldModel model(ScenarioParams::ql2020().herald);
+  const auto d = model.compute(0.2, 0.2);
+  const double ratio = d.p_success() / 0.2;
+  EXPECT_GT(ratio, 2e-4);
+  EXPECT_LT(ratio, 3e-3);
+}
+
+TEST(HeraldModel, FidelityDecreasesWithAlpha) {
+  const HeraldModel model(ScenarioParams::lab().herald);
+  double prev = 1.0;
+  for (double alpha : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const auto d = model.compute(alpha, alpha);
+    EXPECT_LT(d.fidelity_plus, prev) << "alpha " << alpha;
+    prev = d.fidelity_plus;
+  }
+}
+
+TEST(HeraldModel, SuccessProbabilityIncreasesWithAlpha) {
+  const HeraldModel model(ScenarioParams::lab().herald);
+  double prev = 0.0;
+  for (double alpha : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const auto d = model.compute(alpha, alpha);
+    EXPECT_GT(d.p_success(), prev);
+    prev = d.p_success();
+  }
+}
+
+TEST(HeraldModel, Figure8Shape) {
+  // Validation curve of Fig. 8: at alpha ~ 0.1 the Lab fidelity sits
+  // around 0.78; towards alpha = 0.5 it falls to roughly 0.45.
+  const HeraldModel model(ScenarioParams::lab().herald);
+  const auto lo = model.compute(0.1, 0.1);
+  EXPECT_GT(lo.fidelity_plus, 0.70);
+  EXPECT_LT(lo.fidelity_plus, 0.92);
+  const auto hi = model.compute(0.5, 0.5);
+  EXPECT_GT(hi.fidelity_plus, 0.30);
+  EXPECT_LT(hi.fidelity_plus, 0.60);
+}
+
+TEST(HeraldModel, ReducedVisibilityLowersFidelity) {
+  HeraldParams p = ScenarioParams::lab().herald;
+  const HeraldModel good(p);
+  p.visibility = 0.5;
+  const HeraldModel bad(p);
+  EXPECT_LT(bad.compute(0.1, 0.1).fidelity_plus,
+            good.compute(0.1, 0.1).fidelity_plus - 0.02);
+}
+
+TEST(HeraldModel, PhaseNoiseLowersFidelityNotRate) {
+  HeraldParams p = ideal_params();
+  const HeraldModel clean(p);
+  p.phase_sigma_rad_per_arm = 0.5;
+  const HeraldModel noisy(p);
+  const auto c = clean.compute(0.1, 0.1);
+  const auto n = noisy.compute(0.1, 0.1);
+  EXPECT_LT(n.fidelity_plus, c.fidelity_plus - 0.01);
+  EXPECT_NEAR(n.p_success(), c.p_success(), 1e-6);
+}
+
+TEST(HeraldModel, LossReducesSuccessProbability) {
+  HeraldParams p = ideal_params();
+  const HeraldModel clean(p);
+  p.fiber_length_a_km = 10.0;
+  p.fiber_length_b_km = 10.0;
+  p.fiber_loss_db_per_km = 3.0;  // 30 dB per arm: transmit 1e-3
+  const HeraldModel lossy(p);
+  EXPECT_LT(lossy.compute(0.1, 0.1).p_success(),
+            clean.compute(0.1, 0.1).p_success() * 0.01);
+}
+
+TEST(HeraldModel, AsymmetricArmsStillHeralds) {
+  HeraldParams p = ScenarioParams::ql2020().herald;
+  const HeraldModel model(p);
+  const auto d = model.compute(0.2, 0.2);
+  EXPECT_GT(d.p_success(), 0.0);
+  EXPECT_GT(d.fidelity_plus, 0.5);
+}
+
+TEST(HeraldModel, DarkCountsAddFalseHeralds) {
+  HeraldParams p = ScenarioParams::lab().herald;
+  p.dark_count_rate_hz = 1e6;  // absurdly noisy detector
+  const HeraldModel noisy(p);
+  p.dark_count_rate_hz = 0.0;
+  const HeraldModel clean(p);
+  const auto n = noisy.compute(0.05, 0.05);
+  const auto c = clean.compute(0.05, 0.05);
+  EXPECT_GT(n.p_success(), c.p_success());
+  EXPECT_LT(n.fidelity_plus, c.fidelity_plus);
+}
+
+TEST(HeraldModel, ArmDetectionProbabilityChain) {
+  const HeraldModel model(ScenarioParams::lab().herald);
+  const double p = model.arm_detection_probability(true);
+  EXPECT_GT(p, 1e-5);
+  EXPECT_LT(p, 1e-2);
+  // QL2020's B arm (15 km) is lossier than its A arm (10 km).
+  const HeraldModel ql(ScenarioParams::ql2020().herald);
+  EXPECT_GT(ql.arm_detection_probability(true),
+            ql.arm_detection_probability(false));
+}
+
+TEST(HeraldModel, CacheReturnsSameObject) {
+  const HeraldModel model(ScenarioParams::lab().herald);
+  const auto& a = model.distribution(0.123, 0.123);
+  const auto& b = model.distribution(0.123, 0.123);
+  EXPECT_EQ(&a, &b);
+  const auto& c = model.distribution(0.2, 0.123);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(HeraldModel, RejectsInvalidAlpha) {
+  const HeraldModel model(ScenarioParams::lab().herald);
+  EXPECT_THROW(model.compute(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(model.compute(0.1, 1.0), std::invalid_argument);
+}
+
+TEST(HeraldModel, HeraldedStatesMatchTheirLabel) {
+  // The left-click state must be closer to Psi+ than to Psi-, and vice
+  // versa.
+  const HeraldModel model(ScenarioParams::lab().herald);
+  const auto d = model.compute(0.1, 0.1);
+  const double plus_to_plus = quantum::bell::fidelity(
+      d.post_psi_plus, quantum::bell::BellState::kPsiPlus);
+  const double plus_to_minus = quantum::bell::fidelity(
+      d.post_psi_plus, quantum::bell::BellState::kPsiMinus);
+  EXPECT_GT(plus_to_plus, plus_to_minus + 0.3);
+  const double minus_to_minus = quantum::bell::fidelity(
+      d.post_psi_minus, quantum::bell::BellState::kPsiMinus);
+  const double minus_to_plus = quantum::bell::fidelity(
+      d.post_psi_minus, quantum::bell::BellState::kPsiPlus);
+  EXPECT_GT(minus_to_minus, minus_to_plus + 0.3);
+}
+
+}  // namespace
+}  // namespace qlink::hw

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/bessel.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/matrix.hpp"
+
+namespace qlink::quantum {
+namespace {
+
+const Complex kI{0.0, 1.0};
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(id(i, j), (i == j ? Complex{1, 0} : Complex{0, 0}));
+    }
+  }
+}
+
+TEST(Matrix, InitializerListRejectsRagged) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, AdditionAndSubtraction) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), Complex(6, 0));
+  EXPECT_EQ(sum(1, 1), Complex(12, 0));
+  const Matrix diff = sum - b;
+  EXPECT_TRUE(diff.approx_equal(a));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b(3, 3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MultiplicationMatchesHandComputation) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{0, 1}, {1, 0}};
+  const Matrix ab = a * b;
+  EXPECT_EQ(ab(0, 0), Complex(2, 0));
+  EXPECT_EQ(ab(0, 1), Complex(1, 0));
+  EXPECT_EQ(ab(1, 0), Complex(4, 0));
+  EXPECT_EQ(ab(1, 1), Complex(3, 0));
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes) {
+  const Matrix a{{1, kI}, {2, -kI}};
+  const Matrix d = a.dagger();
+  EXPECT_EQ(d(0, 0), Complex(1, 0));
+  EXPECT_EQ(d(0, 1), Complex(2, 0));
+  EXPECT_EQ(d(1, 0), -kI);
+  EXPECT_EQ(d(1, 1), kI);
+}
+
+TEST(Matrix, KroneckerProductShapeAndValues) {
+  const Matrix a{{1, 2}};
+  const Matrix b{{3}, {4}};
+  const Matrix k = a.kron(b);
+  EXPECT_EQ(k.rows(), 2u);
+  EXPECT_EQ(k.cols(), 2u);
+  EXPECT_EQ(k(0, 0), Complex(3, 0));
+  EXPECT_EQ(k(0, 1), Complex(6, 0));
+  EXPECT_EQ(k(1, 0), Complex(4, 0));
+  EXPECT_EQ(k(1, 1), Complex(8, 0));
+}
+
+TEST(Matrix, KroneckerOfIdentitiesIsIdentity) {
+  const Matrix k = Matrix::identity(2).kron(Matrix::identity(4));
+  EXPECT_TRUE(k.approx_equal(Matrix::identity(8)));
+}
+
+TEST(Matrix, TraceSumsDiagonal) {
+  const Matrix a{{1, 9}, {9, 2}};
+  EXPECT_EQ(a.trace(), Complex(3, 0));
+  EXPECT_THROW(Matrix(2, 3).trace(), std::logic_error);
+}
+
+TEST(Matrix, HermitianDetection) {
+  const Matrix h{{2, kI}, {-kI, 3}};
+  EXPECT_TRUE(h.is_hermitian());
+  const Matrix nh{{2, kI}, {kI, 3}};
+  EXPECT_FALSE(nh.is_hermitian());
+}
+
+TEST(Matrix, ApplyToVector) {
+  const Matrix a{{0, 1}, {1, 0}};
+  const std::vector<Complex> v{1, 2};
+  const auto out = a.apply(v);
+  EXPECT_EQ(out[0], Complex(2, 0));
+  EXPECT_EQ(out[1], Complex(1, 0));
+}
+
+TEST(Matrix, OuterAndInnerProducts) {
+  const std::vector<Complex> a{1, kI};
+  const std::vector<Complex> b{1, 0};
+  const Matrix o = outer(a, b);
+  EXPECT_EQ(o(1, 0), kI);
+  // <a|a> = 1 + 1 = 2
+  EXPECT_EQ(inner(a, a), Complex(2, 0));
+  // inner is conjugate-linear in the first slot
+  EXPECT_EQ(inner(a, b), Complex(1, 0));
+}
+
+TEST(Matrix, NormalizeScalesToUnitNorm) {
+  std::vector<Complex> v{3, 4};
+  normalize(v);
+  EXPECT_NEAR(std::abs(v[0]), 0.6, 1e-12);
+  EXPECT_NEAR(std::abs(v[1]), 0.8, 1e-12);
+  std::vector<Complex> zero{0, 0};
+  EXPECT_THROW(normalize(zero), std::invalid_argument);
+}
+
+// --- Gates ---------------------------------------------------------------
+
+TEST(Gates, PaulisSquareToIdentity) {
+  for (const Matrix* g : {&gates::x(), &gates::y(), &gates::z()}) {
+    EXPECT_TRUE(((*g) * (*g)).approx_equal(Matrix::identity(2)));
+  }
+}
+
+TEST(Gates, PauliAnticommutation) {
+  const Matrix xy = gates::x() * gates::y();
+  const Matrix yx = gates::y() * gates::x();
+  EXPECT_TRUE((xy + yx).approx_equal(Matrix::zero(2, 2)));
+  // XY = iZ
+  EXPECT_TRUE(xy.approx_equal(gates::z() * kI));
+}
+
+TEST(Gates, HadamardConjugatesZToX) {
+  const Matrix hzh = gates::h() * gates::z() * gates::h();
+  EXPECT_TRUE(hzh.approx_equal(gates::x(), 1e-12));
+}
+
+TEST(Gates, RotationsAreUnitary) {
+  for (double theta : {0.1, 0.7, 1.3, 3.0}) {
+    for (const Matrix& r :
+         {gates::rx(theta), gates::ry(theta), gates::rz(theta)}) {
+      EXPECT_TRUE((r * r.dagger()).approx_equal(Matrix::identity(2), 1e-12));
+    }
+  }
+}
+
+TEST(Gates, RxFullTurnIsMinusIdentity) {
+  const Matrix r = gates::rx(2.0 * M_PI);
+  EXPECT_TRUE(r.approx_equal(Matrix::identity(2) * Complex{-1.0, 0.0}, 1e-9));
+}
+
+TEST(Gates, CnotMapsBasisStates) {
+  const std::vector<Complex> s10{0, 0, 1, 0};  // |10>
+  const auto out = gates::cnot().apply(s10);
+  // control = qubit 0 set -> target flips: |11>
+  EXPECT_EQ(out[3], Complex(1, 0));
+}
+
+TEST(Gates, EcControlledRxBlockStructure) {
+  const Matrix g = gates::ec_controlled_rx(M_PI / 2.0);
+  EXPECT_TRUE((g * g.dagger()).approx_equal(Matrix::identity(4), 1e-12));
+  // Upper block rotates +pi/2, lower block -pi/2; they are daggers.
+  Matrix upper(2, 2);
+  Matrix lower(2, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      upper(i, j) = g(i, j);
+      lower(i, j) = g(2 + i, 2 + j);
+    }
+  }
+  EXPECT_TRUE(upper.approx_equal(lower.dagger(), 1e-12));
+}
+
+TEST(Gates, BasisChangeMapsBasisVectorsToZ) {
+  // |X,0> = (|0>+|1>)/sqrt(2) must map to |0>.
+  const std::vector<Complex> x0{1.0 / std::sqrt(2.0), 1.0 / std::sqrt(2.0)};
+  auto out = gates::basis_change(gates::Basis::kX).apply(x0);
+  EXPECT_NEAR(std::abs(out[0]), 1.0, 1e-12);
+  // |Y,1> = (|0>-i|1>)/sqrt(2) must map to |1>.
+  const std::vector<Complex> y1{1.0 / std::sqrt(2.0),
+                                Complex(0, -1.0 / std::sqrt(2.0))};
+  out = gates::basis_change(gates::Basis::kY).apply(y1);
+  EXPECT_NEAR(std::abs(out[1]), 1.0, 1e-12);
+}
+
+// --- Bessel ratio (Eq. 28 support) ----------------------------------------
+
+double bessel_ratio_reference(double x) {
+  // Power series for I0 and I1, adequate for x <= 40.
+  double i0 = 0.0;
+  double i1 = 0.0;
+  double term = 1.0;  // (x/2)^(2k) / (k!)^2
+  for (int k = 0; k < 200; ++k) {
+    i0 += term;
+    i1 += term * (x / 2.0) / (k + 1.0);
+    term *= (x * x / 4.0) / ((k + 1.0) * (k + 1.0));
+    if (term < 1e-18 * i0) break;
+  }
+  return i1 / i0;
+}
+
+TEST(Bessel, MatchesSeriesForSmallAndMediumArguments) {
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 32.0}) {
+    EXPECT_NEAR(bessel_i1_over_i0(x), bessel_ratio_reference(x), 1e-10)
+        << "x = " << x;
+  }
+}
+
+TEST(Bessel, KnownValueAtOne) {
+  // I1(1)/I0(1) = 0.5652/1.2661 ~= 0.44639
+  EXPECT_NEAR(bessel_i1_over_i0(1.0), 0.446398, 1e-5);
+}
+
+TEST(Bessel, AsymptoticForLargeArgument) {
+  // I1/I0 ~ 1 - 1/(2x) for large x.
+  const double x = 500.0;
+  EXPECT_NEAR(bessel_i1_over_i0(x), 1.0 - 1.0 / (2.0 * x), 1e-5);
+}
+
+TEST(Bessel, ZeroAndNegative) {
+  EXPECT_EQ(bessel_i1_over_i0(0.0), 0.0);
+  EXPECT_THROW(bessel_i1_over_i0(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qlink::quantum

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/collector.hpp"
+#include "metrics/stats.hpp"
+
+namespace qlink::metrics {
+namespace {
+
+using core::EgpError;
+using core::OkMessage;
+using core::Priority;
+using quantum::gates::Basis;
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(s.stderr_mean(), s.stddev() / std::sqrt(8.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RelativeDifference, MatchesPaperFootnote) {
+  EXPECT_NEAR(relative_difference(1.0, 0.9), 0.1, 1e-12);
+  EXPECT_NEAR(relative_difference(0.9, 1.0), 0.1, 1e-12);
+  EXPECT_EQ(relative_difference(0.0, 0.0), 0.0);
+  EXPECT_NEAR(relative_difference(-2.0, 2.0), 2.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_EQ(percentile(v, 0), 1.0);
+  EXPECT_EQ(percentile(v, 100), 5.0);
+  EXPECT_EQ(percentile(v, 50), 3.0);
+  EXPECT_NEAR(percentile(v, 25), 2.0, 1e-12);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 101), std::invalid_argument);
+}
+
+OkMessage make_ok(std::uint32_t origin, std::uint32_t create_id,
+                  std::uint16_t pair_index, std::uint16_t total) {
+  OkMessage ok;
+  ok.origin_node = origin;
+  ok.create_id = create_id;
+  ok.pair_index = pair_index;
+  ok.total_pairs = total;
+  ok.ent_id = {0, 1, create_id * 100 + pair_index};
+  ok.goodness = 0.7;
+  return ok;
+}
+
+TEST(Collector, ThroughputCountsPairsOverElapsed) {
+  Collector c;
+  c.begin(0);
+  c.record_create(0, 1, Priority::kMeasureDirectly, 2, 0);
+  c.record_ok(make_ok(0, 1, 0, 2), Priority::kMeasureDirectly,
+              sim::duration::seconds(1), std::nullopt);
+  c.record_ok(make_ok(0, 1, 1, 2), Priority::kMeasureDirectly,
+              sim::duration::seconds(2), std::nullopt);
+  c.end(sim::duration::seconds(4));
+  EXPECT_NEAR(c.throughput(Priority::kMeasureDirectly), 0.5, 1e-12);
+  EXPECT_NEAR(c.total_throughput(), 0.5, 1e-12);
+}
+
+TEST(Collector, LatenciesPerPaperDefinitions) {
+  Collector c;
+  c.begin(0);
+  // Request for 2 pairs created at t=1s; pairs at 3s and 5s.
+  c.record_create(0, 7, Priority::kNetworkLayer, 2,
+                  sim::duration::seconds(1));
+  c.record_ok(make_ok(0, 7, 0, 2), Priority::kNetworkLayer,
+              sim::duration::seconds(3), std::nullopt);
+  c.record_ok(make_ok(0, 7, 1, 2), Priority::kNetworkLayer,
+              sim::duration::seconds(5), std::nullopt);
+  c.end(sim::duration::seconds(5));
+  const auto& km = c.kind(Priority::kNetworkLayer);
+  // Pair latencies 2s and 4s.
+  EXPECT_NEAR(km.pair_latency_s.mean(), 3.0, 1e-9);
+  // Request latency 4s; scaled latency 4/2 = 2s.
+  EXPECT_NEAR(km.request_latency_s.mean(), 4.0, 1e-9);
+  EXPECT_NEAR(km.scaled_latency_s.mean(), 2.0, 1e-9);
+  EXPECT_EQ(km.requests_completed, 1u);
+}
+
+TEST(Collector, KindsAreSeparated) {
+  Collector c;
+  c.begin(0);
+  c.record_create(0, 1, Priority::kNetworkLayer, 1, 0);
+  c.record_create(0, 2, Priority::kMeasureDirectly, 1, 0);
+  c.record_ok(make_ok(0, 1, 0, 1), Priority::kNetworkLayer,
+              sim::duration::seconds(1), std::nullopt);
+  c.end(sim::duration::seconds(1));
+  EXPECT_EQ(c.kind(Priority::kNetworkLayer).pairs_delivered, 1u);
+  EXPECT_EQ(c.kind(Priority::kMeasureDirectly).pairs_delivered, 0u);
+}
+
+TEST(Collector, FairnessSplitByOrigin) {
+  Collector c;
+  c.begin(0);
+  c.record_create(0, 1, Priority::kMeasureDirectly, 1, 0);
+  c.record_create(1, 1, Priority::kMeasureDirectly, 1, 0);
+  c.record_ok(make_ok(0, 1, 0, 1), Priority::kMeasureDirectly,
+              sim::duration::seconds(1), std::nullopt);
+  auto ok_b = make_ok(1, 1, 0, 1);
+  ok_b.ent_id.seq_mhp = 999;
+  c.record_ok(ok_b, Priority::kMeasureDirectly, sim::duration::seconds(2),
+              std::nullopt);
+  c.end(sim::duration::seconds(2));
+  ASSERT_TRUE(c.has_origin(0));
+  ASSERT_TRUE(c.has_origin(1));
+  EXPECT_EQ(c.by_origin(0).pairs_delivered, 1u);
+  EXPECT_EQ(c.by_origin(1).pairs_delivered, 1u);
+}
+
+TEST(Collector, QberAndFidelityReconstruction) {
+  Collector c;
+  // Psi+ correlations: equal in X and Y, different in Z.
+  for (int i = 0; i < 90; ++i) c.record_correlation(Basis::kX, 1, 1, 1);
+  for (int i = 0; i < 10; ++i) c.record_correlation(Basis::kX, 0, 1, 1);
+  for (int i = 0; i < 100; ++i) c.record_correlation(Basis::kY, 0, 0, 1);
+  for (int i = 0; i < 100; ++i) c.record_correlation(Basis::kZ, 0, 1, 1);
+  EXPECT_NEAR(*c.qber(Basis::kX), 0.1, 1e-12);
+  EXPECT_NEAR(*c.qber(Basis::kY), 0.0, 1e-12);
+  EXPECT_NEAR(*c.qber(Basis::kZ), 0.0, 1e-12);
+  EXPECT_NEAR(*c.fidelity_from_qber(), 0.95, 1e-12);
+}
+
+TEST(Collector, QberUsesHeraldedState) {
+  Collector c;
+  // For Psi- in Z, different outcomes are ideal.
+  c.record_correlation(Basis::kZ, 0, 1, 2);
+  EXPECT_NEAR(*c.qber(Basis::kZ), 0.0, 1e-12);
+  c.record_correlation(Basis::kZ, 1, 1, 2);
+  EXPECT_NEAR(*c.qber(Basis::kZ), 0.5, 1e-12);
+}
+
+TEST(Collector, MissingBasisMeansNoFidelityEstimate) {
+  Collector c;
+  c.record_correlation(Basis::kX, 1, 1, 1);
+  EXPECT_FALSE(c.fidelity_from_qber().has_value());
+  EXPECT_FALSE(c.qber(Basis::kZ).has_value());
+}
+
+TEST(Collector, ErrorsCounted) {
+  Collector c;
+  c.record_err({1, EgpError::kTimeout, 0, 0, 0});
+  c.record_err({2, EgpError::kExpired, 0, 0, 0});
+  c.record_err({3, EgpError::kExpired, 0, 0, 0});
+  EXPECT_EQ(c.errors(EgpError::kTimeout), 1u);
+  EXPECT_EQ(c.total_expires(), 2u);
+  EXPECT_EQ(c.errors(EgpError::kDenied), 0u);
+}
+
+TEST(Collector, FidelitySamplesAggregate) {
+  Collector c;
+  c.begin(0);
+  c.record_create(0, 1, Priority::kCreateKeep, 2, 0);
+  c.record_ok(make_ok(0, 1, 0, 2), Priority::kCreateKeep,
+              sim::duration::seconds(1), 0.8);
+  c.record_ok(make_ok(0, 1, 1, 2), Priority::kCreateKeep,
+              sim::duration::seconds(2), 0.6);
+  EXPECT_NEAR(c.kind(Priority::kCreateKeep).fidelity.mean(), 0.7, 1e-12);
+  EXPECT_EQ(c.kind(Priority::kCreateKeep).fidelity.count(), 2u);
+}
+
+TEST(Collector, QueueLengthSampling) {
+  Collector c;
+  c.sample_queue_length(2);
+  c.sample_queue_length(4);
+  EXPECT_NEAR(c.queue_length().mean(), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qlink::metrics

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/nv_device.hpp"
+#include "hw/nv_params.hpp"
+#include "quantum/bell.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace qlink::hw {
+namespace {
+
+using quantum::QubitId;
+using quantum::gates::Basis;
+
+class NvDeviceTest : public ::testing::Test {
+ protected:
+  NvDeviceTest() : registry_(random_) {}
+
+  sim::Simulator sim_;
+  sim::Random random_{1234};
+  quantum::QuantumRegistry registry_{random_};
+  NvParams params_;
+};
+
+TEST_F(NvDeviceTest, AllocatesCommAndMemoryQubits) {
+  params_.num_memory_qubits = 2;
+  NvDevice dev(sim_, "nv", params_, registry_);
+  EXPECT_EQ(dev.num_memory_qubits(), 2);
+  EXPECT_TRUE(registry_.exists(dev.comm_qubit()));
+  EXPECT_TRUE(registry_.exists(dev.memory_qubit(0)));
+  EXPECT_TRUE(registry_.exists(dev.memory_qubit(1)));
+}
+
+TEST_F(NvDeviceTest, DestructorFreesQubits) {
+  {
+    NvDevice dev(sim_, "nv", params_, registry_);
+    EXPECT_EQ(registry_.live_qubits(), 2u);
+  }
+  EXPECT_EQ(registry_.live_qubits(), 0u);
+}
+
+TEST_F(NvDeviceTest, InitializeElectronAppliesInitFidelity) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  dev.initialize_electron();
+  const QubitId ids[] = {dev.comm_qubit()};
+  const quantum::DensityMatrix rho = registry_.peek(ids);
+  // Depolarising init with f = 0.95: P(0) = f + (1-f)/3.
+  EXPECT_NEAR(rho.matrix()(0, 0).real(), 0.95 + 0.05 / 3.0, 1e-9);
+  EXPECT_TRUE(dev.busy());
+}
+
+TEST_F(NvDeviceTest, BusyClearsAfterDuration) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  dev.initialize_electron();
+  EXPECT_TRUE(dev.busy());
+  sim_.run_until(params_.electron_init.duration + 1);
+  EXPECT_FALSE(dev.busy());
+}
+
+TEST_F(NvDeviceTest, DecayAppliedLazilyOverElapsedTime) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  // Put electron in |+>, wait one T2, touch, inspect coherence.
+  dev.apply_electron_gate(quantum::gates::h());
+  const double t2 = params_.electron_t2_ns;
+  sim_.run_until(static_cast<sim::SimTime>(t2));
+  dev.touch(dev.comm_qubit());
+  const QubitId ids[] = {dev.comm_qubit()};
+  const quantum::DensityMatrix rho = registry_.peek(ids);
+  EXPECT_NEAR(rho.matrix()(0, 1).real(), 0.5 * std::exp(-1.0), 5e-3);
+}
+
+TEST_F(NvDeviceTest, TouchTwiceDoesNotDoubleCount) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  dev.apply_electron_gate(quantum::gates::h());
+  sim_.run_until(500000);
+  dev.touch(dev.comm_qubit());
+  const QubitId ids[] = {dev.comm_qubit()};
+  const double c1 = registry_.peek(ids).matrix()(0, 1).real();
+  dev.touch(dev.comm_qubit());
+  const double c2 = registry_.peek(ids).matrix()(0, 1).real();
+  EXPECT_NEAR(c1, c2, 1e-12);
+}
+
+TEST_F(NvDeviceTest, CarbonDecaysSlowerThanElectron) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  dev.apply_electron_gate(quantum::gates::h());
+  const QubitId carbon = dev.memory_qubit(0);
+  const QubitId cids[] = {carbon};
+  registry_.apply_unitary(quantum::gates::h(), cids);
+
+  sim_.run_until(1000000);  // 1 ms
+  dev.touch_all();
+  const QubitId eids[] = {dev.comm_qubit()};
+  const double ce = registry_.peek(eids).matrix()(0, 1).real();
+  const double cc = registry_.peek(cids).matrix()(0, 1).real();
+  EXPECT_GT(cc, ce);
+}
+
+TEST_F(NvDeviceTest, MoveCommToMemorySwapsState) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  dev.apply_electron_gate(quantum::gates::x());  // electron = |1>
+  dev.move_comm_to_memory(0);
+  const QubitId cids[] = {dev.memory_qubit(0)};
+  const quantum::DensityMatrix rho = registry_.peek(cids);
+  EXPECT_GT(rho.matrix()(1, 1).real(), 0.95);
+  EXPECT_TRUE(dev.busy());
+}
+
+TEST_F(NvDeviceTest, MovePreservesEntanglementHalf) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  const QubitId partner = registry_.create();
+  const QubitId pair[] = {dev.comm_qubit(), partner};
+  registry_.set_state(pair, quantum::DensityMatrix::from_pure(
+                                quantum::bell::state_vector(
+                                    quantum::bell::BellState::kPsiPlus)));
+  dev.set_live(dev.comm_qubit(), true);
+  dev.move_comm_to_memory(0);
+  const QubitId stored[] = {dev.memory_qubit(0), partner};
+  const double f = registry_.fidelity(
+      stored,
+      quantum::bell::state_vector(quantum::bell::BellState::kPsiPlus));
+  // Two E-C gates cost 2*(1-0.992) of dephasing; fidelity stays high.
+  EXPECT_GT(f, 0.95);
+  EXPECT_TRUE(dev.is_live(dev.memory_qubit(0)));
+  EXPECT_FALSE(dev.is_live(dev.comm_qubit()));
+  registry_.discard(partner);
+}
+
+TEST_F(NvDeviceTest, MeasureCommStatisticsWithReadoutNoise) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  // Electron in |1>: correct readout with probability f1 = 0.995.
+  int ones = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    dev.initialize_electron();
+    const QubitId ids[] = {dev.comm_qubit()};
+    registry_.apply_unitary(quantum::gates::x(), ids);
+    ones += dev.measure_comm(Basis::kZ);
+  }
+  // P(read 1) ~ f1 * P(state 1) with P(state 1) ~ 0.95 + dep noise.
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.995 * (0.95 + 0.05 / 3.0),
+              0.02);
+}
+
+TEST_F(NvDeviceTest, ReadoutNoiseIsAsymmetric) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  int flips0 = 0;
+  int flips1 = 0;
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) {
+    registry_.reset(dev.comm_qubit());
+    dev.mark_fresh(dev.comm_qubit());
+    flips0 += dev.measure_comm(Basis::kZ);  // true 0, count read-1
+  }
+  for (int i = 0; i < n; ++i) {
+    registry_.reset(dev.comm_qubit());
+    dev.mark_fresh(dev.comm_qubit());
+    const QubitId ids[] = {dev.comm_qubit()};
+    registry_.apply_unitary(quantum::gates::x(), ids);
+    flips1 += 1 - dev.measure_comm(Basis::kZ);  // true 1, count read-0
+  }
+  // Table 6: error on |0> is 5%, on |1> only 0.5%.
+  EXPECT_NEAR(static_cast<double>(flips0) / n, 0.05, 0.015);
+  EXPECT_NEAR(static_cast<double>(flips1) / n, 0.005, 0.006);
+}
+
+TEST_F(NvDeviceTest, AttemptDephasingOnlyHitsLiveCarbons) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  const QubitId carbon = dev.memory_qubit(0);
+  const QubitId cids[] = {carbon};
+  registry_.apply_unitary(quantum::gates::h(), cids);
+
+  // Not live: no dephasing.
+  dev.apply_attempt_dephasing(0.5);
+  EXPECT_NEAR(registry_.peek(cids).matrix()(0, 1).real(), 0.5, 1e-12);
+
+  // Live: Eq. 24 dephasing applied per attempt.
+  dev.set_live(carbon, true);
+  for (int i = 0; i < 100; ++i) dev.apply_attempt_dephasing(0.5);
+  const double coherence = registry_.peek(cids).matrix()(0, 1).real();
+  EXPECT_LT(coherence, 0.5);
+  const double pd = quantum::channels::carbon_dephasing_probability(
+      0.5, params_.carbon_coupling_rad_per_s, params_.carbon_tau_d_s);
+  EXPECT_NEAR(coherence, 0.5 * std::pow(1.0 - 2.0 * pd, 100), 1e-6);
+}
+
+TEST_F(NvDeviceTest, InitializeCarbonResetsAndOccupies) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  const QubitId cids[] = {dev.memory_qubit(0)};
+  registry_.apply_unitary(quantum::gates::x(), cids);
+  dev.initialize_carbon(0);
+  EXPECT_GT(registry_.peek(cids).matrix()(0, 0).real(), 0.9);
+  EXPECT_GE(dev.busy_until(), params_.carbon_init.duration);
+}
+
+TEST_F(NvDeviceTest, MeasureMemoryReadsCarbon) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  const QubitId cids[] = {dev.memory_qubit(0)};
+  registry_.apply_unitary(quantum::gates::x(), cids);
+  int ones = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    registry_.reset(dev.memory_qubit(0));
+    dev.mark_fresh(dev.memory_qubit(0));
+    registry_.apply_unitary(quantum::gates::x(), cids);
+    ones += dev.measure_memory(0, Basis::kZ);
+  }
+  EXPECT_GT(static_cast<double>(ones) / n, 0.95);
+}
+
+TEST_F(NvDeviceTest, UnknownQubitThrows) {
+  NvDevice dev(sim_, "nv", params_, registry_);
+  EXPECT_THROW(dev.touch(99999), std::invalid_argument);
+  EXPECT_THROW(dev.memory_qubit(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace qlink::hw

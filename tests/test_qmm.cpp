@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/qmm.hpp"
+#include "hw/nv_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace qlink::core {
+namespace {
+
+class QmmTest : public ::testing::Test {
+ protected:
+  QmmTest() {
+    params_.num_memory_qubits = 2;
+    device_ = std::make_unique<hw::NvDevice>(sim_, "nv", params_, registry_);
+    qmm_ = std::make_unique<QuantumMemoryManager>(*device_);
+  }
+
+  sim::Simulator sim_;
+  sim::Random random_{1};
+  quantum::QuantumRegistry registry_{random_};
+  hw::NvParams params_;
+  std::unique_ptr<hw::NvDevice> device_;
+  std::unique_ptr<QuantumMemoryManager> qmm_;
+};
+
+TEST_F(QmmTest, TracksMemorySlots) {
+  EXPECT_EQ(qmm_->total_memory_slots(), 2);
+  EXPECT_EQ(qmm_->free_memory_slots(), 2);
+  const auto a = qmm_->reserve_memory();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(qmm_->free_memory_slots(), 1);
+  const auto b = qmm_->reserve_memory();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(qmm_->free_memory_slots(), 0);
+  EXPECT_FALSE(qmm_->reserve_memory().has_value());
+  qmm_->release_memory(*a);
+  EXPECT_EQ(qmm_->free_memory_slots(), 1);
+  // The freed slot is reused.
+  EXPECT_EQ(qmm_->reserve_memory(), a);
+}
+
+TEST_F(QmmTest, CommReservationIsExclusive) {
+  EXPECT_TRUE(qmm_->comm_free());
+  EXPECT_TRUE(qmm_->reserve_comm());
+  EXPECT_FALSE(qmm_->comm_free());
+  EXPECT_FALSE(qmm_->reserve_comm());
+  qmm_->release_comm();
+  EXPECT_TRUE(qmm_->reserve_comm());
+}
+
+TEST_F(QmmTest, LogicalToPhysicalTranslation) {
+  // Section 4.5: the QMM translates logical qubit ids to physical ones.
+  EXPECT_EQ(qmm_->physical_comm_qubit(), device_->comm_qubit());
+  EXPECT_EQ(qmm_->physical_memory_qubit(0), device_->memory_qubit(0));
+  EXPECT_EQ(qmm_->physical_memory_qubit(1), device_->memory_qubit(1));
+  EXPECT_THROW(qmm_->physical_memory_qubit(7), std::out_of_range);
+}
+
+TEST_F(QmmTest, ReleaseOutOfRangeThrows) {
+  EXPECT_THROW(qmm_->release_memory(5), std::out_of_range);
+}
+
+TEST_F(QmmTest, ZeroMemoryDevice) {
+  hw::NvParams p;
+  p.num_memory_qubits = 0;
+  hw::NvDevice dev(sim_, "nv0", p, registry_);
+  QuantumMemoryManager qmm(dev);
+  EXPECT_EQ(qmm.total_memory_slots(), 0);
+  EXPECT_FALSE(qmm.reserve_memory().has_value());
+}
+
+}  // namespace
+}  // namespace qlink::core

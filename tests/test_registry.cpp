@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/bell.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/registry.hpp"
+
+namespace qlink::quantum {
+namespace {
+
+using gates::Basis;
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  sim::Random random_{99};
+  QuantumRegistry reg_{random_};
+};
+
+TEST_F(RegistryTest, CreateAllocatesGroundState) {
+  const QubitId q = reg_.create();
+  EXPECT_TRUE(reg_.exists(q));
+  EXPECT_EQ(reg_.group_size(q), 1u);
+  const QubitId ids[] = {q};
+  const std::vector<Complex> zero{1, 0};
+  EXPECT_NEAR(reg_.fidelity(ids, zero), 1.0, 1e-12);
+}
+
+TEST_F(RegistryTest, DiscardRemovesQubit) {
+  const QubitId q = reg_.create();
+  reg_.discard(q);
+  EXPECT_FALSE(reg_.exists(q));
+  EXPECT_EQ(reg_.live_qubits(), 0u);
+}
+
+TEST_F(RegistryTest, OperationsOnUnknownQubitThrow) {
+  const QubitId ids[] = {777};
+  EXPECT_THROW(reg_.apply_unitary(gates::x(), ids), std::invalid_argument);
+  EXPECT_THROW(reg_.measure(777, Basis::kZ), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, TwoQubitGateMergesGroups) {
+  const QubitId a = reg_.create();
+  const QubitId b = reg_.create();
+  EXPECT_EQ(reg_.group_size(a), 1u);
+  const QubitId ha[] = {a};
+  reg_.apply_unitary(gates::h(), ha);
+  const QubitId ab[] = {a, b};
+  reg_.apply_unitary(gates::cnot(), ab);
+  EXPECT_EQ(reg_.group_size(a), 2u);
+  EXPECT_EQ(reg_.group_size(b), 2u);
+  EXPECT_NEAR(
+      reg_.fidelity(ab, bell::state_vector(bell::BellState::kPhiPlus)), 1.0,
+      1e-12);
+}
+
+TEST_F(RegistryTest, MeasureCollapsesAndSeparates) {
+  const QubitId a = reg_.create();
+  const QubitId b = reg_.create();
+  const QubitId ha[] = {a};
+  reg_.apply_unitary(gates::h(), ha);
+  const QubitId ab[] = {a, b};
+  reg_.apply_unitary(gates::cnot(), ab);
+
+  const int oa = reg_.measure(a, Basis::kZ);
+  EXPECT_EQ(reg_.group_size(a), 1u);
+  // The partner collapsed to the correlated value.
+  const int ob = reg_.measure(b, Basis::kZ);
+  EXPECT_EQ(oa, ob);
+}
+
+TEST_F(RegistryTest, MeasurementStatisticsAreCorrect) {
+  int ones = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const QubitId q = reg_.create();
+    const QubitId ids[] = {q};
+    reg_.apply_unitary(gates::h(), ids);
+    ones += reg_.measure(q, Basis::kZ);
+    reg_.discard(q);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.05);
+}
+
+TEST_F(RegistryTest, MeasureInXBasis) {
+  const QubitId q = reg_.create();
+  const QubitId ids[] = {q};
+  reg_.apply_unitary(gates::h(), ids);  // |+> = |X,0>
+  EXPECT_EQ(reg_.measure(q, Basis::kX), 0);
+}
+
+TEST_F(RegistryTest, BellMeasurementsAntiCorrelatedForPsiMinus) {
+  for (int i = 0; i < 50; ++i) {
+    const QubitId a = reg_.create();
+    const QubitId b = reg_.create();
+    const QubitId ab[] = {a, b};
+    reg_.set_state(ab, DensityMatrix::from_pure(bell::state_vector(
+                           bell::BellState::kPsiMinus)));
+    const auto basis = static_cast<Basis>(i % 3);
+    const int oa = reg_.measure(a, basis);
+    const int ob = reg_.measure(b, basis);
+    EXPECT_NE(oa, ob);
+    reg_.discard(a);
+    reg_.discard(b);
+  }
+}
+
+TEST_F(RegistryTest, SetStateInstallsEntanglement) {
+  const QubitId a = reg_.create();
+  const QubitId b = reg_.create();
+  const QubitId ab[] = {a, b};
+  reg_.set_state(ab, DensityMatrix::from_pure(bell::state_vector(
+                         bell::BellState::kPsiPlus)));
+  EXPECT_EQ(reg_.group_size(a), 2u);
+  EXPECT_NEAR(
+      reg_.fidelity(ab, bell::state_vector(bell::BellState::kPsiPlus)), 1.0,
+      1e-12);
+}
+
+TEST_F(RegistryTest, SetStateDropsOldCorrelations) {
+  const QubitId a = reg_.create();
+  const QubitId b = reg_.create();
+  const QubitId c = reg_.create();
+  const QubitId ab[] = {a, b};
+  reg_.set_state(ab, DensityMatrix::from_pure(bell::state_vector(
+                         bell::BellState::kPsiPlus)));
+  // Re-target a onto c: the old a-b entanglement must be severed.
+  const QubitId ac[] = {a, c};
+  reg_.set_state(ac, DensityMatrix::from_pure(bell::state_vector(
+                         bell::BellState::kPsiPlus)));
+  EXPECT_EQ(reg_.group_size(b), 1u);
+  EXPECT_NEAR(
+      reg_.fidelity(ac, bell::state_vector(bell::BellState::kPsiPlus)), 1.0,
+      1e-12);
+}
+
+TEST_F(RegistryTest, ResetReturnsToGround) {
+  const QubitId q = reg_.create();
+  const QubitId ids[] = {q};
+  reg_.apply_unitary(gates::x(), ids);
+  reg_.reset(q);
+  const std::vector<Complex> zero{1, 0};
+  EXPECT_NEAR(reg_.fidelity(ids, zero), 1.0, 1e-12);
+}
+
+TEST_F(RegistryTest, ResetSeversEntanglement) {
+  const QubitId a = reg_.create();
+  const QubitId b = reg_.create();
+  const QubitId ab[] = {a, b};
+  reg_.set_state(ab, DensityMatrix::from_pure(bell::state_vector(
+                         bell::BellState::kPhiPlus)));
+  reg_.reset(a);
+  EXPECT_EQ(reg_.group_size(a), 1u);
+  EXPECT_EQ(reg_.group_size(b), 1u);
+  // b is left maximally mixed.
+  const QubitId bb[] = {b};
+  const DensityMatrix rb = reg_.peek(bb);
+  EXPECT_NEAR(rb.matrix()(0, 0).real(), 0.5, 1e-12);
+}
+
+TEST_F(RegistryTest, PeekPreservesRequestOrderAcrossGroups) {
+  const QubitId a = reg_.create();
+  const QubitId b = reg_.create();
+  const QubitId c = reg_.create();
+  // a,c entangled; b separate in |1>.
+  const QubitId ac[] = {a, c};
+  reg_.set_state(ac, DensityMatrix::from_pure(bell::state_vector(
+                         bell::BellState::kPhiPlus)));
+  const QubitId bb[] = {b};
+  reg_.apply_unitary(gates::x(), bb);
+
+  const QubitId abc[] = {a, b, c};
+  const DensityMatrix rho = reg_.peek(abc);
+  EXPECT_EQ(rho.num_qubits(), 3);
+  // P(|0 1 0>) = P(|1 1 1>) = 1/2 in the (a, b, c) order.
+  EXPECT_NEAR(rho.matrix()(0b010, 0b010).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.matrix()(0b111, 0b111).real(), 0.5, 1e-12);
+}
+
+TEST_F(RegistryTest, PeekDoesNotDisturbState) {
+  const QubitId a = reg_.create();
+  const QubitId b = reg_.create();
+  const QubitId ab[] = {a, b};
+  reg_.set_state(ab, DensityMatrix::from_pure(bell::state_vector(
+                         bell::BellState::kPsiPlus)));
+  (void)reg_.peek(ab);
+  (void)reg_.peek(ab);
+  EXPECT_NEAR(
+      reg_.fidelity(ab, bell::state_vector(bell::BellState::kPsiPlus)), 1.0,
+      1e-12);
+}
+
+TEST_F(RegistryTest, KrausOnEntangledPairDegradesFidelity) {
+  const QubitId a = reg_.create();
+  const QubitId b = reg_.create();
+  const QubitId ab[] = {a, b};
+  reg_.set_state(ab, DensityMatrix::from_pure(bell::state_vector(
+                         bell::BellState::kPsiPlus)));
+  const QubitId ids[] = {a};
+  reg_.apply_kraus(channels::dephasing(0.1), ids);
+  const double f =
+      reg_.fidelity(ab, bell::state_vector(bell::BellState::kPsiPlus));
+  EXPECT_NEAR(f, 0.9, 1e-12);
+}
+
+TEST_F(RegistryTest, DuplicateQubitsRejected) {
+  const QubitId a = reg_.create();
+  const QubitId ids[] = {a, a};
+  EXPECT_THROW(reg_.apply_unitary(gates::cnot(), ids), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, ManyQubitsStayCheapWhenUnentangled) {
+  std::vector<QubitId> qs;
+  for (int i = 0; i < 64; ++i) qs.push_back(reg_.create());
+  for (QubitId q : qs) {
+    EXPECT_EQ(reg_.group_size(q), 1u);
+    const QubitId ids[] = {q};
+    reg_.apply_unitary(gates::h(), ids);
+  }
+  EXPECT_EQ(reg_.live_qubits(), 64u);
+  for (QubitId q : qs) reg_.discard(q);
+  EXPECT_EQ(reg_.live_qubits(), 0u);
+}
+
+}  // namespace
+}  // namespace qlink::quantum

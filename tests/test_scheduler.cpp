@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/distributed_queue.hpp"
+#include "core/scheduler.hpp"
+#include "net/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace qlink::core {
+namespace {
+
+using net::AbsoluteQueueId;
+using net::DqpPacket;
+
+/// Drives a master-side queue without a peer: items are inserted via the
+/// public submit path and confirmed by feeding the ACK ourselves.
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : chan_(sim_, "loop", 1, random_) {
+    DistributedQueue::Config cfg;
+    cfg.is_master = true;
+    queue_ = std::make_unique<DistributedQueue>(sim_, "dq", cfg, chan_, 0);
+    // Auto-ACK everything the queue sends (a perfectly agreeing peer).
+    chan_.set_receiver(1, [this](std::vector<std::uint8_t> bytes) {
+      const auto frame = net::unseal(bytes);
+      if (!frame || frame->type != net::PacketType::kDqpFrame) return;
+      DqpPacket p = DqpPacket::decode(frame->payload);
+      if (p.frame_type != net::DqpFrameType::kAdd) return;
+      p.frame_type = net::DqpFrameType::kAck;
+      chan_.send_from(1, net::seal(net::PacketType::kDqpFrame, p.encode()));
+    });
+    chan_.set_receiver(0, [this](std::vector<std::uint8_t> bytes) {
+      const auto frame = net::unseal(bytes);
+      if (!frame) return;
+      queue_->handle_frame(DqpPacket::decode(frame->payload));
+    });
+  }
+
+  AbsoluteQueueId add(Scheduler& sched, Priority prio,
+                      std::uint16_t num_pairs = 1,
+                      std::uint32_t est_cycles = 100,
+                      std::uint64_t schedule_cycle = 0,
+                      std::uint64_t timeout_cycle = 0) {
+    DqpPacket p;
+    p.aid.qid = static_cast<std::uint8_t>(sched.queue_for(prio));
+    p.priority = static_cast<std::uint8_t>(prio);
+    p.num_pairs = num_pairs;
+    p.est_cycles_per_pair = est_cycles;
+    p.schedule_cycle = schedule_cycle;
+    p.timeout_cycle = timeout_cycle;
+    p.create_id = next_create_++;
+    p.init_virtual_finish = sched.assign_virtual_finish(p, cycle_);
+    AbsoluteQueueId got{};
+    queue_->set_local_result_handler(
+        [&](std::uint32_t, bool ok, EgpError, AbsoluteQueueId aid) {
+          ASSERT_TRUE(ok);
+          got = aid;
+        });
+    queue_->submit(p);
+    sim_.run_all();
+    return got;
+  }
+
+  std::optional<AbsoluteQueueId> next(Scheduler& sched) {
+    return sched.next(*queue_, cycle_,
+                      [&](const DistributedQueue::Item& item) {
+                        return item.confirmed &&
+                               item.request.schedule_cycle <= cycle_;
+                      });
+  }
+
+  sim::Simulator sim_;
+  sim::Random random_{3};
+  net::ClassicalChannel chan_;
+  std::unique_ptr<DistributedQueue> queue_;
+  std::uint64_t cycle_ = 1000;
+  std::uint32_t next_create_ = 1;
+};
+
+TEST_F(SchedulerTest, FcfsUsesSingleQueue) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kFcfs, {}});
+  EXPECT_EQ(s.queue_for(Priority::kNetworkLayer), 0);
+  EXPECT_EQ(s.queue_for(Priority::kCreateKeep), 0);
+  EXPECT_EQ(s.queue_for(Priority::kMeasureDirectly), 0);
+}
+
+TEST_F(SchedulerTest, WfqMapsPriorityToQueue) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kWfq, {10.0, 1.0}});
+  EXPECT_EQ(s.queue_for(Priority::kNetworkLayer), 0);
+  EXPECT_EQ(s.queue_for(Priority::kCreateKeep), 1);
+  EXPECT_EQ(s.queue_for(Priority::kMeasureDirectly), 2);
+}
+
+TEST_F(SchedulerTest, EmptyQueueGivesNothing) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kFcfs, {}});
+  EXPECT_FALSE(next(s).has_value());
+}
+
+TEST_F(SchedulerTest, FcfsServesInArrivalOrder) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kFcfs, {}});
+  const auto a = add(s, Priority::kMeasureDirectly);
+  const auto b = add(s, Priority::kNetworkLayer);
+  // Arrival order wins regardless of priority.
+  EXPECT_EQ(next(s), a);
+  queue_->remove(a);
+  EXPECT_EQ(next(s), b);
+}
+
+TEST_F(SchedulerTest, WfqGivesNlStrictPriority) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kWfq, {10.0, 1.0}});
+  const auto md = add(s, Priority::kMeasureDirectly);
+  const auto ck = add(s, Priority::kCreateKeep);
+  const auto nl = add(s, Priority::kNetworkLayer);
+  EXPECT_EQ(next(s), nl);
+  queue_->remove(nl);
+  const auto who = next(s);
+  EXPECT_TRUE(who == ck || who == md);
+}
+
+TEST_F(SchedulerTest, WfqWeightsFavourCk) {
+  // CK has 10x MD's weight: with equal service demand CK's virtual
+  // finish is earlier.
+  Scheduler s(SchedulerConfig{SchedulerKind::kWfq, {10.0, 1.0}});
+  const auto md = add(s, Priority::kMeasureDirectly, 1, 1000);
+  const auto ck = add(s, Priority::kCreateKeep, 1, 1000);
+  EXPECT_EQ(next(s), ck);
+  queue_->remove(ck);
+  EXPECT_EQ(next(s), md);
+}
+
+TEST_F(SchedulerTest, WfqLetsCheapMdThroughBetweenBigCks) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kWfq, {10.0, 1.0}});
+  // CK asks for a lot of service; a tiny MD must finish earlier despite
+  // the lower weight.
+  const auto ck = add(s, Priority::kCreateKeep, 255, 10000);
+  const auto md = add(s, Priority::kMeasureDirectly, 1, 10);
+  (void)ck;
+  EXPECT_EQ(next(s), md);
+}
+
+TEST_F(SchedulerTest, MinTimeGatesService) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kFcfs, {}});
+  const auto later = add(s, Priority::kCreateKeep, 1, 100, cycle_ + 50);
+  EXPECT_FALSE(next(s).has_value());
+  cycle_ += 50;
+  EXPECT_EQ(next(s), later);
+}
+
+TEST_F(SchedulerTest, UnreadyHeadDoesNotBlockOthers) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kFcfs, {}});
+  const auto gated = add(s, Priority::kCreateKeep, 1, 100, cycle_ + 1000);
+  const auto ready = add(s, Priority::kCreateKeep, 1, 100, 0);
+  (void)gated;
+  EXPECT_EQ(next(s), ready);
+}
+
+TEST_F(SchedulerTest, VirtualFinishMonotonePerQueue) {
+  Scheduler s(SchedulerConfig{SchedulerKind::kWfq, {10.0, 1.0}});
+  DqpPacket p;
+  p.aid.qid = 2;
+  p.num_pairs = 1;
+  p.est_cycles_per_pair = 100;
+  const double f1 = s.assign_virtual_finish(p, 10);
+  const double f2 = s.assign_virtual_finish(p, 10);
+  EXPECT_GT(f2, f1);
+  // Higher weight -> smaller increment for the same service.
+  DqpPacket q;
+  q.aid.qid = 1;
+  q.num_pairs = 1;
+  q.est_cycles_per_pair = 100;
+  const double g1 = s.assign_virtual_finish(q, 10);
+  EXPECT_LT(g1 - 10.0, f1 - 10.0);
+}
+
+TEST_F(SchedulerTest, DeterministicAcrossReplicas) {
+  // Two scheduler instances looking at the same queue pick the same
+  // request (the property Protocol 2 relies on).
+  Scheduler s1(SchedulerConfig{SchedulerKind::kWfq, {10.0, 1.0}});
+  Scheduler s2(SchedulerConfig{SchedulerKind::kWfq, {10.0, 1.0}});
+  add(s1, Priority::kCreateKeep, 2, 500);
+  add(s1, Priority::kMeasureDirectly, 1, 50);
+  add(s1, Priority::kNetworkLayer, 1, 100);
+  for (int i = 0; i < 3; ++i) {
+    const auto a = next(s1);
+    const auto b = next(s2);
+    ASSERT_EQ(a, b);
+    if (!a) break;
+    queue_->remove(*a);
+  }
+}
+
+}  // namespace
+}  // namespace qlink::core

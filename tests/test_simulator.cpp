@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/entity.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace qlink::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, TieBreaksFifoWithinTimestamp) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  s.schedule_at(100, [] {});
+  s.run_all();
+  SimTime fired_at = -1;
+  s.schedule_in(50, [&] { fired_at = s.now(); });
+  s.run_all();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.run_all();
+  EXPECT_THROW(s.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsEmptyFunction) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_at(1, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator s;
+  const EventId id = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(12345));
+  EXPECT_FALSE(s.cancel(0));
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(21, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  s.run_until(21);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_in(10, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+TEST(PeriodicTimer, FiresAtFixedPeriod) {
+  Simulator s;
+  std::vector<SimTime> ticks;
+  PeriodicTimer t(s, 100, [&] { ticks.push_back(s.now()); });
+  t.start();
+  s.run_until(350);
+  ASSERT_EQ(ticks.size(), 4u);  // t = 0, 100, 200, 300
+  EXPECT_EQ(ticks[0], 0);
+  EXPECT_EQ(ticks[3], 300);
+}
+
+TEST(PeriodicTimer, StopHaltsFiring) {
+  Simulator s;
+  int count = 0;
+  PeriodicTimer t(s, 10, [&] { ++count; });
+  t.start();
+  s.run_until(35);
+  t.stop();
+  s.run_until(1000);
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, CallbackMayStopTimer) {
+  Simulator s;
+  int count = 0;
+  PeriodicTimer t(s, 10, [&] {
+    if (++count == 3) t.stop();
+  });
+  t.start();
+  s.run_until(10000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTimer, StartWithOffset) {
+  Simulator s;
+  std::vector<SimTime> ticks;
+  PeriodicTimer t(s, 100, [&] { ticks.push_back(s.now()); });
+  t.start(37);
+  s.run_until(250);
+  ASSERT_GE(ticks.size(), 2u);
+  EXPECT_EQ(ticks[0], 37);
+  EXPECT_EQ(ticks[1], 137);
+}
+
+TEST(Random, DeterministicForSameSeed) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Random, DiffersAcrossSeeds) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Random, BernoulliEdges) {
+  Random r(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Random, BernoulliMatchesProbability) {
+  Random r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Random, UniformIntCoversRangeInclusive) {
+  Random r(13);
+  bool lo = false;
+  bool hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    lo |= v == 1;
+    hi |= v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Random, DiscreteRespectsWeights) {
+  Random r(17);
+  const double w[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[r.discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Random, DiscreteRejectsInvalid) {
+  Random r(19);
+  const double neg[] = {0.5, -0.1};
+  EXPECT_THROW(r.discrete(neg), std::invalid_argument);
+  const double zero[] = {0.0, 0.0};
+  EXPECT_THROW(r.discrete(zero), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qlink::sim

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "workload/workload.hpp"
+
+namespace qlink::workload {
+namespace {
+
+using core::Link;
+using core::LinkConfig;
+using core::Priority;
+
+LinkConfig lab(std::uint64_t seed) {
+  LinkConfig c;
+  c.scenario = hw::ScenarioParams::lab();
+  c.seed = seed;
+  return c;
+}
+
+TEST(UsagePattern, Table2Fractions) {
+  const auto uniform = usage_pattern("Uniform", 0.99);
+  EXPECT_NEAR(uniform.config.nl.fraction, 0.99 / 3, 1e-12);
+  EXPECT_EQ(uniform.config.nl.k_max, 1);
+
+  const auto more_md = usage_pattern("MoreMD", 0.99);
+  EXPECT_NEAR(more_md.config.md.fraction, 0.99 * 4 / 6, 1e-12);
+  EXPECT_EQ(more_md.config.md.k_max, 255);
+
+  const auto no_nl = usage_pattern("NoNLMoreMD", 0.99);
+  EXPECT_EQ(no_nl.config.nl.fraction, 0.0);
+  EXPECT_NEAR(no_nl.config.md.fraction, 0.99 * 4 / 5, 1e-12);
+
+  EXPECT_THROW(usage_pattern("Bogus"), std::invalid_argument);
+}
+
+TEST(WorkloadDriver, IssuesAndCompletesMdRequests) {
+  Link link(lab(1));
+  metrics::Collector collector;
+  WorkloadConfig cfg;
+  cfg.md = {0.99, 3};
+  cfg.origin = OriginMode::kAllA;
+  cfg.min_fidelity = 0.6;
+  WorkloadDriver driver(link, cfg, collector);
+  link.start();
+  driver.start();
+  link.run_for(sim::duration::seconds(20));
+  driver.stop();
+
+  EXPECT_GT(driver.requests_issued(), 5u);
+  const auto& md = collector.kind(Priority::kMeasureDirectly);
+  EXPECT_GT(md.pairs_delivered, 10u);
+  EXPECT_GT(md.requests_completed, 3u);
+  EXPECT_GT(collector.throughput(Priority::kMeasureDirectly), 0.5);
+  // QBER data was gathered in all three bases.
+  EXPECT_TRUE(collector.fidelity_from_qber().has_value());
+  EXPECT_GT(*collector.fidelity_from_qber(), 0.5);
+}
+
+TEST(WorkloadDriver, KeepPairsAreConsumedAndSlotsRecycled) {
+  Link link(lab(2));
+  metrics::Collector collector;
+  WorkloadConfig cfg;
+  cfg.ck = {0.99, 2};
+  cfg.origin = OriginMode::kAllA;
+  cfg.min_fidelity = 0.6;
+  WorkloadDriver driver(link, cfg, collector);
+  link.start();
+  driver.start();
+  link.run_for(sim::duration::seconds(25));
+  driver.stop();
+
+  const auto& ck = collector.kind(Priority::kCreateKeep);
+  EXPECT_GT(ck.pairs_delivered, 5u);
+  // Slots recycled: far more pairs than memory qubits.
+  EXPECT_GT(ck.pairs_delivered,
+            static_cast<std::uint64_t>(
+                link.device_a().num_memory_qubits()));
+  // Fidelity was actually measured on live states.
+  EXPECT_GT(ck.fidelity.count(), 0u);
+  EXPECT_GT(ck.fidelity.mean(), 0.5);
+  EXPECT_LE(ck.fidelity.mean(), 1.0);
+  EXPECT_GT(driver.pairs_matched(), 0u);
+}
+
+TEST(WorkloadDriver, RandomOriginExercisesBothNodes) {
+  Link link(lab(3));
+  metrics::Collector collector;
+  WorkloadConfig cfg;
+  cfg.md = {0.99, 1};
+  cfg.origin = OriginMode::kRandom;
+  WorkloadDriver driver(link, cfg, collector);
+  link.start();
+  driver.start();
+  link.run_for(sim::duration::seconds(30));
+  driver.stop();
+  ASSERT_TRUE(collector.has_origin(Link::kNodeA));
+  ASSERT_TRUE(collector.has_origin(Link::kNodeB));
+  EXPECT_GT(collector.by_origin(Link::kNodeA).pairs_delivered, 0u);
+  EXPECT_GT(collector.by_origin(Link::kNodeB).pairs_delivered, 0u);
+}
+
+TEST(WorkloadDriver, LoadScalesThroughput) {
+  auto run = [](double load, std::uint64_t seed) {
+    Link link(lab(seed));
+    metrics::Collector collector;
+    WorkloadConfig cfg;
+    cfg.md = {load, 1};
+    cfg.origin = OriginMode::kAllA;
+    WorkloadDriver driver(link, cfg, collector);
+    link.start();
+    driver.start();
+    link.run_for(sim::duration::seconds(25));
+    driver.stop();
+    return collector.throughput(Priority::kMeasureDirectly);
+  };
+  const double low = run(0.3, 4);
+  const double high = run(0.99, 4);
+  EXPECT_GT(high, low * 1.5);
+}
+
+TEST(WorkloadDriver, MixedKindsAllServed) {
+  Link link(lab(5));
+  metrics::Collector collector;
+  const auto pattern = usage_pattern("Uniform", 0.99);
+  WorkloadConfig cfg = pattern.config;
+  cfg.origin = OriginMode::kRandom;
+  WorkloadDriver driver(link, cfg, collector);
+  link.start();
+  driver.start();
+  link.run_for(sim::duration::seconds(40));
+  driver.stop();
+  EXPECT_GT(collector.kind(Priority::kNetworkLayer).pairs_delivered, 0u);
+  EXPECT_GT(collector.kind(Priority::kCreateKeep).pairs_delivered, 0u);
+  EXPECT_GT(collector.kind(Priority::kMeasureDirectly).pairs_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace qlink::workload
