@@ -1,0 +1,64 @@
+// Chain scaling: end-to-end throughput / fidelity / latency vs. hop
+// count (1-4). This is the network-layer scenario the paper sketches
+// in Figure 1b, driven at sustained load through the same workload
+// harness the Section 6 evaluation uses.
+//
+// Expected shape: throughput stays near the single-link K rate (hops
+// generate in parallel; the end-to-end rate tracks the slowest hop),
+// while fidelity decays roughly as the product of per-link fidelities
+// and latency grows with the wait for the slowest hop.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "netlayer/swap_service.hpp"
+#include "netlayer/topology.hpp"
+
+using namespace qlink;
+using namespace qlink::bench;
+
+int main() {
+  print_header("Chain scaling: end-to-end swapping over 1-4 hops "
+               "(lab hardware, decoupled carbon memory)");
+  std::printf("%5s %9s %9s %12s %11s %11s %8s\n", "hops", "issued",
+              "delivered", "thr (1/s)", "fidelity", "latency(ms)", "swaps");
+
+  for (std::size_t hops = 1; hops <= 4; ++hops) {
+    netlayer::NetworkConfig net_cfg;
+    net_cfg.kind = netlayer::TopologyKind::kChain;
+    net_cfg.num_links = hops;
+    net_cfg.seed = 7;
+    net_cfg.link.scenario = hw::ScenarioParams::lab();
+    // Decoherence-protected carbon memory (dynamical decoupling, [82]):
+    // pairs must survive the wait for the slowest hop.
+    net_cfg.link.scenario.nv.carbon_t2_ns = 0.5e9;
+    net_cfg.link.scenario.nv.carbon_coupling_rad_per_s /= 10.0;
+
+    netlayer::QuantumNetwork net(net_cfg);
+    metrics::Collector collector;
+    netlayer::SwapService swap(net, &collector);
+
+    workload::WorkloadConfig wl;
+    wl.nl = {0.8, 1};
+    wl.origin = workload::OriginMode::kAllA;  // always node 0 -> node N
+    wl.min_fidelity = 0.5;        // end-to-end target
+    wl.link_min_fidelity = 0.78;  // per-hop CREATE floor
+    wl.seed = 7;
+    workload::WorkloadDriver driver(net, swap, wl, collector);
+
+    net.start();
+    driver.start();
+    net.run_for(sim::duration::seconds(5.0));
+    driver.stop();
+
+    const auto& nl = collector.kind(core::Priority::kNetworkLayer);
+    std::printf("%5zu %9llu %9llu %12.2f %11.4f %11.2f %8llu\n", hops,
+                static_cast<unsigned long long>(driver.requests_issued()),
+                static_cast<unsigned long long>(nl.pairs_delivered),
+                collector.throughput(core::Priority::kNetworkLayer),
+                nl.fidelity.mean(),
+                nl.pair_latency_s.mean() * 1e3,
+                static_cast<unsigned long long>(swap.stats().swaps));
+  }
+  return 0;
+}

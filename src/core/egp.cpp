@@ -567,15 +567,35 @@ void Egp::retransmit_expire(std::uint64_t key) {
 void Egp::handle_expire(const ExpirePacket& pkt) {
   ++stats_.expires_received;
   // Revoke OKs in [seq_low, seq_high); (0,0) expires the whole request.
-  ErrMessage err;
-  err.create_id = pkt.create_id;
-  err.error = EgpError::kExpired;
-  err.origin_node = pkt.origin_id;
-  err.seq_low = pkt.seq_low;
-  err.seq_high = pkt.seq_high;
-  emit_err(err);
+  const ActiveRequest* req = find_active(pkt.aid);
+  const DistributedQueue::Item* queued = queue_.find(pkt.aid);
+  const bool whole_request = pkt.seq_low == 0 && pkt.seq_high == 0;
+  // A whole-request EXPIRE for an aid that is neither active nor still
+  // queued is a duplicate (lost ACK -> retransmit) or races our own
+  // expiry: the ERR was already delivered, and re-emitting it with
+  // sender attribution could be pinned on an unrelated request (create
+  // ids are per-EGP counters and ambiguous alone). Just re-ACK below.
+  if (!whole_request || req != nullptr || queued != nullptr) {
+    ErrMessage err;
+    err.create_id = pkt.create_id;
+    err.error = EgpError::kExpired;
+    err.origin_node = pkt.origin_id;
+    err.seq_low = pkt.seq_low;
+    err.seq_high = pkt.seq_high;
+    // The packet's origin_id names the *sender*; higher layers
+    // attribute ERRs to the CREATE's origin, so resolve it while the
+    // request is still known (active, or queued-but-not-yet-active).
+    if (req != nullptr) {
+      err.create_id = req->pkt.create_id;
+      err.origin_node = req->pkt.origin_node;
+    } else if (queued != nullptr) {
+      err.create_id = queued->request.create_id;
+      err.origin_node = queued->request.origin_node;
+    }
+    emit_err(err);
+  }
 
-  if (pkt.seq_low == 0 && pkt.seq_high == 0) {
+  if (whole_request) {
     queue_.remove(pkt.aid);
     active_.erase(pkt.aid);
     if (outstanding_k_aid_ && *outstanding_k_aid_ == pkt.aid) {

@@ -12,39 +12,58 @@ using quantum::QubitId;
 namespace gates = quantum::gates;
 
 Link::Link(const LinkConfig& config)
-    : config_(config), random_(config.seed) {
-  const hw::ScenarioParams& sc = config_.scenario;
+    : config_(config),
+      owned_simulator_(std::make_unique<sim::Simulator>()),
+      owned_random_(std::make_unique<sim::Random>(config.seed)),
+      simulator_(owned_simulator_.get()),
+      random_(owned_random_.get()) {
+  owned_registry_ = std::make_unique<quantum::QuantumRegistry>(*random_);
+  registry_ = owned_registry_.get();
+  wire();
+}
 
-  registry_ = std::make_unique<quantum::QuantumRegistry>(random_);
+Link::Link(sim::Simulator& simulator, sim::Random& random,
+           quantum::QuantumRegistry& registry, const LinkConfig& config)
+    : config_(config),
+      simulator_(&simulator),
+      random_(&random),
+      registry_(&registry) {
+  wire();
+}
+
+void Link::wire() {
+  const hw::ScenarioParams& sc = config_.scenario;
+  const std::string& tag = config_.label;
+
   model_ = std::make_unique<hw::HeraldModel>(sc.herald);
 
-  device_a_ = std::make_unique<hw::NvDevice>(simulator_, "nv-a", sc.nv,
-                                             *registry_);
-  device_b_ = std::make_unique<hw::NvDevice>(simulator_, "nv-b", sc.nv,
-                                             *registry_);
+  device_a_ = std::make_unique<hw::NvDevice>(*simulator_, "nv-a" + tag,
+                                             sc.nv, *registry_);
+  device_b_ = std::make_unique<hw::NvDevice>(*simulator_, "nv-b" + tag,
+                                             sc.nv, *registry_);
 
   chan_a_h_ = std::make_unique<net::ClassicalChannel>(
-      simulator_, "fiber-a-h", sc.delay_a_to_station, random_,
+      *simulator_, "fiber-a-h" + tag, sc.delay_a_to_station, *random_,
       sc.classical_loss_prob);
   chan_b_h_ = std::make_unique<net::ClassicalChannel>(
-      simulator_, "fiber-b-h", sc.delay_b_to_station, random_,
+      *simulator_, "fiber-b-h" + tag, sc.delay_b_to_station, *random_,
       sc.classical_loss_prob);
   chan_ab_ = std::make_unique<net::ClassicalChannel>(
-      simulator_, "fiber-a-b", sc.delay_a_to_b(), random_,
+      *simulator_, "fiber-a-b" + tag, sc.delay_a_to_b(), *random_,
       sc.classical_loss_prob);
 
   // Endpoint convention: nodes sit at endpoint 0 of their station link
   // and the station at endpoint 1; on the peer link A is 0 and B is 1.
-  mhp_a_ = std::make_unique<proto::NodeMhp>(simulator_, "mhp-a", kNodeA,
-                                            *device_a_, *chan_a_h_, 0,
-                                            sc.mhp_cycle);
-  mhp_b_ = std::make_unique<proto::NodeMhp>(simulator_, "mhp-b", kNodeB,
-                                            *device_b_, *chan_b_h_, 0,
-                                            sc.mhp_cycle);
+  mhp_a_ = std::make_unique<proto::NodeMhp>(*simulator_, "mhp-a" + tag,
+                                            config_.node_id_a, *device_a_,
+                                            *chan_a_h_, 0, sc.mhp_cycle);
+  mhp_b_ = std::make_unique<proto::NodeMhp>(*simulator_, "mhp-b" + tag,
+                                            config_.node_id_b, *device_b_,
+                                            *chan_b_h_, 0, sc.mhp_cycle);
 
   station_ = std::make_unique<proto::MidpointStation>(
-      simulator_, "station-h", *model_, random_, *chan_a_h_, 1, *chan_b_h_, 1,
-      sc.mhp_cycle);
+      *simulator_, "station-h" + tag, *model_, *random_, *chan_a_h_, 1,
+      *chan_b_h_, 1, sc.mhp_cycle);
   const std::uint64_t skew_cycles =
       static_cast<std::uint64_t>(
           std::max(sc.delay_a_to_station, sc.delay_b_to_station) /
@@ -79,12 +98,14 @@ Link::Link(const LinkConfig& config)
     c.one_sided_error_threshold = config_.one_sided_error_threshold;
     return c;
   };
-  egp_a_ = std::make_unique<Egp>(simulator_, "egp-a",
-                                 make_egp_config(kNodeA, kNodeB, true), sc,
-                                 *device_a_, *model_, *chan_ab_, 0, *mhp_a_);
-  egp_b_ = std::make_unique<Egp>(simulator_, "egp-b",
-                                 make_egp_config(kNodeB, kNodeA, false), sc,
-                                 *device_b_, *model_, *chan_ab_, 1, *mhp_b_);
+  egp_a_ = std::make_unique<Egp>(
+      *simulator_, "egp-a" + tag,
+      make_egp_config(config_.node_id_a, config_.node_id_b, true), sc,
+      *device_a_, *model_, *chan_ab_, 0, *mhp_a_);
+  egp_b_ = std::make_unique<Egp>(
+      *simulator_, "egp-b" + tag,
+      make_egp_config(config_.node_id_b, config_.node_id_a, false), sc,
+      *device_b_, *model_, *chan_ab_, 1, *mhp_b_);
 }
 
 void Link::start() {
@@ -93,7 +114,7 @@ void Link::start() {
 }
 
 void Link::run_for(sim::SimTime span) {
-  simulator_.run_until(simulator_.now() + span);
+  simulator_->run_until(simulator_->now() + span);
 }
 
 void Link::set_classical_loss(double p) {
@@ -115,7 +136,7 @@ void Link::install_entanglement(int outcome, std::uint64_t cycle) {
       static_cast<sim::SimTime>(cycle) * config_.scenario.mhp_cycle;
   const auto& nv = config_.scenario.nv;
   const double elapsed =
-      static_cast<double>(std::max<sim::SimTime>(0, simulator_.now() -
+      static_cast<double>(std::max<sim::SimTime>(0, simulator_->now() -
                                                         emitted));
   const auto decay =
       quantum::channels::t1t2(elapsed, nv.electron_t1_ns, nv.electron_t2_ns);
@@ -157,7 +178,7 @@ std::pair<int, int> Link::sample_measurement(int outcome,
   const auto& m = state.matrix();
   const double w[] = {m(0, 0).real(), m(1, 1).real(), m(2, 2).real(),
                       m(3, 3).real()};
-  const auto joint = random_.discrete(w);
+  const auto joint = random_->discrete(w);
   int oa = static_cast<int>(joint >> 1);
   int ob = static_cast<int>(joint & 1);
 
@@ -165,7 +186,7 @@ std::pair<int, int> Link::sample_measurement(int outcome,
   auto flip = [&](int o) {
     const double p_correct =
         o == 0 ? nv.readout_fidelity0 : nv.readout_fidelity1;
-    return random_.bernoulli(p_correct) ? o : 1 - o;
+    return random_->bernoulli(p_correct) ? o : 1 - o;
   };
   oa = flip(oa);
   ob = flip(ob);

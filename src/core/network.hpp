@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/egp.hpp"
 #include "hw/herald_model.hpp"
@@ -32,18 +33,39 @@ struct LinkConfig {
   /// Consecutive one-sided midpoint errors before a request is expired
   /// (see EgpConfig::one_sided_error_threshold).
   int one_sided_error_threshold = 64;
+  /// Network-wide node ids of the two endpoints. The defaults keep the
+  /// historical single-link world (A = 0, B = 1); a topology assigns
+  /// globally unique ids so OK origin fields stay unambiguous.
+  std::uint32_t node_id_a = 0;
+  std::uint32_t node_id_b = 1;
+  /// Suffix appended to entity names (e.g. "[2]") so diagnostics from
+  /// different links in one simulation are distinguishable.
+  std::string label;
 };
 
 /// A fully wired two-node quantum link.
+///
+/// A link either owns its simulation world (simulator, random source,
+/// qubit registry) — the historical standalone mode — or borrows an
+/// externally owned one, which is how netlayer::QuantumNetwork puts
+/// many links on a single clock so their pairs can be swapped into
+/// end-to-end entanglement.
 class Link {
  public:
+  /// Standalone: the link owns simulator, random source, and registry.
   explicit Link(const LinkConfig& config);
+
+  /// Shared-world: all three are owned by the caller (who must keep
+  /// them alive for the lifetime of the link). Entanglement between
+  /// qubits of different links requires a shared registry.
+  Link(sim::Simulator& simulator, sim::Random& random,
+       quantum::QuantumRegistry& registry, const LinkConfig& config);
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  sim::Simulator& simulator() { return simulator_; }
-  sim::Random& random() { return random_; }
+  sim::Simulator& simulator() { return *simulator_; }
+  sim::Random& random() { return *random_; }
   quantum::QuantumRegistry& registry() { return *registry_; }
   const hw::HeraldModel& herald_model() const { return *model_; }
   const hw::ScenarioParams& scenario() const { return config_.scenario; }
@@ -53,8 +75,13 @@ class Link {
   Egp& egp_a() { return *egp_a_; }
   Egp& egp_b() { return *egp_b_; }
   Egp& egp(std::uint32_t node_id) {
-    return node_id == kNodeA ? *egp_a_ : *egp_b_;
+    return node_id == config_.node_id_a ? *egp_a_ : *egp_b_;
   }
+  hw::NvDevice& device(std::uint32_t node_id) {
+    return node_id == config_.node_id_a ? *device_a_ : *device_b_;
+  }
+  std::uint32_t node_id_a() const noexcept { return config_.node_id_a; }
+  std::uint32_t node_id_b() const noexcept { return config_.node_id_b; }
   proto::NodeMhp& mhp_a() { return *mhp_a_; }
   proto::NodeMhp& mhp_b() { return *mhp_b_; }
   proto::MidpointStation& station() { return *station_; }
@@ -80,15 +107,20 @@ class Link {
   static constexpr std::uint32_t kNodeB = 1;
 
  private:
+  void wire();
   void install_entanglement(int outcome, std::uint64_t cycle);
   std::pair<int, int> sample_measurement(int outcome,
                                          quantum::gates::Basis basis_a,
                                          quantum::gates::Basis basis_b);
 
   LinkConfig config_;
-  sim::Simulator simulator_;
-  sim::Random random_;
-  std::unique_ptr<quantum::QuantumRegistry> registry_;
+  // Owned only in standalone mode; null when the world is external.
+  std::unique_ptr<sim::Simulator> owned_simulator_;
+  std::unique_ptr<sim::Random> owned_random_;
+  std::unique_ptr<quantum::QuantumRegistry> owned_registry_;
+  sim::Simulator* simulator_ = nullptr;
+  sim::Random* random_ = nullptr;
+  quantum::QuantumRegistry* registry_ = nullptr;
   std::unique_ptr<hw::HeraldModel> model_;
   std::unique_ptr<hw::NvDevice> device_a_;
   std::unique_ptr<hw::NvDevice> device_b_;

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "core/requests.hpp"
+#include "metrics/collector.hpp"
+#include "netlayer/topology.hpp"
+#include "sim/entity.hpp"
+
+/// \file swap_service.hpp
+/// Network-layer entanglement swapping (Section 3.3 / Figure 1b).
+///
+/// The SwapService is the higher layer the EGP serves: it owns the
+/// OK/ERR streams of every EGP in a QuantumNetwork. An end-to-end
+/// request fans out into one link-layer CREATE per hop of the route;
+/// as matched OK pairs surface on every hop, the service Bell-measures
+/// the two halves held at each intermediate node (the mechanics proven
+/// in examples/repeater_swap_nl.cpp, generalised to arbitrary routes),
+/// applies the conditional Pauli corrections toward the destination,
+/// and delivers an end-to-end pair whose fidelity is measured with
+/// simulator privilege and tracked through metrics::Collector.
+
+namespace qlink::netlayer {
+
+/// End-to-end entanglement request between two nodes of the network.
+struct E2eRequest {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 1;
+  std::uint16_t num_pairs = 1;
+  /// End-to-end target; also the per-link CREATE floor unless
+  /// link_min_fidelity is set. (Swapping multiplies infidelities, so a
+  /// route of n hops at link fidelity F ends near F^n.)
+  double min_fidelity = 0.5;
+  /// Per-link CREATE min_fidelity override; 0 = use min_fidelity.
+  double link_min_fidelity = 0.0;
+  /// The fidelity floor each hop's CREATE actually carries (also what
+  /// issue-rate calibration must use).
+  double effective_link_floor() const {
+    return link_min_fidelity > 0.0 ? link_min_fidelity : min_fidelity;
+  }
+  sim::SimTime max_time = 0;  // tmax per link-layer CREATE; 0 = unbounded
+  std::uint16_t purpose_id = 1;
+  /// Move each link pair into carbon memory on delivery (survives the
+  /// wait for the slowest hop; needs the decoupled-memory scenario for
+  /// long waits, see examples/chain_e2e_nl.cpp).
+  bool store_in_memory = true;
+};
+
+/// End-to-end delivery, the network-layer analogue of core::OkMessage.
+struct E2eOk {
+  std::uint32_t request_id = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t pair_index = 0;
+  std::uint16_t total_pairs = 1;
+  quantum::QubitId qubit_src = 0;
+  quantum::QubitId qubit_dst = 0;
+  /// Fidelity of the delivered pair to |Psi+>, measured at delivery
+  /// time with simulator privilege.
+  double fidelity = 0.0;
+  sim::SimTime submit_time = 0;
+  sim::SimTime deliver_time = 0;
+  int swaps = 0;
+  /// Link-layer backing of the two ends (needed to release them).
+  std::size_t link_src = 0;
+  std::size_t link_dst = 0;
+  core::OkMessage ok_src;
+  core::OkMessage ok_dst;
+};
+
+struct E2eErr {
+  std::uint32_t request_id = 0;
+  core::EgpError error = core::EgpError::kNone;
+  std::size_t link = 0;
+};
+
+class SwapService : public sim::Entity {
+ public:
+  using DeliverFn = std::function<void(const E2eOk&)>;
+  using ErrorFn = std::function<void(const E2eErr&)>;
+  using UnclaimedFn = std::function<void(std::size_t link, std::uint32_t node,
+                                         const core::OkMessage&)>;
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t link_pairs_consumed = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t pairs_delivered = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t unclaimed_oks = 0;
+  };
+
+  /// Takes over the OK/ERR handlers of every EGP in `network`. At most
+  /// one SwapService per network; `collector` (optional) receives
+  /// record_create/record_ok/record_err under Priority::kNetworkLayer.
+  explicit SwapService(QuantumNetwork& network,
+                       metrics::Collector* collector = nullptr);
+
+  /// Submit an end-to-end request. Returns its id; deliveries arrive
+  /// through the deliver handler.
+  std::uint32_t request(const E2eRequest& request);
+
+  void set_deliver_handler(DeliverFn fn) { on_deliver_ = std::move(fn); }
+  void set_error_handler(ErrorFn fn) { on_error_ = std::move(fn); }
+  /// Called for OKs that belong to no end-to-end request (e.g. link
+  /// traffic issued directly by a test). Default: K-type pairs are
+  /// released immediately so they cannot exhaust device memory.
+  void set_unclaimed_handler(UnclaimedFn fn) { on_unclaimed_ = std::move(fn); }
+
+  /// The higher layer is done with a delivered end-to-end pair.
+  void release(const E2eOk& ok);
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t open_requests() const noexcept { return requests_.size(); }
+
+ private:
+  struct PartialPair {
+    std::optional<core::OkMessage> a;  // link's A-side OK
+    std::optional<core::OkMessage> b;  // link's B-side OK
+  };
+
+  struct MatchedPair {
+    std::size_t link = 0;
+    core::OkMessage a;
+    core::OkMessage b;
+  };
+
+  struct HopState {
+    Hop hop;
+    std::uint32_t create_id = 0;
+    std::map<std::uint32_t, PartialPair> partial;  // by ent_id.seq_mhp
+    std::deque<MatchedPair> ready;
+  };
+
+  struct RequestState {
+    std::uint32_t id = 0;
+    E2eRequest req;
+    sim::SimTime submitted = 0;
+    std::vector<HopState> hops;
+    std::uint16_t launched = 0;   // cascades started
+    std::uint16_t delivered = 0;  // end-to-end pairs delivered
+  };
+
+  void on_ok(std::size_t link, std::uint32_t node, const core::OkMessage& ok);
+  void on_err(std::size_t link, std::uint32_t node, const core::ErrMessage&);
+  void try_launch(RequestState& rs);
+  void run_cascade(std::uint32_t request_id, std::vector<MatchedPair> pairs);
+  void fail_request(RequestState& rs, std::size_t link, core::EgpError error);
+  /// Returns how many pair halves/pairs were dropped.
+  std::size_t drop_revoked(RequestState& rs, std::size_t link,
+                           std::uint32_t seq_low, std::uint32_t seq_high);
+  void erase_request(std::uint32_t id);
+
+  /// OK held at the node a hop enters at (near end) / exits from (far).
+  static const core::OkMessage& near_ok(const Hop& h, const MatchedPair& p) {
+    return h.reversed ? p.b : p.a;
+  }
+  static const core::OkMessage& far_ok(const Hop& h, const MatchedPair& p) {
+    return h.reversed ? p.a : p.b;
+  }
+
+  /// Worst-case classical delay for swap outcomes to reach dst: the
+  /// route length in one-way link delays from the first swap node.
+  sim::SimTime correction_delay(const RequestState& rs);
+
+  QuantumNetwork& net_;
+  metrics::Collector* collector_;
+  std::map<std::uint32_t, RequestState> requests_;
+  /// (link index, origin node of the CREATE, link-layer create id) ->
+  /// (request id, hop index). Create ids are per-EGP counters, so two
+  /// requests entering one link from opposite ends can share an id —
+  /// the origin node disambiguates them.
+  std::map<std::tuple<std::size_t, std::uint32_t, std::uint32_t>,
+           std::pair<std::uint32_t, std::size_t>>
+      by_create_;
+  std::uint32_t next_request_id_ = 1;
+  DeliverFn on_deliver_;
+  ErrorFn on_error_;
+  UnclaimedFn on_unclaimed_;
+  Stats stats_;
+};
+
+}  // namespace qlink::netlayer

@@ -1,0 +1,89 @@
+#include "netlayer/topology.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace qlink::netlayer {
+
+QuantumNetwork::QuantumNetwork(const NetworkConfig& config)
+    : config_(config), random_(config.seed), registry_(random_) {
+  if (config_.num_links == 0) {
+    throw std::invalid_argument("QuantumNetwork: at least one link");
+  }
+  links_.reserve(config_.num_links);
+  for (std::size_t i = 0; i < config_.num_links; ++i) {
+    core::LinkConfig lc = config_.link;
+    lc.label = "[" + std::to_string(i) + "]";
+    switch (config_.kind) {
+      case TopologyKind::kChain:
+        // Nodes 0..N along the chain.
+        lc.node_id_a = static_cast<std::uint32_t>(i);
+        lc.node_id_b = static_cast<std::uint32_t>(i + 1);
+        break;
+      case TopologyKind::kStar:
+        // Leaf at the A side, center (node 0) at the B side, so a
+        // leaf-to-leaf route is forward over the first hop and
+        // reversed over the second.
+        lc.node_id_a = static_cast<std::uint32_t>(i + 1);
+        lc.node_id_b = 0;
+        break;
+    }
+    links_.push_back(std::make_unique<core::Link>(simulator_, random_,
+                                                  registry_, lc));
+  }
+}
+
+std::vector<Hop> QuantumNetwork::path(std::uint32_t src,
+                                      std::uint32_t dst) const {
+  const auto nodes = static_cast<std::uint32_t>(num_nodes());
+  if (src >= nodes || dst >= nodes) {
+    throw std::invalid_argument("path: node id out of range");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("path: src == dst");
+  }
+
+  // BFS over the (tree) adjacency; record the hop that discovered each
+  // node and walk back from dst.
+  std::vector<std::optional<Hop>> via(nodes);
+  std::vector<bool> seen(nodes, false);
+  std::queue<std::uint32_t> frontier;
+  seen[src] = true;
+  frontier.push(src);
+  while (!frontier.empty() && !seen[dst]) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      const auto [a, b] = endpoints(i);
+      std::optional<Hop> hop;
+      if (a == u && !seen[b]) hop = Hop{i, false};
+      if (b == u && !seen[a]) hop = Hop{i, true};
+      if (!hop) continue;
+      const std::uint32_t v = hop_exit(*hop);
+      seen[v] = true;
+      via[v] = *hop;
+      frontier.push(v);
+    }
+  }
+  if (!seen[dst]) {
+    throw std::invalid_argument("path: nodes not connected");
+  }
+
+  std::vector<Hop> hops;
+  for (std::uint32_t v = dst; v != src;) {
+    const Hop h = *via[v];
+    hops.push_back(h);
+    v = hop_entry(h);
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+void QuantumNetwork::start() {
+  for (auto& link : links_) link->start();
+}
+
+}  // namespace qlink::netlayer

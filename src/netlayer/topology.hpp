@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/network.hpp"
+#include "quantum/registry.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+/// \file topology.hpp
+/// Multi-link topologies on a single simulation clock.
+///
+/// The paper's network layer (Section 3.3 / Figure 1b) composes
+/// link-layer pairs into long-distance entanglement. A QuantumNetwork
+/// instantiates N core::Links that share one Simulator, one Random
+/// source, and one QuantumRegistry, so (a) every link advances on the
+/// same deterministic clock and (b) qubits of different links can be
+/// joined into one density matrix when a swap entangles them.
+///
+/// Supported shapes: a chain of N links (nodes 0..N, link i between
+/// nodes i and i+1) and a star of N links (center node 0, leaves
+/// 1..N, link i between leaf i+1 and the center). Both are trees, so
+/// routing is a breadth-first search.
+
+namespace qlink::netlayer {
+
+enum class TopologyKind { kChain, kStar };
+
+struct NetworkConfig {
+  TopologyKind kind = TopologyKind::kChain;
+  /// Number of links (chain: hops; star: leaves). Nodes = links + 1.
+  std::size_t num_links = 2;
+  /// Per-link template (scenario, scheduler, ...). Node ids and labels
+  /// are overwritten per link by the topology.
+  core::LinkConfig link;
+  /// Seed of the single shared Random source.
+  std::uint64_t seed = 1;
+};
+
+/// One step of a route: which link to traverse and in which direction.
+/// `reversed == false` means the route enters at the link's A node and
+/// exits at its B node.
+struct Hop {
+  std::size_t link = 0;
+  bool reversed = false;
+};
+
+class QuantumNetwork {
+ public:
+  explicit QuantumNetwork(const NetworkConfig& config);
+
+  QuantumNetwork(const QuantumNetwork&) = delete;
+  QuantumNetwork& operator=(const QuantumNetwork&) = delete;
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  sim::Random& random() noexcept { return random_; }
+  quantum::QuantumRegistry& registry() noexcept { return registry_; }
+  const NetworkConfig& config() const noexcept { return config_; }
+
+  std::size_t num_links() const noexcept { return links_.size(); }
+  std::size_t num_nodes() const noexcept { return links_.size() + 1; }
+  core::Link& link(std::size_t i) { return *links_.at(i); }
+
+  /// Global node ids of link i, (A side, B side).
+  std::pair<std::uint32_t, std::uint32_t> endpoints(std::size_t i) const {
+    return {links_.at(i)->node_id_a(), links_.at(i)->node_id_b()};
+  }
+
+  /// Node ids a hop enters at / exits from.
+  std::uint32_t hop_entry(const Hop& h) const {
+    const auto [a, b] = endpoints(h.link);
+    return h.reversed ? b : a;
+  }
+  std::uint32_t hop_exit(const Hop& h) const {
+    const auto [a, b] = endpoints(h.link);
+    return h.reversed ? a : b;
+  }
+
+  /// EGP instance of node `node_id` on link i (node must be an endpoint).
+  core::Egp& egp_at(std::size_t i, std::uint32_t node_id) {
+    return links_.at(i)->egp(node_id);
+  }
+
+  /// Unique route between two nodes (the topologies are trees). Throws
+  /// std::invalid_argument if either node id is out of range or the
+  /// nodes coincide.
+  std::vector<Hop> path(std::uint32_t src, std::uint32_t dst) const;
+
+  /// Start every link's MHP cycle clocks.
+  void start();
+
+  /// Advance the shared clock.
+  void run_for(sim::SimTime span) {
+    simulator_.run_until(simulator_.now() + span);
+  }
+  void run_until(sim::SimTime t) { simulator_.run_until(t); }
+
+ private:
+  NetworkConfig config_;
+  sim::Simulator simulator_;
+  sim::Random random_;
+  quantum::QuantumRegistry registry_;
+  std::vector<std::unique_ptr<core::Link>> links_;
+};
+
+}  // namespace qlink::netlayer

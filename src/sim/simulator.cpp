@@ -1,6 +1,5 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace qlink::sim {
@@ -10,40 +9,38 @@ EventId Simulator::schedule_at(SimTime at, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("schedule_at: empty function");
   EventId id = next_id_++;
   queue_.push(Scheduled{at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  if (is_cancelled(id)) return false;
-  cancelled_.push_back(id);
+  if (live_.erase(id) == 0) return false;  // already fired or cancelled
+  cancelled_.insert(id);
   return true;
 }
 
-bool Simulator::is_cancelled(EventId id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-         cancelled_.end();
+void Simulator::prune_cancelled_top() {
+  while (!queue_.empty() && cancelled_.erase(queue_.top().id) > 0) {
+    queue_.pop();
+  }
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Scheduled ev = queue_.top();
-    queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.time;
-    ++processed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  prune_cancelled_top();
+  if (queue_.empty()) return false;
+  Scheduled ev = queue_.top();
+  queue_.pop();
+  live_.erase(ev.id);
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  for (;;) {
+    prune_cancelled_top();
+    if (queue_.empty() || queue_.top().time > t) break;
     if (!step()) break;
   }
   if (now_ < t) now_ = t;

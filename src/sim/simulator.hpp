@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -40,7 +41,7 @@ class Simulator {
   }
 
   /// Cancel a previously scheduled event. Returns false if the event has
-  /// already fired or was cancelled before.
+  /// already fired or was cancelled before. O(1).
   bool cancel(EventId id);
 
   /// Run a single event. Returns false if the queue is empty.
@@ -56,8 +57,9 @@ class Simulator {
   /// Number of events executed so far.
   std::uint64_t events_processed() const noexcept { return processed_; }
 
-  /// Number of events still pending (including cancelled-but-not-popped).
-  std::size_t pending() const noexcept { return queue_.size(); }
+  /// Number of events still pending. Exact: cancelled events are
+  /// excluded even while their queue slots await lazy removal.
+  std::size_t pending() const noexcept { return live_.size(); }
 
  private:
   struct Scheduled {
@@ -74,14 +76,21 @@ class Simulator {
     }
   };
 
-  bool is_cancelled(EventId id) const;
+  /// Drop cancelled events sitting at the head of the queue so that
+  /// queue_.top() is always a live event (or the queue is empty).
+  void prune_cancelled_top();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
-  std::vector<EventId> cancelled_;  // sorted insertion not needed: small
+  /// Ids scheduled but not yet fired or cancelled.
+  std::unordered_set<EventId> live_;
+  /// Ids cancelled but whose queue slot has not been popped yet; each
+  /// entry is erased when its slot surfaces, so the set stays bounded by
+  /// the queue size.
+  std::unordered_set<EventId> cancelled_;
 };
 
 }  // namespace qlink::sim

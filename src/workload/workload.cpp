@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "netlayer/swap_service.hpp"
+#include "netlayer/topology.hpp"
+
 namespace qlink::workload {
 
 using core::CreateRequest;
@@ -41,19 +44,39 @@ UsagePattern usage_pattern(const std::string& name, double load) {
 WorkloadDriver::WorkloadDriver(core::Link& link, const WorkloadConfig& config,
                                metrics::Collector& collector)
     : Entity(link.simulator(), "workload"),
-      link_(link),
+      link_(&link),
       config_(config),
       collector_(collector),
       random_(config.seed),
       timer_(link.simulator(), link.scenario().mhp_cycle,
              [this] { on_cycle(); }) {
-  for (std::uint32_t node : {core::Link::kNodeA, core::Link::kNodeB}) {
-    core::Egp& egp = link_.egp(node);
+  for (std::uint32_t node : {link.node_id_a(), link.node_id_b()}) {
+    core::Egp& egp = link_->egp(node);
     egp.set_ok_handler(
         [this, node](const OkMessage& ok) { on_ok(node, ok); });
     egp.set_err_handler(
         [this, node](const ErrMessage& err) { on_err(node, err); });
   }
+}
+
+WorkloadDriver::WorkloadDriver(netlayer::QuantumNetwork& network,
+                               netlayer::SwapService& swap,
+                               const WorkloadConfig& config,
+                               metrics::Collector& collector)
+    : Entity(network.simulator(), "workload-e2e"),
+      net_(&network),
+      swap_(&swap),
+      config_(config),
+      collector_(collector),
+      random_(config.seed),
+      timer_(network.simulator(), network.link(0).scenario().mhp_cycle,
+             [this] { on_cycle(); }) {
+  // The SwapService owns the EGP OK/ERR streams; we only consume its
+  // end-to-end deliveries.
+  swap_->set_deliver_handler([this](const netlayer::E2eOk& ok) {
+    ++matched_;
+    swap_->release(ok);
+  });
 }
 
 void WorkloadDriver::start() {
@@ -66,18 +89,30 @@ void WorkloadDriver::stop() {
   collector_.end(now());
 }
 
+core::Link& WorkloadDriver::ref_link() {
+  return link_ != nullptr ? *link_ : net_->link(0);
+}
+
 double WorkloadDriver::issue_probability(Priority kind,
                                          const KindSpec& spec) {
   if (spec.fraction <= 0.0) return 0.0;
+  core::Link& link = ref_link();
   const bool is_keep = kind != Priority::kMeasureDirectly;
   const std::size_t type_idx = is_keep ? 0 : 1;
   if (!cached_p_succ_[type_idx]) {
-    const auto advice = link_.egp_a().feu().advise(
-        config_.min_fidelity,
+    // In e2e mode, calibrate against the floor each hop's CREATE will
+    // actually carry (see E2eRequest::effective_link_floor).
+    netlayer::E2eRequest floor_probe;
+    floor_probe.min_fidelity = config_.min_fidelity;
+    floor_probe.link_min_fidelity = config_.link_min_fidelity;
+    const double floor = link_ == nullptr ? floor_probe.effective_link_floor()
+                                          : config_.min_fidelity;
+    const auto advice = link.egp_a().feu().advise(
+        floor,
         is_keep ? RequestType::kCreateKeep : RequestType::kCreateMeasure);
     cached_p_succ_[type_idx] =
         advice.feasible
-            ? link_.herald_model().distribution(advice.alpha, advice.alpha)
+            ? link.herald_model().distribution(advice.alpha, advice.alpha)
                   .p_success()
             : 0.0;
   }
@@ -86,8 +121,8 @@ double WorkloadDriver::issue_probability(Priority kind,
   // round trip and carbon-refresh overhead for K).
   double e_cycles = 1.0;
   if (is_keep) {
-    const auto& feu = link_.egp_a().feu();
-    const auto& nv = link_.scenario().nv;
+    const auto& feu = link.egp_a().feu();
+    const auto& nv = link.scenario().nv;
     const double refresh =
         static_cast<double>(nv.carbon_refresh_duration) /
         static_cast<double>(nv.carbon_refresh_interval);
@@ -98,38 +133,92 @@ double WorkloadDriver::issue_probability(Priority kind,
 }
 
 void WorkloadDriver::on_cycle() {
+  if (swap_ != nullptr) {
+    // Stale-pair eviction lives in the SwapService here; pending_ is
+    // only populated in single-link mode.
+    maybe_issue_e2e();
+    std::size_t queued = 0;
+    for (std::size_t i = 0; i < net_->num_links(); ++i) {
+      queued += net_->link(i).egp_a().queue().total_size();
+    }
+    collector_.sample_queue_length(queued);
+    return;
+  }
   maybe_issue(Priority::kNetworkLayer, config_.nl);
   maybe_issue(Priority::kCreateKeep, config_.ck);
   maybe_issue(Priority::kMeasureDirectly, config_.md);
   sweep_stale();
-  collector_.sample_queue_length(link_.egp_a().queue().total_size());
+  collector_.sample_queue_length(link_->egp_a().queue().total_size());
+}
+
+std::uint16_t WorkloadDriver::throttled_request_size(double base,
+                                                     std::uint16_t k_max) {
+  if (base <= 0.0) return 0;
+  const auto k = static_cast<std::uint16_t>(
+      random_.uniform_int(1, std::max<std::uint16_t>(k_max, 1)));
+  return random_.bernoulli(base / static_cast<double>(k)) ? k : 0;
+}
+
+void WorkloadDriver::maybe_issue_e2e() {
+  const double base = issue_probability(Priority::kNetworkLayer, config_.nl);
+  const std::uint16_t k = throttled_request_size(base, config_.nl.k_max);
+  if (k == 0) return;
+
+  const auto last = static_cast<std::uint32_t>(net_->num_nodes() - 1);
+  // In a star, node 0 is the center: the "first" end is leaf 1 so that
+  // fixed-endpoint runs actually traverse a swap at the center.
+  const std::uint32_t first =
+      net_->config().kind == netlayer::TopologyKind::kStar && last > 1 ? 1
+                                                                       : 0;
+  std::uint32_t src = first;
+  std::uint32_t dst = last;
+  switch (config_.origin) {
+    case OriginMode::kAllA:
+      break;
+    case OriginMode::kAllB:
+      std::swap(src, dst);
+      break;
+    case OriginMode::kRandom: {
+      src = static_cast<std::uint32_t>(random_.uniform_int(0, last));
+      dst = static_cast<std::uint32_t>(random_.uniform_int(0, last - 1));
+      if (dst >= src) ++dst;  // uniform over distinct pairs
+      break;
+    }
+  }
+
+  netlayer::E2eRequest req;
+  req.src = src;
+  req.dst = dst;
+  req.num_pairs = k;
+  req.min_fidelity = config_.min_fidelity;
+  req.link_min_fidelity = config_.link_min_fidelity;
+  req.max_time = config_.max_time;
+  swap_->request(req);
+  ++issued_;
 }
 
 void WorkloadDriver::maybe_issue(Priority kind, const KindSpec& spec) {
   const double base = issue_probability(kind, spec);
-  if (base <= 0.0) return;
-  const auto k = static_cast<std::uint16_t>(
-      random_.uniform_int(1, std::max<std::uint16_t>(spec.k_max, 1)));
-  const double p = base / static_cast<double>(k);
-  if (!random_.bernoulli(p)) return;
+  const std::uint16_t k = throttled_request_size(base, spec.k_max);
+  if (k == 0) return;
 
-  std::uint32_t origin = core::Link::kNodeA;
+  std::uint32_t origin = link_->node_id_a();
   switch (config_.origin) {
     case OriginMode::kAllA:
-      origin = core::Link::kNodeA;
+      origin = link_->node_id_a();
       break;
     case OriginMode::kAllB:
-      origin = core::Link::kNodeB;
+      origin = link_->node_id_b();
       break;
     case OriginMode::kRandom:
-      origin = random_.bernoulli(0.5) ? core::Link::kNodeB
-                                      : core::Link::kNodeA;
+      origin = random_.bernoulli(0.5) ? link_->node_id_b()
+                                      : link_->node_id_a();
       break;
   }
 
   CreateRequest req;
-  req.remote_node_id = origin == core::Link::kNodeA ? core::Link::kNodeB
-                                                    : core::Link::kNodeA;
+  req.remote_node_id = origin == link_->node_id_a() ? link_->node_id_b()
+                                                    : link_->node_id_a();
   req.num_pairs = k;
   req.min_fidelity = config_.min_fidelity;
   req.max_time = config_.max_time;
@@ -153,38 +242,39 @@ void WorkloadDriver::maybe_issue(Priority kind, const KindSpec& spec) {
       break;
   }
 
-  core::Egp& egp = link_.egp(origin);
+  core::Egp& egp = link_->egp(origin);
   const std::uint32_t create_id = egp.create(req);
-  kind_by_create_[origin][create_id] = kind;
+  kind_by_create_[side_index(origin)][create_id] = kind;
   collector_.record_create(origin, create_id, kind, k, now());
   ++issued_;
 }
 
 void WorkloadDriver::on_ok(std::uint32_t node, const OkMessage& ok) {
   Priority kind = Priority::kCreateKeep;
-  const auto it = kind_by_create_[ok.origin_node].find(ok.create_id);
-  if (it != kind_by_create_[ok.origin_node].end()) kind = it->second;
+  auto& by_create = kind_by_create_[side_index(ok.origin_node)];
+  const auto it = by_create.find(ok.create_id);
+  if (it != by_create.end()) kind = it->second;
 
   PendingPair& pending = pending_[ok.ent_id.seq_mhp];
   if (pending.first_seen == 0) pending.first_seen = now();
-  (node == core::Link::kNodeA ? pending.ok_a : pending.ok_b) = ok;
+  (node == link_->node_id_a() ? pending.ok_a : pending.ok_b) = ok;
 
   // Latency/goodness metrics are defined at the requesting node.
   if (node == ok.origin_node) {
     std::optional<double> fidelity;
     if (!ok.is_measure_directly && pending.ok_a && pending.ok_b) {
       fidelity =
-          link_.pair_fidelity(pending.ok_a->qubit, pending.ok_b->qubit);
+          link_->pair_fidelity(pending.ok_a->qubit, pending.ok_b->qubit);
     }
     collector_.record_ok(ok, kind, now(), fidelity);
     if (ok.pair_index + 1 == ok.total_pairs) {
-      kind_by_create_[ok.origin_node].erase(ok.create_id);
+      kind_by_create_[side_index(ok.origin_node)].erase(ok.create_id);
     }
   } else if (!ok.is_measure_directly && pending.ok_a && pending.ok_b) {
     // The origin's OK arrived first and was recorded without fidelity;
     // record it now that both halves are visible.
     collector_.kind(kind).fidelity.add(
-        link_.pair_fidelity(pending.ok_a->qubit, pending.ok_b->qubit));
+        link_->pair_fidelity(pending.ok_a->qubit, pending.ok_b->qubit));
   }
 
   if (pending.ok_a && pending.ok_b) {
@@ -203,8 +293,8 @@ void WorkloadDriver::consume(const PendingPair& pair) {
     }
     return;
   }
-  link_.egp_a().release_delivered(*pair.ok_a);
-  link_.egp_b().release_delivered(*pair.ok_b);
+  link_->egp_a().release_delivered(*pair.ok_a);
+  link_->egp_b().release_delivered(*pair.ok_b);
 }
 
 void WorkloadDriver::sweep_stale() {
@@ -213,10 +303,10 @@ void WorkloadDriver::sweep_stale() {
     if (now() - p.first_seen > config_.stale_pair_horizon) {
       // The partner OK will never come (lost REPLY, later EXPIREd).
       if (p.ok_a && !p.ok_a->is_measure_directly) {
-        link_.egp_a().release_delivered(*p.ok_a);
+        link_->egp_a().release_delivered(*p.ok_a);
       }
       if (p.ok_b && !p.ok_b->is_measure_directly) {
-        link_.egp_b().release_delivered(*p.ok_b);
+        link_->egp_b().release_delivered(*p.ok_b);
       }
       it = pending_.erase(it);
     } else {
@@ -228,6 +318,13 @@ void WorkloadDriver::sweep_stale() {
 void WorkloadDriver::on_err(std::uint32_t node, const ErrMessage& err) {
   (void)node;
   collector_.record_err(err);
+  // A terminal ERR means no more OKs will arrive for this create; a
+  // range revoke (kExpired with a nonzero seq window) can leave the
+  // request running. Drop the kind mapping so it cannot accumulate.
+  if (err.error != EgpError::kExpired ||
+      (err.seq_low == 0 && err.seq_high == 0)) {
+    kind_by_create_[side_index(err.origin_node)].erase(err.create_id);
+  }
 }
 
 }  // namespace qlink::workload

@@ -9,6 +9,11 @@
 #include "metrics/collector.hpp"
 #include "sim/entity.hpp"
 
+namespace qlink::netlayer {
+class QuantumNetwork;
+class SwapService;
+}  // namespace qlink::netlayer
+
 /// \file workload.hpp
 /// The evaluation harness of Section 6 / Appendix C.2.
 ///
@@ -19,10 +24,20 @@
 /// plays the higher layer: it consumes delivered pairs (measuring their
 /// true fidelity first — simulator privilege), records all metrics, and
 /// releases qubits back to the memory managers.
+///
+/// Two modes:
+///  - single-link (historical): drive one core::Link directly;
+///  - end-to-end: drive a netlayer::QuantumNetwork through its
+///    SwapService — every issued request asks for entanglement between
+///    two nodes of the topology (the fixed-endpoint modes pick the two
+///    farthest ends, so the route always crosses at least one swap),
+///    and the NL KindSpec controls rate and request size.
 
 namespace qlink::workload {
 
-/// Where CREATE requests originate (fairness axis of Section 6.2).
+/// Where CREATE requests originate (fairness axis of Section 6.2). In
+/// end-to-end mode this picks the endpoint pair instead: kAllA = first
+/// node to last, kAllB = last to first, kRandom = random distinct pair.
 enum class OriginMode { kAllA, kAllB, kRandom };
 
 struct KindSpec {
@@ -40,6 +55,9 @@ struct WorkloadConfig {
   std::uint64_t seed = 7;
   /// Evict unmatched delivered pairs after this long (covers lost OKs).
   sim::SimTime stale_pair_horizon = sim::duration::milliseconds(20);
+  /// End-to-end mode only: per-link CREATE fidelity floor (0 = use
+  /// min_fidelity on every hop; see E2eRequest::link_min_fidelity).
+  double link_min_fidelity = 0.0;
 };
 
 /// The named usage patterns of Table 2 (Appendix C.2).
@@ -51,7 +69,16 @@ UsagePattern usage_pattern(const std::string& name, double load = 0.99);
 
 class WorkloadDriver : public sim::Entity {
  public:
+  /// Single-link mode.
   WorkloadDriver(core::Link& link, const WorkloadConfig& config,
+                 metrics::Collector& collector);
+
+  /// End-to-end mode. The SwapService owns every EGP's OK/ERR stream
+  /// and should have been constructed with `collector` so deliveries
+  /// are recorded under Priority::kNetworkLayer; the driver issues
+  /// requests, releases delivered pairs, and samples queue lengths.
+  WorkloadDriver(netlayer::QuantumNetwork& network,
+                 netlayer::SwapService& swap, const WorkloadConfig& config,
                  metrics::Collector& collector);
 
   /// Begin issuing requests and consuming results.
@@ -69,15 +96,34 @@ class WorkloadDriver : public sim::Entity {
     sim::SimTime first_seen = 0;
   };
 
+  /// The link whose FEU/herald model calibrates issue probabilities
+  /// (the only link in single-link mode, link 0 otherwise).
+  core::Link& ref_link();
+
+  /// Single-link mode: 0 for the A side, 1 for the B side (node ids
+  /// are configurable and must not index kind_by_create_ directly).
+  std::size_t side_index(std::uint32_t node_id) {
+    return node_id == link_->node_id_a() ? 0 : 1;
+  }
+
+  /// Draw a request size k and apply the per-cycle rate throttle
+  /// (base / k); 0 means "issue nothing this cycle". Shared by the
+  /// single-link and end-to-end issue paths so their load calibration
+  /// stays identical.
+  std::uint16_t throttled_request_size(double base, std::uint16_t k_max);
+
   void on_cycle();
   void maybe_issue(core::Priority kind, const KindSpec& spec);
+  void maybe_issue_e2e();
   void on_ok(std::uint32_t node, const core::OkMessage& ok);
   void on_err(std::uint32_t node, const core::ErrMessage& err);
   void consume(const PendingPair& pair);
   void sweep_stale();
   double issue_probability(core::Priority kind, const KindSpec& spec);
 
-  core::Link& link_;
+  core::Link* link_ = nullptr;               // single-link mode
+  netlayer::QuantumNetwork* net_ = nullptr;  // end-to-end mode
+  netlayer::SwapService* swap_ = nullptr;
   WorkloadConfig config_;
   metrics::Collector& collector_;
   sim::Random random_;

@@ -221,5 +221,58 @@ TEST(Random, DiscreteRejectsInvalid) {
   EXPECT_THROW(r.discrete(zero), std::invalid_argument);
 }
 
+TEST(Simulator, PendingExcludesCancelledEvents) {
+  Simulator s;
+  const EventId a = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_TRUE(s.cancel(a));
+  // The cancelled event still occupies a queue slot, but pending() is
+  // exact.
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_processed(), 1u);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator s;
+  const EventId a = s.schedule_at(5, [] {});
+  s.run_all();
+  EXPECT_FALSE(s.cancel(a));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, CancelBookkeepingStaysBounded) {
+  // Regression: cancelled ids used to accumulate in a linearly scanned
+  // vector; cancelling after the fact even re-added fired ids forever.
+  Simulator s;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = s.schedule_at(round, [] {});
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_FALSE(s.cancel(id));
+    EXPECT_EQ(s.pending(), 0u);
+  }
+  s.run_all();
+  EXPECT_EQ(s.events_processed(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilDoesNotOvershootPastCancelledHead) {
+  // A cancelled event at the queue head inside the window must not let
+  // run_until execute a live event beyond the window.
+  Simulator s;
+  const EventId head = s.schedule_at(10, [] {});
+  bool late_ran = false;
+  s.schedule_at(100, [&] { late_ran = true; });
+  s.cancel(head);
+  s.run_until(50);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(s.now(), 50);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_TRUE(late_ran);
+}
+
 }  // namespace
 }  // namespace qlink::sim
