@@ -7,58 +7,235 @@
 // generate in parallel; the end-to-end rate tracks the slowest hop),
 // while fidelity decays roughly as the product of per-link fidelities
 // and latency grows with the wait for the slowest hop.
+//
+// This bench doubles as the quantum-state backend comparison
+// (ISSUE 2): `--backend dense`, `--backend bell`, or `--backend both`
+// run the same workload on the selected qstate backend(s) and report
+// wall time, executed events/second and backend counters, so the
+// dense-vs-Bell-diagonal speedup is reproducible from one binary. The
+// Bell-diagonal rows run with Pauli-frame installs
+// (LinkConfig::pauli_twirl_installs; exact for per-pair fidelity/QBER
+// at install time — see DESIGN.md "Quantum-state backends").
+//
+// Usage: bench_chain_scaling [--hops N] [--seconds S] [--backend B]
+//                            [--seed K] [--json PATH]
+//   --hops 0 (default) sweeps 1..4; a positive value runs one row.
+//   --json writes machine-readable results (default
+//   BENCH_chain_scaling.json in the working directory; "-" disables).
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
+#include "qstate/backend_registry.hpp"
 
 using namespace qlink;
 using namespace qlink::bench;
 
-int main() {
-  print_header("Chain scaling: end-to-end swapping over 1-4 hops "
-               "(lab hardware, decoupled carbon memory)");
-  std::printf("%5s %9s %9s %12s %11s %11s %8s\n", "hops", "issued",
-              "delivered", "thr (1/s)", "fidelity", "latency(ms)", "swaps");
+namespace {
 
-  for (std::size_t hops = 1; hops <= 4; ++hops) {
-    netlayer::NetworkConfig net_cfg;
-    net_cfg.kind = netlayer::TopologyKind::kChain;
-    net_cfg.num_links = hops;
-    net_cfg.seed = 7;
-    net_cfg.link.scenario = hw::ScenarioParams::lab();
-    // Decoherence-protected carbon memory (dynamical decoupling, [82]):
-    // pairs must survive the wait for the slowest hop.
-    net_cfg.link.scenario.nv.carbon_t2_ns = 0.5e9;
-    net_cfg.link.scenario.nv.carbon_coupling_rad_per_s /= 10.0;
+struct Row {
+  std::size_t hops = 0;
+  const char* backend = "dense";
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t delivered = 0;
+  double throughput = 0.0;
+  double fidelity = 0.0;
+  double latency_ms = 0.0;
+  std::uint64_t swaps = 0;
+  qstate::BackendStats backend_stats;
+};
 
-    netlayer::QuantumNetwork net(net_cfg);
-    metrics::Collector collector;
-    netlayer::SwapService swap(net, &collector);
+Row run_row(std::size_t hops, qstate::BackendKind backend,
+            double sim_seconds, std::uint64_t seed) {
+  netlayer::NetworkConfig net_cfg;
+  net_cfg.kind = netlayer::TopologyKind::kChain;
+  net_cfg.num_links = hops;
+  net_cfg.seed = seed;
+  net_cfg.link.scenario = hw::ScenarioParams::lab();
+  // Decoherence-protected carbon memory (dynamical decoupling, [82]):
+  // pairs must survive the wait for the slowest hop.
+  net_cfg.link.scenario.nv.carbon_t2_ns = 0.5e9;
+  net_cfg.link.scenario.nv.carbon_coupling_rad_per_s /= 10.0;
+  net_cfg.link.backend = backend;
+  // The Bell-diagonal fast path requires Bell-diagonal installs; the
+  // twirl preserves each installed pair's fidelity/QBER exactly. The
+  // dense rows deliberately stay un-twirled so they replay the
+  // pre-qstate trajectories byte-for-byte (a regression signal, see
+  // the verify skill). Event flow — issued/delivered/swaps/latency —
+  // is install-twirl-independent, so the wall-clock ratio between the
+  // rows still compares the same per-event op sequence; only the 4x4
+  // state contents (and hence the 4th fidelity decimal) differ.
+  net_cfg.link.pauli_twirl_installs =
+      backend == qstate::BackendKind::kBellDiagonal;
 
-    workload::WorkloadConfig wl;
-    wl.nl = {0.8, 1};
-    wl.origin = workload::OriginMode::kAllA;  // always node 0 -> node N
-    wl.min_fidelity = 0.5;        // end-to-end target
-    wl.link_min_fidelity = 0.78;  // per-hop CREATE floor
-    wl.seed = 7;
-    workload::WorkloadDriver driver(net, swap, wl, collector);
+  netlayer::QuantumNetwork net(net_cfg);
+  metrics::Collector collector;
+  netlayer::SwapService swap(net, &collector);
 
-    net.start();
-    driver.start();
-    net.run_for(sim::duration::seconds(5.0));
-    driver.stop();
+  workload::WorkloadConfig wl;
+  wl.nl = {0.8, 1};
+  wl.origin = workload::OriginMode::kAllA;  // always node 0 -> node N
+  wl.min_fidelity = 0.5;        // end-to-end target
+  wl.link_min_fidelity = 0.78;  // per-hop CREATE floor
+  wl.seed = seed;
+  workload::WorkloadDriver driver(net, swap, wl, collector);
 
-    const auto& nl = collector.kind(core::Priority::kNetworkLayer);
-    std::printf("%5zu %9llu %9llu %12.2f %11.4f %11.2f %8llu\n", hops,
-                static_cast<unsigned long long>(driver.requests_issued()),
-                static_cast<unsigned long long>(nl.pairs_delivered),
-                collector.throughput(core::Priority::kNetworkLayer),
-                nl.fidelity.mean(),
-                nl.pair_latency_s.mean() * 1e3,
-                static_cast<unsigned long long>(swap.stats().swaps));
+  const auto wall_start = std::chrono::steady_clock::now();
+  net.start();
+  driver.start();
+  net.run_for(sim::duration::seconds(sim_seconds));
+  driver.stop();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  const auto& nl = collector.kind(core::Priority::kNetworkLayer);
+  Row row;
+  row.hops = hops;
+  row.backend = net.registry().backend().name();
+  row.sim_seconds = sim_seconds;
+  row.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  row.events = net.simulator().events_processed();
+  row.issued = driver.requests_issued();
+  row.delivered = nl.pairs_delivered;
+  row.throughput = collector.throughput(core::Priority::kNetworkLayer);
+  row.fidelity = nl.fidelity.mean();
+  row.latency_ms = nl.pair_latency_s.mean() * 1e3;
+  row.swaps = swap.stats().swaps;
+  row.backend_stats = net.registry().backend().stats();
+  return row;
+}
+
+void print_row(const Row& r) {
+  std::printf(
+      "%5zu %-13s %9llu %9llu %12.2f %11.4f %11.2f %8llu %9.2f %11.0f\n",
+      r.hops, r.backend, static_cast<unsigned long long>(r.issued),
+      static_cast<unsigned long long>(r.delivered), r.throughput, r.fidelity,
+      r.latency_ms, static_cast<unsigned long long>(r.swaps), r.wall_seconds,
+      static_cast<double>(r.events) / r.wall_seconds);
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  if (path == "-") return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
   }
+  std::fprintf(f, "{\n  \"bench\": \"chain_scaling\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"hops\": %zu, \"backend\": \"%s\", \"sim_seconds\": %.3f, "
+        "\"wall_seconds\": %.4f, \"events\": %llu, "
+        "\"events_per_sec\": %.1f, \"issued\": %llu, \"delivered\": %llu, "
+        "\"throughput_per_s\": %.4f, \"fidelity\": %.6f, "
+        "\"latency_ms\": %.3f, \"swaps\": %llu, \"fast_ops\": %llu, "
+        "\"dense_ops\": %llu, \"promotions\": %llu, \"pool_hits\": %llu, "
+        "\"pool_misses\": %llu}%s\n",
+        r.hops, r.backend, r.sim_seconds, r.wall_seconds,
+        static_cast<unsigned long long>(r.events),
+        static_cast<double>(r.events) / r.wall_seconds,
+        static_cast<unsigned long long>(r.issued),
+        static_cast<unsigned long long>(r.delivered), r.throughput,
+        r.fidelity, r.latency_ms, static_cast<unsigned long long>(r.swaps),
+        static_cast<unsigned long long>(r.backend_stats.fast_ops),
+        static_cast<unsigned long long>(r.backend_stats.dense_ops),
+        static_cast<unsigned long long>(r.backend_stats.promotions),
+        static_cast<unsigned long long>(r.backend_stats.pool_hits),
+        static_cast<unsigned long long>(r.backend_stats.pool_misses),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--hops N] [--seconds S] "
+               "[--backend dense|bell|both] [--seed K] [--json PATH|-]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t hops = 0;  // 0 = sweep 1..4
+  double seconds = 5.0;
+  std::uint64_t seed = 7;
+  std::string backend = "both";
+  std::string json_path = "BENCH_chain_scaling.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--hops") {
+      hops = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seconds") {
+      seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--backend") {
+      backend = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::vector<qstate::BackendKind> backends;
+  if (backend == "both") {
+    backends = {qstate::BackendKind::kDense,
+                qstate::BackendKind::kBellDiagonal};
+  } else if (const auto kind = qstate::parse_backend_kind(backend)) {
+    backends = {*kind};
+  } else {
+    std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
+    usage(argv[0]);
+  }
+
+  print_header(
+      "Chain scaling: end-to-end swapping over 1-4 hops "
+      "(lab hardware, decoupled carbon memory)");
+  std::printf("%5s %-13s %9s %9s %12s %11s %11s %8s %9s %11s\n", "hops",
+              "backend", "issued", "delivered", "thr (1/s)", "fidelity",
+              "latency(ms)", "swaps", "wall(s)", "events/s");
+
+  std::vector<Row> rows;
+  const std::size_t lo = hops == 0 ? 1 : hops;
+  const std::size_t hi = hops == 0 ? 4 : hops;
+  for (std::size_t h = lo; h <= hi; ++h) {
+    double dense_wall = 0.0;
+    for (const auto kind : backends) {
+      Row row = run_row(h, kind, seconds, seed);
+      print_row(row);
+      if (kind == qstate::BackendKind::kDense) {
+        dense_wall = row.wall_seconds;
+      } else if (dense_wall > 0.0) {
+        std::printf("      -> bell-diagonal speedup vs dense: %.2fx "
+                    "(promotions: %llu)\n",
+                    dense_wall / row.wall_seconds,
+                    static_cast<unsigned long long>(
+                        row.backend_stats.promotions));
+      }
+      rows.push_back(row);
+    }
+  }
+  write_json(json_path, rows);
   return 0;
 }

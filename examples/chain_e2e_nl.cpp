@@ -14,15 +14,33 @@
 
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
+#include "qstate/backend_registry.hpp"
 
 using namespace qlink;
 using namespace qlink::netlayer;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional quantum-state backend selection ("dense" default; "bell"
+  // runs the same chain on the Bell-diagonal fast path with
+  // Pauli-frame installs). Registered twice as a ctest acceptance
+  // check, once per backend.
+  qstate::BackendKind backend = qstate::BackendKind::kDense;
+  if (argc > 1) {
+    const auto parsed = qstate::parse_backend_kind(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "usage: %s [dense|bell]\n", argv[0]);
+      return 2;
+    }
+    backend = *parsed;
+  }
+
   NetworkConfig config;
   config.kind = TopologyKind::kChain;
   config.num_links = 3;
   config.seed = 42;
+  config.link.backend = backend;
+  config.link.pauli_twirl_installs =
+      backend == qstate::BackendKind::kBellDiagonal;
   config.link.scenario = hw::ScenarioParams::lab();
   // Pairs wait in carbon memory for the slowest hop — tens of ms, far
   // beyond the bare carbon T2* of 3.5 ms. Model the decoherence-
@@ -35,8 +53,10 @@ int main() {
   metrics::Collector collector;
   SwapService swap(net, &collector);
 
-  std::printf("chain: %zu nodes, %zu links, one shared clock\n",
-              net.num_nodes(), net.num_links());
+  std::printf("chain: %zu nodes, %zu links, one shared clock, "
+              "%s state backend\n",
+              net.num_nodes(), net.num_links(),
+              net.registry().backend().name());
 
   int delivered = 0;
   E2eOk last;

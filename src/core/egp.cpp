@@ -141,8 +141,48 @@ std::uint32_t Egp::create(const CreateRequest& request) {
   return create_id;
 }
 
+bool Egp::cancel_create(std::uint32_t create_id) {
+  // Still awaiting DQP confirmation: remember the id so the
+  // confirmation callback retracts it from both queues.
+  if (pending_create_.erase(create_id) > 0) {
+    cancelled_pending_.insert(create_id);
+    ++stats_.cancels;
+    return true;
+  }
+  // Active request we originated: quiet whole-request expiry (the
+  // peer's queue copy is retracted by the EXPIRE; no ERR is emitted —
+  // the higher layer chose to abandon the request).
+  std::optional<AbsoluteQueueId> found;
+  for (const auto& [aid, req] : active_) {
+    if (req.is_origin && req.pkt.create_id == create_id) {
+      found = aid;
+      break;
+    }
+  }
+  if (!found) return false;
+  ++stats_.cancels;
+  expire_request(*found, /*notify_peer=*/true, /*quiet=*/true);
+  return true;
+}
+
 void Egp::on_local_queue_result(std::uint32_t create_id, bool ok,
                                 EgpError err, AbsoluteQueueId aid) {
+  if (cancelled_pending_.erase(create_id) > 0) {
+    if (ok) {
+      // The CREATE was retracted between submission and confirmation:
+      // pull it back out of the local queue and tell the peer.
+      queue_.remove(aid);
+      ExpirePacket exp;
+      exp.aid = aid;
+      exp.origin_id = config_.node_id;
+      exp.create_id = create_id;
+      exp.seq_low = 0;
+      exp.seq_high = 0;  // whole-request expiry
+      exp.new_expected_seq = expected_seq_;
+      send_expire(exp);
+    }
+    return;
+  }
   auto it = pending_create_.find(create_id);
   if (it == pending_create_.end()) return;
   const sim::SimTime submit_time = it->second.second;
@@ -516,11 +556,14 @@ void Egp::check_request_timeouts(std::uint64_t cycle) {
   }
 }
 
-void Egp::expire_request(const AbsoluteQueueId& aid, bool notify_peer) {
+void Egp::expire_request(const AbsoluteQueueId& aid, bool notify_peer,
+                         bool quiet) {
   ActiveRequest* req = find_active(aid);
   if (req == nullptr) return;
-  emit_err(
-      {req->pkt.create_id, EgpError::kExpired, req->pkt.origin_node, 0, 0});
+  if (!quiet) {
+    emit_err(
+        {req->pkt.create_id, EgpError::kExpired, req->pkt.origin_node, 0, 0});
+  }
   if (notify_peer) {
     ExpirePacket exp;
     exp.aid = aid;

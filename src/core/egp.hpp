@@ -78,6 +78,7 @@ class Egp : public sim::Entity {
     std::uint64_t one_sided_errors = 0;
     std::uint64_t stale_replies = 0;
     std::uint64_t seq_gaps = 0;
+    std::uint64_t cancels = 0;
   };
 
   Egp(sim::Simulator& simulator, std::string name, const EgpConfig& config,
@@ -88,6 +89,14 @@ class Egp : public sim::Entity {
   /// Higher-layer CREATE (Section 4.1.1). Returns the create id; results
   /// arrive asynchronously through the OK/ERR handlers.
   std::uint32_t create(const CreateRequest& request);
+
+  /// Retract a CREATE this node originated: the request leaves both
+  /// nodes' queues (a whole-request EXPIRE retracts the peer's copy)
+  /// and no further OKs are generated for it. Pairs already delivered
+  /// are unaffected, and no ERR is emitted — the caller decided to
+  /// abandon the request. Returns false if the create id is unknown
+  /// (already completed, expired, or never ours).
+  bool cancel_create(std::uint32_t create_id);
 
   void set_ok_handler(OkFn fn) { on_ok_ = std::move(fn); }
   void set_err_handler(ErrFn fn) { on_err_ = std::move(fn); }
@@ -151,7 +160,8 @@ class Egp : public sim::Entity {
   }
   void process_success(const net::ReplyPacket& reply, ActiveRequest& req);
   void complete_request(const net::AbsoluteQueueId& aid, ActiveRequest& req);
-  void expire_request(const net::AbsoluteQueueId& aid, bool notify_peer);
+  void expire_request(const net::AbsoluteQueueId& aid, bool notify_peer,
+                      bool quiet = false);
   void check_request_timeouts(std::uint64_t cycle);
   void emit_ok(const OkMessage& ok);
   void emit_err(const ErrMessage& err);
@@ -184,6 +194,7 @@ class Egp : public sim::Entity {
   std::map<net::AbsoluteQueueId, ActiveRequest> active_;
   std::map<std::uint32_t, std::pair<CreateRequest, sim::SimTime>>
       pending_create_;  // awaiting DQP confirmation, by create id
+  std::set<std::uint32_t> cancelled_pending_;  // cancelled before confirm
   std::uint32_t next_create_id_ = 1;
 
   std::uint32_t expected_seq_ = 1;

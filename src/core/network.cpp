@@ -17,7 +17,8 @@ Link::Link(const LinkConfig& config)
       owned_random_(std::make_unique<sim::Random>(config.seed)),
       simulator_(owned_simulator_.get()),
       random_(owned_random_.get()) {
-  owned_registry_ = std::make_unique<quantum::QuantumRegistry>(*random_);
+  owned_registry_ =
+      std::make_unique<quantum::QuantumRegistry>(*random_, config.backend);
   registry_ = owned_registry_.get();
   wire();
 }
@@ -144,6 +145,13 @@ void Link::install_entanglement(int outcome, std::uint64_t cycle) {
   const int q1[] = {1};
   state.apply_kraus(decay, q0);
   state.apply_kraus(decay, q1);
+
+  if (config_.pauli_twirl_installs) {
+    // Pauli-frame mode: keep only the Bell-basis diagonal. Exactly
+    // preserves this pair's fidelity/QBER metrics and keeps the state
+    // on the Bell-diagonal backend's fast path.
+    state = quantum::bell::twirl(state);
+  }
 
   const QubitId pair[] = {device_a_->comm_qubit(), device_b_->comm_qubit()};
   registry_->set_state(pair, state);

@@ -25,6 +25,19 @@ namespace qlink::core {
 struct LinkConfig {
   hw::ScenarioParams scenario;
   std::uint64_t seed = 1;
+  /// Quantum-state representation for the link's (or network's)
+  /// registry. kDense is the reference; kBellDiagonal is the analytic
+  /// fast path (pair states as 4 Bell coefficients, promoted to dense
+  /// on non-Clifford operations). See src/qstate/ and DESIGN.md.
+  qstate::BackendKind backend = qstate::BackendKind::kDense;
+  /// Project every heralded state onto the Bell-diagonal manifold
+  /// before installing it ("Pauli-frame" simulation). The twirl
+  /// exactly preserves the installed pair's fidelity to every Bell
+  /// state and its QBER in every basis; with it, Clifford+Pauli
+  /// scenarios evolve identically (within float rounding) on the dense
+  /// and Bell-diagonal backends — and the latter never leaves its fast
+  /// path.
+  bool pauli_twirl_installs = false;
   SchedulerConfig scheduler;
   double test_round_probability = 0.0;
   sim::SimTime mem_advert_interval = 0;

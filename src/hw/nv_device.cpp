@@ -57,10 +57,9 @@ void NvDevice::apply_decay(QubitMeta& m) {
                                   : params_.carbon_t1_ns;
   const double t2 = m.is_electron ? params_.electron_t2_ns
                                   : params_.carbon_t2_ns;
-  const auto kraus =
-      channels::t1t2(static_cast<double>(elapsed), t1, t2);
-  const QubitId ids[] = {m.id};
-  registry_.apply_kraus(kraus, ids);
+  // Structured registry op: no Kraus-set construction on this path —
+  // it runs once per qubit touch, millions of times per simulated run.
+  registry_.decay(m.id, static_cast<double>(elapsed), t1, t2);
 }
 
 void NvDevice::touch(QubitId q) { apply_decay(meta(q)); }
@@ -84,9 +83,7 @@ void NvDevice::initialize_electron() {
   registry_.reset(comm_);
   m.last_update = now();
   m.live = false;
-  const QubitId ids[] = {comm_};
-  registry_.apply_kraus(channels::depolarizing(params_.electron_init.fidelity),
-                        ids);
+  registry_.depolarize(comm_, params_.electron_init.fidelity);
   occupy_for(params_.electron_init.duration);
 }
 
@@ -96,9 +93,7 @@ void NvDevice::initialize_carbon(int i) {
   registry_.reset(q);
   m.last_update = now();
   m.live = false;
-  const QubitId ids[] = {q};
-  registry_.apply_kraus(channels::depolarizing(params_.carbon_init.fidelity),
-                        ids);
+  registry_.depolarize(q, params_.carbon_init.fidelity);
   occupy_for(params_.carbon_init.duration);
 }
 
@@ -114,8 +109,7 @@ void NvDevice::move_comm_to_memory(int i) {
   registry_.apply_unitary(gates::swap(), pair);
   const double f = params_.ec_controlled_sqrt_x.fidelity;
   const double p_err = 2.0 * (1.0 - f);  // two E-C gates
-  const QubitId cid[] = {carbon};
-  registry_.apply_kraus(channels::dephasing(p_err), cid);
+  registry_.dephase(carbon, p_err);
 
   meta(carbon).live = meta(comm_).live;
   meta(comm_).live = false;
@@ -155,9 +149,7 @@ int NvDevice::measure_memory(int i, gates::Basis basis) {
   // Appendix D.3.4: init electron, effective CNOT (one E-C gate plus
   // locals), then electron readout. We read the carbon directly but
   // charge the CNOT's dephasing and the full duration.
-  const QubitId cid[] = {carbon};
-  registry_.apply_kraus(
-      channels::dephasing(1.0 - params_.ec_controlled_sqrt_x.fidelity), cid);
+  registry_.dephase(carbon, 1.0 - params_.ec_controlled_sqrt_x.fidelity);
   const int z = registry_.measure(carbon, basis);
   meta(carbon).live = false;
   meta(carbon).last_update = now();
@@ -177,12 +169,8 @@ void NvDevice::apply_electron_gate(const quantum::Matrix& u) {
 void NvDevice::apply_attempt_dephasing(double alpha) {
   const double pd = channels::carbon_dephasing_probability(
       alpha, params_.carbon_coupling_rad_per_s, params_.carbon_tau_d_s);
-  const auto kraus = channels::dephasing(pd);
   for (QubitId q : memory_) {
-    if (meta(q).live) {
-      const QubitId ids[] = {q};
-      registry_.apply_kraus(kraus, ids);
-    }
+    if (meta(q).live) registry_.dephase(q, pd);
   }
 }
 

@@ -187,13 +187,10 @@ void SwapService::run_cascade(std::uint32_t request_id,
         .device(net_.hop_exit(right))
         .touch(right_far.qubit);
 
-    // Bell measurement across the node's two halves.
-    const QubitId pair_q[] = {control, target};
-    reg.apply_unitary(gates::cnot(), pair_q);
-    const QubitId ctrl_q[] = {control};
-    reg.apply_unitary(gates::h(), ctrl_q);
-    const int m1 = reg.measure(control, gates::Basis::kZ);
-    const int m2 = reg.measure(target, gates::Basis::kZ);
+    // Bell measurement across the node's two halves (closed-form
+    // entanglement swap on structured backends; the explicit CNOT + H
+    // + Z/Z circuit on the dense one).
+    const auto [m1, m2] = reg.bell_measure(control, target);
 
     // Conditional corrections on the right pair's far half: X for the
     // Psi+ -> Phi+ frame offset, then the outcome-dependent Paulis
@@ -369,7 +366,10 @@ std::size_t SwapService::drop_revoked(RequestState& rs, std::size_t link,
 void SwapService::fail_request(RequestState& rs, std::size_t link,
                                core::EgpError error) {
   ++stats_.errors;
-  // Return every pair half we are still holding.
+  // Return every pair half we are still holding, and retract the
+  // sibling hops' link-layer CREATEs: an abandoned end-to-end request
+  // must not keep its other hops generating pairs that would only
+  // surface as unclaimed OKs (wasted link throughput).
   for (HopState& hs : rs.hops) {
     const auto [node_a, node_b] = net_.endpoints(hs.hop.link);
     core::Link& l = net_.link(hs.hop.link);
@@ -381,6 +381,8 @@ void SwapService::fail_request(RequestState& rs, std::size_t link,
       if (partial.a) l.egp(node_a).release_delivered(*partial.a);
       if (partial.b) l.egp(node_b).release_delivered(*partial.b);
     }
+    net_.egp_at(hs.hop.link, net_.hop_entry(hs.hop))
+        .cancel_create(hs.create_id);
   }
   if (on_error_) on_error_(E2eErr{rs.id, error, link});
   erase_request(rs.id);

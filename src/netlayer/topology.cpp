@@ -9,7 +9,9 @@
 namespace qlink::netlayer {
 
 QuantumNetwork::QuantumNetwork(const NetworkConfig& config)
-    : config_(config), random_(config.seed), registry_(random_) {
+    : config_(config),
+      random_(config.seed),
+      registry_(random_, config.link.backend) {
   if (config_.num_links == 0) {
     throw std::invalid_argument("QuantumNetwork: at least one link");
   }

@@ -1,0 +1,86 @@
+#include "qstate/backend_registry.hpp"
+
+#include <stdexcept>
+
+#include "qstate/bell_backend.hpp"
+#include "qstate/dense_backend.hpp"
+
+namespace qlink::qstate {
+
+const char* backend_kind_name(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kDense:
+      return "dense";
+    case BackendKind::kBellDiagonal:
+      return "bell-diagonal";
+  }
+  return "?";
+}
+
+BackendRegistry::BackendRegistry() {
+  entries_.emplace_back("dense", [](sim::Random& r) {
+    return std::make_unique<DenseBackend>(r);
+  });
+  entries_.emplace_back("bell", [](sim::Random& r) {
+    return std::make_unique<BellDiagonalBackend>(r);
+  });
+  entries_.emplace_back("bell-diagonal", [](sim::Random& r) {
+    return std::make_unique<BellDiagonalBackend>(r);
+  });
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(std::string name, Factory factory) {
+  if (contains(name)) {
+    throw std::invalid_argument("BackendRegistry: duplicate backend name");
+  }
+  entries_.emplace_back(std::move(name), std::move(factory));
+}
+
+std::unique_ptr<StateBackend> BackendRegistry::make(
+    std::string_view name, sim::Random& random) const {
+  for (const auto& [entry_name, factory] : entries_) {
+    if (entry_name == name) return factory(random);
+  }
+  throw std::invalid_argument("BackendRegistry: unknown backend '" +
+                              std::string(name) + "'");
+}
+
+bool BackendRegistry::contains(std::string_view name) const {
+  for (const auto& [entry_name, factory] : entries_) {
+    if (entry_name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, factory] : entries_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<StateBackend> make_backend(BackendKind kind,
+                                           sim::Random& random) {
+  switch (kind) {
+    case BackendKind::kDense:
+      return std::make_unique<DenseBackend>(random);
+    case BackendKind::kBellDiagonal:
+      return std::make_unique<BellDiagonalBackend>(random);
+  }
+  throw std::invalid_argument("make_backend: unknown kind");
+}
+
+std::optional<BackendKind> parse_backend_kind(std::string_view name) {
+  if (name == "dense") return BackendKind::kDense;
+  if (name == "bell" || name == "bell-diagonal") {
+    return BackendKind::kBellDiagonal;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qlink::qstate

@@ -1,0 +1,104 @@
+#include "qstate/bell_algebra.hpp"
+
+#include <cmath>
+
+#include "quantum/gates.hpp"
+
+namespace qlink::qstate::bell_algebra {
+
+using quantum::Complex;
+using quantum::Matrix;
+
+namespace {
+
+const Matrix& pauli_matrix(int code) {
+  switch (code) {
+    case 1:
+      return quantum::gates::x();
+    case 2:
+      return quantum::gates::y();
+    case 3:
+      return quantum::gates::z();
+    default:
+      return quantum::gates::i2();
+  }
+}
+
+}  // namespace
+
+std::array<Complex, 4> pauli_coefficients(const Matrix& k) {
+  std::array<Complex, 4> out;
+  for (int s = 0; s < 4; ++s) {
+    const Matrix& sigma = pauli_matrix(s);
+    // tr(sigma^dagger K) / 2; Paulis are Hermitian.
+    Complex t{0.0, 0.0};
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        t += std::conj(sigma(i, j)) * k(i, j);
+      }
+    }
+    out[s] = t / 2.0;
+  }
+  return out;
+}
+
+std::optional<int> match_pauli_unitary(const Matrix& u, double tol) {
+  if (u.rows() != 2 || u.cols() != 2) return std::nullopt;
+  const auto c = pauli_coefficients(u);
+  for (int s = 0; s < 4; ++s) {
+    if (std::abs(std::abs(c[s]) - 1.0) > tol) continue;
+    // The other coefficients must vanish.
+    double rest = 0.0;
+    for (int t = 0; t < 4; ++t) {
+      if (t != s) rest += std::norm(c[t]);
+    }
+    if (rest <= tol * tol) return s;
+  }
+  return std::nullopt;
+}
+
+PauliChannelWeights pauli_channel_weights(std::span<const Matrix> kraus,
+                                          double tol) {
+  PauliChannelWeights out;
+  out.exact = true;
+  for (const Matrix& k : kraus) {
+    if (k.rows() != 2 || k.cols() != 2) {
+      out.exact = false;
+      return out;
+    }
+    const auto c = pauli_coefficients(k);
+    int nonzero = 0;
+    for (int s = 0; s < 4; ++s) {
+      const double w = std::norm(c[s]);
+      out.w[s] += w;
+      if (w > tol) ++nonzero;
+    }
+    // Exact iff K is (numerically) a multiple of one Pauli, i.e. its
+    // Pauli decomposition has one term (2x2 operators are always in
+    // the Pauli span, so single-term support is the whole check).
+    if (nonzero > 1) out.exact = false;
+  }
+  return out;
+}
+
+std::array<double, 4> t1t2_twirl_weights(double gamma, double dephase_p) {
+  // Amplitude damping: K0 = diag(1, sqrt(1-gamma)) = aI + bZ,
+  // K1 = sqrt(gamma)|0><1| = sqrt(gamma)(X + iY)/2.
+  const double s = std::sqrt(1.0 - gamma);
+  const double a = (1.0 + s) / 2.0;
+  const double b = (1.0 - s) / 2.0;
+  std::array<double, 4> ad{a * a, gamma / 4.0, gamma / 4.0, b * b};
+  if (dephase_p <= 0.0) return ad;
+  // Compose with dephasing {I: 1-p, Z: p}: convolution under Pauli
+  // multiplication (Z * I = Z, Z * X = Y, Z * Y = X, Z * Z = I up to
+  // phase).
+  static constexpr int kTimesZ[4] = {3, 2, 1, 0};
+  std::array<double, 4> out{0.0, 0.0, 0.0, 0.0};
+  for (int sdx = 0; sdx < 4; ++sdx) {
+    out[sdx] += (1.0 - dephase_p) * ad[sdx];
+    out[kTimesZ[sdx]] += dephase_p * ad[sdx];
+  }
+  return out;
+}
+
+}  // namespace qlink::qstate::bell_algebra

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "qstate/hybrid_backend.hpp"
+
+/// \file bell_backend.hpp
+/// The analytic fast path: heralded NV pairs are (to excellent
+/// approximation, exactly in the Pauli-frame scenarios) Bell-diagonal,
+/// and every hot-path operation on them — depolarising/dephasing
+/// decay, Pauli-frame corrections, entanglement swapping — has a
+/// closed form on the 4 Bell coefficients. States escalate
+/// ("promote") to dense density matrices the moment an operation
+/// leaves the structured manifold: a non-Clifford unitary on a pair
+/// half, a cross-pair merge, or a non-Bell-diagonal install. See
+/// DESIGN.md, "Quantum-state backends", for the full promotion table.
+
+namespace qlink::qstate {
+
+class BellDiagonalBackend : public detail::HybridBackend {
+ public:
+  explicit BellDiagonalBackend(sim::Random& random)
+      : HybridBackend(random, /*structured=*/true, "bell-diagonal") {}
+};
+
+}  // namespace qlink::qstate

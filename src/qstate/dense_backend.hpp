@@ -1,0 +1,23 @@
+#pragma once
+
+#include "qstate/hybrid_backend.hpp"
+
+/// \file dense_backend.hpp
+/// The reference backend: every multi-qubit state is a density matrix.
+///
+/// Semantics match the historical in-registry implementation (same
+/// operation order, same Random consumption), but storage is pooled
+/// and every gate/channel applies in place through bit-indexed kernels
+/// instead of expanding operators to the full space — the arena/pool
+/// upgrade that removes the allocation churn from the simulation hot
+/// path.
+
+namespace qlink::qstate {
+
+class DenseBackend : public detail::HybridBackend {
+ public:
+  explicit DenseBackend(sim::Random& random)
+      : HybridBackend(random, /*structured=*/false, "dense") {}
+};
+
+}  // namespace qlink::qstate

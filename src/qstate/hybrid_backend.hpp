@@ -1,0 +1,158 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "qstate/backend.hpp"
+#include "qstate/pool.hpp"
+
+/// \file hybrid_backend.hpp
+/// Shared implementation behind DenseBackend and BellDiagonalBackend.
+///
+/// Groups of entangled qubits carry one of three representations:
+///
+///  - kSingle: an unentangled qubit's 2x2 density matrix, stored inline
+///    (no heap traffic at all — this covers the per-cycle electron
+///    initialisation that dominated the historical profile);
+///  - kPair: a two-qubit Bell-diagonal state as 4 coefficients
+///    {Phi+, Phi-, Psi+, Psi-} (structured mode only);
+///  - kDense: a pooled d*d density-matrix buffer with in-place gate /
+///    channel kernels (no operator expansion, no temporaries).
+///
+/// With `structured == false` (DenseBackend) every multi-qubit state is
+/// kDense: the reference semantics, matching the historical registry
+/// exactly (including its Random consumption). With `structured ==
+/// true` (BellDiagonalBackend) two-qubit installs that are Bell-
+/// diagonal take the kPair fast path, and any operation that leaves
+/// the structured manifold *promotes* the group to kDense (see
+/// DESIGN.md "Quantum-state backends" for the promotion rules).
+
+namespace qlink::qstate::detail {
+
+class HybridBackend : public StateBackend {
+ public:
+  HybridBackend(sim::Random& random, bool structured, const char* name);
+  ~HybridBackend() override;
+
+  const char* name() const noexcept override { return name_; }
+
+  QubitId create() override;
+  void discard(QubitId q) override;
+  bool exists(QubitId q) const override;
+  std::size_t live_qubits() const override { return live_; }
+  std::size_t group_size(QubitId q) const override;
+
+  void apply_unitary(const quantum::Matrix& u,
+                     std::span<const QubitId> qubits) override;
+  void apply_kraus(std::span<const quantum::Matrix> kraus,
+                   std::span<const QubitId> qubits) override;
+
+  void dephase(QubitId q, double p) override;
+  void depolarize(QubitId q, double f) override;
+  void decay(QubitId q, double t_ns, double t1_ns, double t2_ns) override;
+
+  int measure(QubitId q, quantum::gates::Basis basis) override;
+  std::pair<int, int> bell_measure(QubitId control, QubitId target) override;
+
+  void set_state(std::span<const QubitId> qubits,
+                 const quantum::DensityMatrix& dm) override;
+  void reset(QubitId q) override;
+
+  quantum::DensityMatrix peek(std::span<const QubitId> qubits) const override;
+
+  const BackendStats& stats() const noexcept override {
+    stats_.pool_hits = pool_.hits();
+    stats_.pool_misses = pool_.misses();
+    return stats_;
+  }
+
+  /// Structured mode only: when a single-qubit channel is not a Pauli
+  /// channel (finite-T1 amplitude damping), approximate it on Bell
+  /// pairs by its Pauli twirl instead of promoting to dense. Exact for
+  /// every Pauli channel; O(gamma) approximation otherwise. Default on.
+  void set_twirl_non_pauli(bool enabled) noexcept {
+    twirl_non_pauli_ = enabled;
+  }
+  bool twirl_non_pauli() const noexcept { return twirl_non_pauli_; }
+
+ private:
+  enum class Rep : std::uint8_t { kSingle, kPair, kDense };
+
+  struct Group {
+    Rep rep = Rep::kSingle;
+    std::array<Complex, 4> c2{};   // kSingle: 2x2 row-major
+    std::array<double, 4> bell{};  // kPair: Bell-diagonal coefficients
+    std::vector<Complex> rho;      // kDense: d*d row-major (pooled)
+    int nq = 1;
+    std::vector<QubitId> members;  // position i <-> qubit index i
+  };
+
+  static constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+
+  struct Slot {
+    std::uint32_t group = kNoGroup;
+    std::uint32_t index = 0;
+  };
+
+  // --- slot / group bookkeeping -------------------------------------
+  const Slot& slot(QubitId q) const;
+  Group& group_of(QubitId q) { return groups_[slot(q).group]; }
+  const Group& group_of(QubitId q) const { return groups_[slot(q).group]; }
+  std::uint32_t alloc_group();
+  void free_group(std::uint32_t gi);
+  /// Make q a fresh singleton kSingle group in state |0><0|.
+  void make_singleton(QubitId q);
+
+  /// Remove q from its group by tracing it out; q ends in a fresh
+  /// singleton |0> group. No-op when q is already alone.
+  void extract(QubitId q);
+
+  /// Merge all listed qubits into one kDense group (first-seen group
+  /// order, like the historical registry); fills `indices` with each
+  /// qubit's in-group index.
+  std::uint32_t merge(std::span<const QubitId> qubits,
+                      std::vector<int>& indices);
+
+  /// Escalate a structured group to kDense storage.
+  void promote(std::uint32_t gi);
+
+  /// Dense buffer of a group's state (materialising kSingle/kPair
+  /// without changing the group's representation).
+  std::vector<Complex> materialize(const Group& g) const;
+  quantum::DensityMatrix materialize_dm(const Group& g) const;
+
+  // --- dense in-place kernels (operate on Group::rho) ---------------
+  void dense_apply_1q(Group& g, const quantum::Matrix& u, int qubit);
+  void dense_apply_2q(Group& g, const quantum::Matrix& u, int q0, int q1);
+  void dense_apply_generic(Group& g, const quantum::Matrix& u,
+                           std::span<const int> targets);
+  void dense_kraus(Group& g, std::span<const quantum::Matrix> kraus,
+                   std::span<const int> targets);
+  void dense_dephase(Group& g, int qubit, double p);
+  void dense_depolarize(Group& g, int qubit, double f);
+  void dense_decay(Group& g, int qubit, double gamma, double pd);
+  int dense_measure(Group& g, QubitId q, quantum::gates::Basis basis);
+  /// Partial-trace one qubit out of a dense group (shrinks it; the
+  /// group may collapse to kSingle).
+  void dense_remove_qubit(std::uint32_t gi, int qubit);
+
+  // --- structured helpers --------------------------------------------
+  void pair_measure_collapse(std::uint32_t gi, QubitId q,
+                             quantum::gates::Basis basis, int outcome);
+  bool try_set_pair(std::uint32_t gi, const quantum::DensityMatrix& dm);
+
+  sim::Random& random_;
+  const bool structured_;
+  const char* name_;
+  bool twirl_non_pauli_ = true;
+
+  BufferPool pool_;
+  std::vector<Group> groups_;
+  std::vector<std::uint32_t> free_groups_;
+  std::vector<Slot> slots_;  // indexed by QubitId
+  QubitId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace qlink::qstate::detail

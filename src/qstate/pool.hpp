@@ -1,0 +1,86 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+/// \file pool.hpp
+/// Size-classed buffer pool for dense state storage and scratch space.
+///
+/// The historical registry allocated fresh density matrices for every
+/// gate, channel, merge and trace — at millions of quantum events per
+/// simulated run that allocation churn dominated wall time (the
+/// ROADMAP's bench_chain_scaling sys-time item). The pool recycles the
+/// d*d complex buffers instead: states in this simulator span 1-4
+/// qubits almost always, so a handful of size classes absorbs nearly
+/// every request after warm-up.
+
+namespace qlink::qstate {
+
+using Complex = std::complex<double>;
+
+class BufferPool {
+ public:
+  /// A buffer with at least n elements, contents unspecified (size() is
+  /// exactly n). Reuses a pooled allocation when one fits.
+  std::vector<Complex> acquire(std::size_t n) {
+    const int cls = size_class(n);
+    if (cls >= 0 && !free_[cls].empty()) {
+      std::vector<Complex> out = std::move(free_[cls].back());
+      free_[cls].pop_back();
+      out.resize(n);  // capacity covers the class: no reallocation
+      ++hits_;
+      return out;
+    }
+    ++misses_;
+    std::vector<Complex> out;
+    out.reserve(cls >= 0 ? class_capacity(cls) : n);
+    out.resize(n);
+    return out;
+  }
+
+  /// As acquire(), but zero-filled.
+  std::vector<Complex> acquire_zeroed(std::size_t n) {
+    std::vector<Complex> out = acquire(n);
+    std::fill(out.begin(), out.end(), Complex{0.0, 0.0});
+    return out;
+  }
+
+  /// Return a buffer to the pool (oversized or surplus buffers are
+  /// simply freed).
+  void release(std::vector<Complex>&& v) {
+    const int cls = size_class(v.capacity() ? v.capacity() : v.size());
+    // Only keep buffers whose capacity exactly matches a class, so the
+    // no-reallocation guarantee in acquire() holds.
+    if (cls >= 0 && v.capacity() >= class_capacity(cls) &&
+        free_[cls].size() < kMaxPerClass) {
+      free_[cls].push_back(std::move(v));
+    }
+    // else: vector destructor frees it.
+  }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  /// Classes hold 4^k complexes: the d*d buffer of a k-qubit state
+  /// (k = 1..kClasses). Requests above the largest class are unpooled.
+  static constexpr int kClasses = 6;  // up to 6 qubits (4096 complexes)
+  static constexpr std::size_t kMaxPerClass = 64;
+
+  static std::size_t class_capacity(int cls) {
+    return std::size_t{1} << (2 * (cls + 1));
+  }
+  static int size_class(std::size_t n) {
+    for (int c = 0; c < kClasses; ++c) {
+      if (n <= class_capacity(c)) return c;
+    }
+    return -1;
+  }
+
+  std::vector<std::vector<Complex>> free_[kClasses];
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace qlink::qstate

@@ -72,6 +72,44 @@ double fidelity_from_qbers(double qber_x, double qber_y, double qber_z) {
   return 1.0 - (qber_x + qber_y + qber_z) / 2.0;
 }
 
+std::array<double, 4> diagonal_coefficients(const DensityMatrix& rho) {
+  if (rho.num_qubits() != 2) {
+    throw std::invalid_argument("diagonal_coefficients: need 2 qubits");
+  }
+  const Matrix& m = rho.matrix();
+  const double d00 = m(0, 0).real();
+  const double d11 = m(1, 1).real();
+  const double d22 = m(2, 2).real();
+  const double d33 = m(3, 3).real();
+  const double re03 = m(0, 3).real() + m(3, 0).real();  // 2 Re (symmetrised)
+  const double re12 = m(1, 2).real() + m(2, 1).real();
+  return {(d00 + d33 + re03) / 2.0, (d00 + d33 - re03) / 2.0,
+          (d11 + d22 + re12) / 2.0, (d11 + d22 - re12) / 2.0};
+}
+
+DensityMatrix from_coefficients(const std::array<double, 4>& p) {
+  Matrix m(4, 4);
+  const double phi_sum = (p[0] + p[1]) / 2.0;
+  const double phi_diff = (p[0] - p[1]) / 2.0;
+  const double psi_sum = (p[2] + p[3]) / 2.0;
+  const double psi_diff = (p[2] - p[3]) / 2.0;
+  m(0, 0) = m(3, 3) = phi_sum;
+  m(0, 3) = m(3, 0) = phi_diff;
+  m(1, 1) = m(2, 2) = psi_sum;
+  m(1, 2) = m(2, 1) = psi_diff;
+  DensityMatrix out = DensityMatrix::from_matrix(std::move(m));
+  out.renormalize();
+  return out;
+}
+
+DensityMatrix twirl(const DensityMatrix& rho) {
+  return from_coefficients(diagonal_coefficients(rho));
+}
+
+double off_diagonal_residual(const DensityMatrix& rho) {
+  return twirl(rho).matrix().distance(rho.matrix());
+}
+
 const char* name(BellState s) {
   switch (s) {
     case BellState::kPhiPlus:

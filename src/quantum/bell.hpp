@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "quantum/density_matrix.hpp"
@@ -34,6 +35,27 @@ double qber(const DensityMatrix& rho, BellState target, gates::Basis b);
 /// Fidelity reconstructed from the three QBERs (generalisation of
 /// Eq. 16): F = 1 - (QBER_X + QBER_Y + QBER_Z) / 2.
 double fidelity_from_qbers(double qber_x, double qber_y, double qber_z);
+
+/// Bell-basis diagonal of a two-qubit state: {<Phi+|rho|Phi+>,
+/// <Phi-|rho|Phi->, <Psi+|rho|Psi+>, <Psi-|rho|Psi->}. These sum to 1
+/// for any valid state; the state is Bell-diagonal iff rho equals the
+/// mixture of Bell projectors with these weights.
+std::array<double, 4> diagonal_coefficients(const DensityMatrix& rho);
+
+/// Frobenius distance of rho to the Bell-diagonal state with the same
+/// diagonal coefficients (0 iff rho is Bell-diagonal).
+double off_diagonal_residual(const DensityMatrix& rho);
+
+/// The Bell-diagonal two-qubit state with the given coefficients
+/// (renormalised; the coefficients must be non-negative, not all zero).
+DensityMatrix from_coefficients(const std::array<double, 4>& p);
+
+/// Bell twirl: project rho onto the Bell-diagonal manifold, i.e. keep
+/// only the Bell-basis diagonal. This is the average over correlated
+/// two-sided Paulis (sigma x sigma), so it exactly preserves fidelity
+/// to every Bell state and the QBER in every basis — the "Pauli frame"
+/// the BellDiagonalBackend simulates in.
+DensityMatrix twirl(const DensityMatrix& rho);
 
 /// Name for reports, e.g. "Psi+".
 const char* name(BellState s);

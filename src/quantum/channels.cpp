@@ -20,52 +20,71 @@ double clamp01(double p) { return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p); }
 std::vector<Matrix> dephasing(double p) {
   check_prob(p, "dephasing");
   p = clamp01(p);
-  return {gates::i2() * Complex{std::sqrt(1.0 - p), 0.0},
-          gates::z() * Complex{std::sqrt(p), 0.0}};
+  // Built with push_back(move): an initializer-list return would copy
+  // every Matrix a second time (std::initializer_list elements are
+  // const), and these constructors sit on simulation hot paths.
+  std::vector<Matrix> out;
+  out.reserve(2);
+  out.push_back(gates::i2() * Complex{std::sqrt(1.0 - p), 0.0});
+  out.push_back(gates::z() * Complex{std::sqrt(p), 0.0});
+  return out;
 }
 
 std::vector<Matrix> depolarizing(double f) {
   check_prob(f, "depolarizing");
   f = clamp01(f);
   const double e = (1.0 - f) / 3.0;
-  return {gates::i2() * Complex{std::sqrt(f), 0.0},
-          gates::x() * Complex{std::sqrt(e), 0.0},
-          gates::y() * Complex{std::sqrt(e), 0.0},
-          gates::z() * Complex{std::sqrt(e), 0.0}};
+  std::vector<Matrix> out;
+  out.reserve(4);
+  out.push_back(gates::i2() * Complex{std::sqrt(f), 0.0});
+  out.push_back(gates::x() * Complex{std::sqrt(e), 0.0});
+  out.push_back(gates::y() * Complex{std::sqrt(e), 0.0});
+  out.push_back(gates::z() * Complex{std::sqrt(e), 0.0});
+  return out;
 }
 
 std::vector<Matrix> amplitude_damping(double gamma) {
   check_prob(gamma, "amplitude_damping");
   gamma = clamp01(gamma);
-  const Matrix k0{{1, 0}, {0, std::sqrt(1.0 - gamma)}};
-  const Matrix k1{{0, std::sqrt(gamma)}, {0, 0}};
-  return {k0, k1};
+  std::vector<Matrix> out;
+  out.reserve(2);
+  out.push_back(Matrix{{1, 0}, {0, std::sqrt(1.0 - gamma)}});
+  out.push_back(Matrix{{0, std::sqrt(gamma)}, {0, 0}});
+  return out;
 }
 
-std::vector<Matrix> t1t2(double t_ns, double t1_ns, double t2_ns) {
+T1T2Rates t1t2_rates(double t_ns, double t1_ns, double t2_ns) {
   if (t_ns < 0.0) throw std::invalid_argument("t1t2: negative time");
   const bool has_t1 = t1_ns > 0.0 && std::isfinite(t1_ns);
   const bool has_t2 = t2_ns > 0.0 && std::isfinite(t2_ns);
 
-  const double gamma = has_t1 ? 1.0 - std::exp(-t_ns / t1_ns) : 0.0;
+  T1T2Rates r;
+  r.gamma = has_t1 ? 1.0 - std::exp(-t_ns / t1_ns) : 0.0;
 
   // Coherence after amplitude damping alone decays as sqrt(1-gamma)
   // = exp(-t/2T1). Add pure dephasing so the total coherence factor is
   // exp(-t/T2): (1 - 2 p_d) * exp(-t/2T1) = exp(-t/T2).
-  double pd = 0.0;
   if (has_t2) {
     const double target = std::exp(-t_ns / t2_ns);
     const double from_t1 = has_t1 ? std::exp(-t_ns / (2.0 * t1_ns)) : 1.0;
     if (target > from_t1 + 1e-12) {
       throw std::invalid_argument("t1t2: requires T2 <= 2*T1");
     }
-    pd = 0.5 * (1.0 - target / from_t1);
+    // At the T2 == 2*T1 boundary float rounding can push this a hair
+    // negative; clamp like dephasing() always did, so the closed-form
+    // decay paths never amplify coherences.
+    r.dephase_p = std::max(0.0, 0.5 * (1.0 - target / from_t1));
   }
+  return r;
+}
+
+std::vector<Matrix> t1t2(double t_ns, double t1_ns, double t2_ns) {
+  const T1T2Rates r = t1t2_rates(t_ns, t1_ns, t2_ns);
 
   // Compose: amplitude damping then dephasing. Both sets are 2x2, so the
   // composition is the pairwise product set.
-  const auto ad = amplitude_damping(gamma);
-  const auto dp = dephasing(pd);
+  const auto ad = amplitude_damping(r.gamma);
+  const auto dp = dephasing(r.dephase_p);
   std::vector<Matrix> out;
   out.reserve(ad.size() * dp.size());
   for (const auto& d : dp) {

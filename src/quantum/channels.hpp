@@ -27,6 +27,16 @@ std::vector<Matrix> amplitude_damping(double gamma);
 /// Requires T2 <= 2*T1 (physicality), checked.
 std::vector<Matrix> t1t2(double t_ns, double t1_ns, double t2_ns);
 
+/// The (gamma, dephasing) parameter pair behind t1t2(): amplitude
+/// damping probability and the extra pure-dephasing probability.
+/// Exposed so state backends can apply the decay in closed form with
+/// bit-identical arithmetic to the Kraus construction.
+struct T1T2Rates {
+  double gamma = 0.0;      ///< amplitude-damping probability
+  double dephase_p = 0.0;  ///< extra pure-dephasing probability
+};
+T1T2Rates t1t2_rates(double t_ns, double t1_ns, double t2_ns);
+
 /// The dephasing probability per entanglement attempt suffered by a
 /// carbon (memory) qubit, Eq. 25:
 ///   p_d = alpha/2 * (1 - exp(-(delta_omega * tau_d)^2 / 2)).

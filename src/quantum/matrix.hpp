@@ -2,8 +2,10 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
+#include <utility>
 #include <vector>
 
 /// \file matrix.hpp
@@ -24,10 +26,53 @@ class Matrix {
 
   /// Zero matrix of the given shape.
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, Complex{0.0, 0.0}) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, Complex{0.0, 0.0}) {
+    if (!data_.empty()) ++heap_allocations_;
+  }
 
   /// Build from nested initializer lists: Matrix{{a,b},{c,d}}.
   Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+  /// Copies allocate (and are counted); moves never do. The hot paths
+  /// in gates.cpp / channels.cpp and the state backends hand matrices
+  /// around by move — heap_allocations() makes silent copies visible
+  /// and is asserted on in tests/test_matrix.cpp.
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    if (!data_.empty()) ++heap_allocations_;
+  }
+  Matrix(Matrix&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this == &other) return *this;
+    if (data_.capacity() < other.data_.size() && !other.data_.empty()) {
+      ++heap_allocations_;
+    }
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    return *this;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this == &other) return *this;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+    return *this;
+  }
+
+  /// Total heap allocations made by Matrix construction/copying so far
+  /// (monotone; diff across a region to bound its allocation count).
+  static std::uint64_t heap_allocations() noexcept {
+    return heap_allocations_;
+  }
 
   static Matrix identity(std::size_t n);
   static Matrix zero(std::size_t rows, std::size_t cols) {
@@ -76,6 +121,9 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<Complex> data_;
+  // The simulation is single-threaded by design (see sim/simulator.hpp),
+  // so a plain counter suffices.
+  static std::uint64_t heap_allocations_;
 };
 
 Matrix operator*(Complex scalar, const Matrix& m);

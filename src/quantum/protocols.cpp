@@ -8,14 +8,11 @@ namespace qlink::quantum::protocols {
 
 BellMeasurement bell_measure(QuantumRegistry& registry, QubitId source,
                              QubitId half) {
-  const QubitId pair[] = {source, half};
-  registry.apply_unitary(gates::cnot(), pair);
-  const QubitId s[] = {source};
-  registry.apply_unitary(gates::h(), s);
-  BellMeasurement m;
-  m.m1 = registry.measure(source, gates::Basis::kZ);
-  m.m2 = registry.measure(half, gates::Basis::kZ);
-  return m;
+  // CNOT + H + two Z measurements, routed through the registry's
+  // first-class Bell measurement so structured backends can run the
+  // whole splice in closed form.
+  const auto [m1, m2] = registry.bell_measure(source, half);
+  return BellMeasurement{m1, m2};
 }
 
 void apply_teleport_corrections(QuantumRegistry& registry, QubitId receiver,

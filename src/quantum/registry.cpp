@@ -1,233 +1,21 @@
 #include "quantum/registry.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include "qstate/backend_registry.hpp"
 
 namespace qlink::quantum {
 
-QubitId QuantumRegistry::create() {
-  const QubitId id = next_id_++;
-  auto group = std::make_shared<Group>();
-  group->dm = DensityMatrix(1);
-  group->members = {id};
-  lookup_[id] = Slot{std::move(group), 0};
-  return id;
-}
+QuantumRegistry::QuantumRegistry(sim::Random& random)
+    : QuantumRegistry(random, qstate::BackendKind::kDense) {}
 
-const QuantumRegistry::Slot& QuantumRegistry::slot(QubitId q) const {
-  auto it = lookup_.find(q);
-  if (it == lookup_.end()) {
-    throw std::invalid_argument("QuantumRegistry: unknown qubit");
-  }
-  return it->second;
-}
+QuantumRegistry::QuantumRegistry(sim::Random& random,
+                                 qstate::BackendKind kind)
+    : random_(random), backend_(qstate::make_backend(kind, random)) {}
 
-QuantumRegistry::Slot& QuantumRegistry::slot(QubitId q) {
-  auto it = lookup_.find(q);
-  if (it == lookup_.end()) {
-    throw std::invalid_argument("QuantumRegistry: unknown qubit");
-  }
-  return it->second;
-}
+QuantumRegistry::QuantumRegistry(
+    sim::Random& random, std::unique_ptr<qstate::StateBackend> backend)
+    : random_(random), backend_(std::move(backend)) {}
 
-std::size_t QuantumRegistry::group_size(QubitId q) const {
-  return slot(q).group->members.size();
-}
-
-void QuantumRegistry::extract(QubitId q) {
-  Slot& s = slot(q);
-  GroupPtr group = s.group;
-  if (group->members.size() == 1) return;
-
-  const int idx = s.index;
-  const int remove[] = {idx};
-  group->dm = group->dm.partial_trace(remove);
-  group->members.erase(group->members.begin() + idx);
-  for (std::size_t i = 0; i < group->members.size(); ++i) {
-    lookup_[group->members[i]].index = static_cast<int>(i);
-  }
-
-  auto fresh = std::make_shared<Group>();
-  fresh->dm = DensityMatrix(1);
-  fresh->members = {q};
-  s.group = std::move(fresh);
-  s.index = 0;
-}
-
-void QuantumRegistry::discard(QubitId q) {
-  extract(q);
-  lookup_.erase(q);
-}
-
-QuantumRegistry::GroupPtr QuantumRegistry::merge(
-    std::span<const QubitId> qubits, std::vector<int>& indices) {
-  if (qubits.empty()) throw std::invalid_argument("merge: no qubits");
-  for (std::size_t i = 0; i < qubits.size(); ++i) {
-    for (std::size_t j = i + 1; j < qubits.size(); ++j) {
-      if (qubits[i] == qubits[j]) {
-        throw std::invalid_argument("merge: duplicate qubit");
-      }
-    }
-  }
-
-  // Collect the distinct groups in first-seen order.
-  std::vector<GroupPtr> groups;
-  for (QubitId q : qubits) {
-    GroupPtr g = slot(q).group;
-    if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
-      groups.push_back(g);
-    }
-  }
-
-  GroupPtr target = groups.front();
-  for (std::size_t gi = 1; gi < groups.size(); ++gi) {
-    GroupPtr g = groups[gi];
-    const int offset = static_cast<int>(target->members.size());
-    target->dm = target->dm.tensor(g->dm);
-    for (std::size_t i = 0; i < g->members.size(); ++i) {
-      target->members.push_back(g->members[i]);
-      Slot& s2 = lookup_[g->members[i]];
-      s2.group = target;
-      s2.index = offset + static_cast<int>(i);
-    }
-  }
-
-  indices.clear();
-  for (QubitId q : qubits) indices.push_back(slot(q).index);
-  return target;
-}
-
-void QuantumRegistry::apply_unitary(const Matrix& u,
-                                    std::span<const QubitId> qubits) {
-  std::vector<int> idx;
-  GroupPtr g = merge(qubits, idx);
-  g->dm.apply_unitary(u, idx);
-}
-
-void QuantumRegistry::apply_kraus(std::span<const Matrix> kraus,
-                                  std::span<const QubitId> qubits) {
-  std::vector<int> idx;
-  GroupPtr g = merge(qubits, idx);
-  g->dm.apply_kraus(kraus, idx);
-}
-
-int QuantumRegistry::measure(QubitId q, gates::Basis basis) {
-  Slot& s = slot(q);
-  GroupPtr g = s.group;
-  const int idx[] = {s.index};
-
-  const Matrix& u = gates::basis_change(basis);
-  g->dm.apply_unitary(u, idx);
-
-  // Projector onto |0> / |1> of the measured qubit.
-  static const Matrix p0{{1, 0}, {0, 0}};
-  static const Matrix p1{{0, 0}, {0, 1}};
-  const double prob0 = g->dm.povm_probability(p0, idx);
-  const int outcome = random_.bernoulli(1.0 - prob0) ? 1 : 0;
-  g->dm.apply_and_renormalize(outcome == 0 ? p0 : p1, idx);
-
-  // The qubit is now in a product state with the rest; pull it out so the
-  // group shrinks (keeps later operations cheap).
-  extract(q);
-  // Record the classical outcome in the fresh single-qubit state.
-  if (outcome == 1) {
-    Slot& s2 = slot(q);
-    const int i0[] = {0};
-    s2.group->dm.apply_unitary(gates::x(), i0);
-  }
-  return outcome;
-}
-
-void QuantumRegistry::set_state(std::span<const QubitId> qubits,
-                                const DensityMatrix& dm) {
-  if (static_cast<int>(qubits.size()) != dm.num_qubits()) {
-    throw std::invalid_argument("set_state: qubit/state size mismatch");
-  }
-  for (QubitId q : qubits) {
-    if (group_size(q) != 1) {
-      // Physically the old correlations are destroyed; drop them.
-      extract(q);
-    }
-  }
-  auto group = std::make_shared<Group>();
-  group->dm = dm;
-  group->dm.renormalize();
-  group->members.assign(qubits.begin(), qubits.end());
-  for (std::size_t i = 0; i < qubits.size(); ++i) {
-    Slot& s = slot(qubits[i]);
-    s.group = group;
-    s.index = static_cast<int>(i);
-  }
-}
-
-void QuantumRegistry::reset(QubitId q) {
-  extract(q);
-  Slot& s = slot(q);
-  s.group->dm = DensityMatrix(1);
-}
-
-DensityMatrix QuantumRegistry::peek(std::span<const QubitId> qubits) const {
-  if (qubits.empty()) throw std::invalid_argument("peek: no qubits");
-  // All listed qubits must be resolvable; qubits in different groups are
-  // uncorrelated, so the reduced state is the tensor of reduced states.
-  // Build per-group reductions first.
-  DensityMatrix out(0);
-  bool first = true;
-  std::vector<QubitId> pending(qubits.begin(), qubits.end());
-  std::vector<QubitId> produced_order;
-
-  while (!pending.empty()) {
-    GroupPtr g = slot(pending.front()).group;
-    // Which of the requested qubits live in this group, in request order.
-    std::vector<QubitId> here;
-    for (QubitId q : pending) {
-      if (slot(q).group == g) here.push_back(q);
-    }
-    std::vector<QubitId> rest;
-    for (QubitId q : pending) {
-      if (slot(q).group != g) rest.push_back(q);
-    }
-    pending = std::move(rest);
-
-    // Trace out group members not requested.
-    std::vector<int> remove;
-    for (std::size_t i = 0; i < g->members.size(); ++i) {
-      if (std::find(here.begin(), here.end(), g->members[i]) == here.end()) {
-        remove.push_back(static_cast<int>(i));
-      }
-    }
-    DensityMatrix reduced =
-        remove.empty() ? g->dm : g->dm.partial_trace(remove);
-
-    // Kept qubits are currently ordered by their in-group index; permute
-    // to the request order.
-    std::vector<QubitId> kept_order;
-    for (QubitId m : g->members) {
-      if (std::find(here.begin(), here.end(), m) != here.end()) {
-        kept_order.push_back(m);
-      }
-    }
-    std::vector<int> perm;
-    for (QubitId q : here) {
-      const auto it = std::find(kept_order.begin(), kept_order.end(), q);
-      perm.push_back(static_cast<int>(it - kept_order.begin()));
-    }
-    reduced = reduced.permuted(perm);
-
-    out = first ? reduced : out.tensor(reduced);
-    first = false;
-    produced_order.insert(produced_order.end(), here.begin(), here.end());
-  }
-
-  // `out` currently orders qubits group-by-group; restore request order.
-  std::vector<int> final_perm;
-  for (QubitId q : qubits) {
-    const auto it =
-        std::find(produced_order.begin(), produced_order.end(), q);
-    final_perm.push_back(static_cast<int>(it - produced_order.begin()));
-  }
-  return out.permuted(final_perm);
-}
+QuantumRegistry::~QuantumRegistry() = default;
 
 double QuantumRegistry::fidelity(std::span<const QubitId> qubits,
                                  std::span<const Complex> psi) const {

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <span>
-#include <vector>
+#include <utility>
 
+#include "qstate/backend.hpp"
 #include "quantum/density_matrix.hpp"
 #include "quantum/gates.hpp"
 #include "sim/random.hpp"
@@ -15,19 +15,29 @@
 /// simulated devices.
 ///
 /// Qubits at *different nodes* can be entangled, so their joint state
-/// must live in one density matrix. The registry tracks groups of qubits
-/// sharing a state, merges groups when a joint operation spans them, and
-/// shrinks groups when qubits are measured or discarded. This mirrors the
-/// "qstate" sharing NetSquid uses.
+/// must live in one store. The registry is a thin facade over a
+/// pluggable qstate::StateBackend (see src/qstate/): the backend tracks
+/// groups of qubits sharing a state, merges groups when a joint
+/// operation spans them, and shrinks groups when qubits are measured or
+/// discarded — mirroring the "qstate" sharing NetSquid uses. Which
+/// representation backs those groups (dense density matrices,
+/// Bell-diagonal coefficients, ...) is a per-scenario choice
+/// (core::LinkConfig::backend).
 
 namespace qlink::quantum {
 
 /// Opaque handle to a live qubit. Id 0 is never valid.
-using QubitId = std::uint64_t;
+using QubitId = qstate::QubitId;
 
 class QuantumRegistry {
  public:
-  explicit QuantumRegistry(sim::Random& random) : random_(random) {}
+  /// Default backend: dense density matrices (reference semantics).
+  explicit QuantumRegistry(sim::Random& random);
+  QuantumRegistry(sim::Random& random, qstate::BackendKind kind);
+  /// Adopt a caller-built backend (must already use `random`).
+  QuantumRegistry(sim::Random& random,
+                  std::unique_ptr<qstate::StateBackend> backend);
+  ~QuantumRegistry();
 
   QuantumRegistry(const QuantumRegistry&) = delete;
   QuantumRegistry& operator=(const QuantumRegistry&) = delete;
@@ -35,76 +45,88 @@ class QuantumRegistry {
   /// The deterministic random source behind all quantum sampling.
   sim::Random& random() noexcept { return random_; }
 
+  /// The state representation in use.
+  qstate::StateBackend& backend() noexcept { return *backend_; }
+  const qstate::StateBackend& backend() const noexcept { return *backend_; }
+
   /// Allocate a fresh qubit in |0>.
-  QubitId create();
+  QubitId create() { return backend_->create(); }
 
   /// Destroy a qubit: it is traced out of its group.
-  void discard(QubitId q);
+  void discard(QubitId q) { backend_->discard(q); }
 
-  bool exists(QubitId q) const { return lookup_.count(q) > 0; }
-  std::size_t live_qubits() const { return lookup_.size(); }
+  bool exists(QubitId q) const { return backend_->exists(q); }
+  std::size_t live_qubits() const { return backend_->live_qubits(); }
 
   /// Number of qubits sharing a state with q (including q).
-  std::size_t group_size(QubitId q) const;
+  std::size_t group_size(QubitId q) const { return backend_->group_size(q); }
 
   /// Apply a unitary on the listed qubits (groups merged as needed).
-  void apply_unitary(const Matrix& u, std::span<const QubitId> qubits);
+  void apply_unitary(const Matrix& u, std::span<const QubitId> qubits) {
+    backend_->apply_unitary(u, qubits);
+  }
 
   /// Apply a Kraus channel on the listed qubits.
   void apply_kraus(std::span<const Matrix> kraus,
-                   std::span<const QubitId> qubits);
+                   std::span<const QubitId> qubits) {
+    backend_->apply_kraus(kraus, qubits);
+  }
+
+  /// Structured noise: dephasing with probability p on one qubit
+  /// (equivalent to apply_kraus(channels::dephasing(p)) but closed-form
+  /// in every backend — no Kraus construction on the hot path).
+  void dephase(QubitId q, double p) { backend_->dephase(q, p); }
+
+  /// Depolarising channel with keep-weight f (channels::depolarizing).
+  void depolarize(QubitId q, double f) { backend_->depolarize(q, f); }
+
+  /// Combined T1/T2 decay over t_ns (channels::t1t2 semantics).
+  void decay(QubitId q, double t_ns, double t1_ns, double t2_ns) {
+    backend_->decay(q, t_ns, t1_ns, t2_ns);
+  }
 
   /// Measure one qubit in the given basis. The qubit collapses, is
   /// separated from its group, and remains allocated in the post-
   /// measurement product state (callers typically discard it next).
   /// Returns 0 or 1.
-  int measure(QubitId q, gates::Basis basis);
+  int measure(QubitId q, gates::Basis basis) {
+    return backend_->measure(q, basis);
+  }
+
+  /// Bell measurement: CNOT(control -> target), H(control), then two
+  /// Z measurements. Returns {m1 = control outcome, m2 = target
+  /// outcome}. Backends with structured pair states implement the
+  /// entanglement swap behind this in closed form.
+  std::pair<int, int> bell_measure(QubitId control, QubitId target) {
+    return backend_->bell_measure(control, target);
+  }
 
   /// Overwrite the joint state of the listed qubits with a given density
   /// matrix (used by the herald model to install fresh entanglement).
   /// Each qubit must currently be unentangled with anything outside the
   /// list; their old state is dropped.
-  void set_state(std::span<const QubitId> qubits, const DensityMatrix& dm);
+  void set_state(std::span<const QubitId> qubits, const DensityMatrix& dm) {
+    backend_->set_state(qubits, dm);
+  }
 
   /// Reset a single qubit to |0> (dropping correlations: it is traced
   /// out of its group first). Models (re-)initialisation.
-  void reset(QubitId q);
+  void reset(QubitId q) { backend_->reset(q); }
 
   /// Reduced density matrix of the listed qubits, in the given order.
   /// Read-only diagnostic used by metrics/tests; a real device cannot do
   /// this, the simulator can.
-  DensityMatrix peek(std::span<const QubitId> qubits) const;
+  DensityMatrix peek(std::span<const QubitId> qubits) const {
+    return backend_->peek(qubits);
+  }
 
   /// Fidelity of the listed qubits' reduced state to a pure state.
   double fidelity(std::span<const QubitId> qubits,
                   std::span<const Complex> psi) const;
 
  private:
-  struct Group {
-    DensityMatrix dm{0};
-    std::vector<QubitId> members;  // position i <-> qubit index i in dm
-  };
-  using GroupPtr = std::shared_ptr<Group>;
-
-  struct Slot {
-    GroupPtr group;
-    int index = 0;
-  };
-
-  const Slot& slot(QubitId q) const;
-  Slot& slot(QubitId q);
-
-  /// Ensure all listed qubits live in one group; returns it and fills
-  /// `indices` with each qubit's index inside that group.
-  GroupPtr merge(std::span<const QubitId> qubits, std::vector<int>& indices);
-
-  /// Remove qubit q from its group by tracing it out (q must already be
-  /// in a post-measurement/uncorrelated situation for physical use).
-  void extract(QubitId q);
-
   sim::Random& random_;
-  QubitId next_id_ = 1;
-  std::map<QubitId, Slot> lookup_;
+  std::unique_ptr<qstate::StateBackend> backend_;
 };
 
 }  // namespace qlink::quantum

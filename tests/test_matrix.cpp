@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "quantum/bessel.hpp"
+#include "quantum/channels.hpp"
 #include "quantum/gates.hpp"
 #include "quantum/matrix.hpp"
 
@@ -225,6 +228,64 @@ TEST(Bessel, AsymptoticForLargeArgument) {
 TEST(Bessel, ZeroAndNegative) {
   EXPECT_EQ(bessel_i1_over_i0(0.0), 0.0);
   EXPECT_THROW(bessel_i1_over_i0(-1.0), std::invalid_argument);
+}
+
+// --- move-awareness / allocation accounting (ISSUE 2 satellite) -----
+
+TEST(MatrixAlloc, MoveConstructionAndAssignmentDoNotAllocate) {
+  Matrix a = Matrix::identity(4);  // one allocation
+  const std::uint64_t before = Matrix::heap_allocations();
+
+  Matrix b = std::move(a);  // move ctor: no allocation
+  EXPECT_EQ(Matrix::heap_allocations(), before);
+  EXPECT_TRUE(a.empty());  // moved-from is empty, not aliasing b
+  EXPECT_EQ(b.rows(), 4u);
+
+  Matrix c;
+  c = std::move(b);  // move assign: no allocation
+  EXPECT_EQ(Matrix::heap_allocations(), before);
+  EXPECT_EQ(c.rows(), 4u);
+}
+
+TEST(MatrixAlloc, CopyIsCountedMoveIsNot) {
+  const Matrix a = Matrix::identity(2);
+  const std::uint64_t before = Matrix::heap_allocations();
+  const Matrix copy = a;  // copies allocate and are counted
+  EXPECT_EQ(Matrix::heap_allocations(), before + 1);
+  EXPECT_TRUE(copy.approx_equal(a));
+}
+
+TEST(MatrixAlloc, VectorGrowthMovesInsteadOfCopying) {
+  // Matrix's move operations are noexcept, so vector reallocation must
+  // move the payloads: growing a vector of matrices performs no Matrix
+  // heap allocations beyond the initial constructions.
+  std::vector<Matrix> v;
+  v.reserve(1);
+  v.push_back(Matrix::identity(4));
+  const std::uint64_t before = Matrix::heap_allocations();
+  for (int i = 0; i < 16; ++i) {
+    v.push_back(Matrix(4, 4));  // 1 allocation each; growth must not copy
+  }
+  EXPECT_EQ(Matrix::heap_allocations(), before + 16);
+}
+
+TEST(MatrixAlloc, ChannelConstructionHasNoSilentCopies) {
+  // channels::dephasing builds 2 matrices: one scaled copy of each
+  // static gate (counted) moved into the vector (not counted). The
+  // historical initializer-list construction silently doubled this.
+  // Warm up first so the lazily-built static gate matrices don't count.
+  (void)channels::dephasing(0.5);
+  (void)channels::depolarizing(0.5);
+
+  const std::uint64_t before = Matrix::heap_allocations();
+  const auto kraus = channels::dephasing(0.25);
+  EXPECT_EQ(kraus.size(), 2u);
+  EXPECT_EQ(Matrix::heap_allocations(), before + 2);
+
+  const std::uint64_t before_depol = Matrix::heap_allocations();
+  const auto depol = channels::depolarizing(0.9);
+  EXPECT_EQ(depol.size(), 4u);
+  EXPECT_EQ(Matrix::heap_allocations(), before_depol + 4);
 }
 
 }  // namespace
