@@ -209,4 +209,16 @@ double Link::pair_fidelity(QubitId qubit_a, QubitId qubit_b) {
       pair, quantum::bell::state_vector(quantum::bell::BellState::kPsiPlus));
 }
 
+Link::RateEstimate Link::estimate_k_create(double min_fidelity) {
+  const auto advice =
+      egp_a_->feu().advise(min_fidelity, RequestType::kCreateKeep);
+  RateEstimate estimate;
+  estimate.feasible = advice.feasible;
+  if (advice.feasible) {
+    estimate.fidelity = advice.estimated_fidelity;
+    estimate.pair_time_s = sim::to_seconds(advice.expected_time_per_pair);
+  }
+  return estimate;
+}
+
 }  // namespace qlink::core

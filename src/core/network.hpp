@@ -116,6 +116,18 @@ class Link {
   /// qubits named in matching OKs at A and B (simulator privilege).
   double pair_fidelity(quantum::QubitId qubit_a, quantum::QubitId qubit_b);
 
+  /// FEU-derived planning estimate for a K-type CREATE at the given
+  /// fidelity floor: the delivered fidelity and expected per-pair
+  /// generation time at the alpha the EGP would actually run. This is
+  /// what the routing layer's cost models consume (see
+  /// routing::Router::annotate_from_network).
+  struct RateEstimate {
+    bool feasible = false;
+    double fidelity = 0.0;
+    double pair_time_s = 0.0;
+  };
+  RateEstimate estimate_k_create(double min_fidelity);
+
   static constexpr std::uint32_t kNodeA = 0;
   static constexpr std::uint32_t kNodeB = 1;
 

@@ -55,6 +55,14 @@ class Collector {
     queue_length_.add(static_cast<double>(len));
   }
 
+  /// Routing-layer accounting: hop count of an admitted route, and
+  /// requests that could not be admitted immediately (queued behind
+  /// reservations; see routing::Router).
+  void record_route(std::size_t hops) {
+    route_length_.add(static_cast<double>(hops));
+  }
+  void record_blocked() { ++requests_blocked_; }
+
   const KindMetrics& kind(core::Priority p) const {
     return kinds_[static_cast<std::size_t>(p)];
   }
@@ -79,6 +87,8 @@ class Collector {
   }
   std::uint64_t total_expires() const { return errors(core::EgpError::kExpired); }
   const RunningStat& queue_length() const { return queue_length_; }
+  const RunningStat& route_length() const { return route_length_; }
+  std::uint64_t requests_blocked() const { return requests_blocked_; }
 
   /// Fairness: per-origin pair counts and mean latencies (Section 6.2).
   const KindMetrics& by_origin(std::uint32_t node) const {
@@ -104,6 +114,8 @@ class Collector {
   std::map<core::EgpError, std::uint64_t> error_counts_;
   std::array<std::pair<std::uint64_t, std::uint64_t>, 3> qber_counts_{};
   RunningStat queue_length_;
+  RunningStat route_length_;
+  std::uint64_t requests_blocked_ = 0;
 };
 
 }  // namespace qlink::metrics

@@ -1,5 +1,7 @@
 #include "netlayer/swap_service.hpp"
 
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "quantum/bell.hpp"
@@ -35,20 +37,70 @@ SwapService::SwapService(QuantumNetwork& network,
 }
 
 std::uint32_t SwapService::request(const E2eRequest& request) {
+  return this->request(request, net_.path(request.src, request.dst));
+}
+
+std::uint32_t SwapService::request(const E2eRequest& request,
+                                   const std::vector<Hop>& route,
+                                   std::span<const double> hop_floors) {
+  if (request.src == request.dst) {
+    throw std::invalid_argument("SwapService: src == dst");
+  }
+  if (route.empty()) {
+    throw std::invalid_argument("SwapService: empty route");
+  }
+  if (!hop_floors.empty() && hop_floors.size() != route.size()) {
+    throw std::invalid_argument(
+        "SwapService: hop_floors must match the route length");
+  }
+  for (const Hop& hop : route) {
+    if (hop.link >= net_.num_links()) {
+      throw std::invalid_argument("SwapService: route names unknown link");
+    }
+  }
+  if (net_.hop_entry(route.front()) != request.src ||
+      net_.hop_exit(route.back()) != request.dst) {
+    throw std::invalid_argument(
+        "SwapService: route does not join the request's endpoints");
+  }
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    if (net_.hop_exit(route[i]) != net_.hop_entry(route[i + 1])) {
+      throw std::invalid_argument("SwapService: route is not contiguous");
+    }
+  }
+  // Simple walks only: a route revisiting a node (and so possibly a
+  // link) would run concurrent CREATEs over one physical link for one
+  // request — a state the swap cascade was never designed for.
+  std::vector<std::uint32_t> visited;
+  visited.reserve(route.size() + 1);
+  for (const Hop& hop : route) visited.push_back(net_.hop_entry(hop));
+  visited.push_back(request.dst);
+  for (std::size_t i = 0; i < visited.size(); ++i) {
+    for (std::size_t j = i + 1; j < visited.size(); ++j) {
+      if (visited[i] == visited[j]) {
+        throw std::invalid_argument(
+            "SwapService: route revisits node " +
+            std::to_string(visited[i]));
+      }
+    }
+  }
+
   RequestState rs;
   rs.id = next_request_id_++;
   rs.req = request;
-  rs.submitted = now();
+  rs.submitted = request.submitted_at >= 0 ? request.submitted_at : now();
 
-  const std::vector<Hop> route = net_.path(request.src, request.dst);
   rs.hops.reserve(route.size());
   const double link_floor = request.effective_link_floor();
-  for (const Hop& hop : route) {
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    const Hop& hop = route[i];
     CreateRequest cr;
     cr.remote_node_id = net_.hop_exit(hop);
     cr.type = RequestType::kCreateKeep;
     cr.num_pairs = request.num_pairs;
-    cr.min_fidelity = link_floor;
+    cr.min_fidelity = !hop_floors.empty() && hop_floors[i] > 0.0
+                          ? hop_floors[i]
+                          : link_floor;
     cr.max_time = request.max_time;
     cr.priority = Priority::kNetworkLayer;
     cr.purpose_id = request.purpose_id;

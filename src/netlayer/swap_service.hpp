@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -46,6 +47,11 @@ struct E2eRequest {
   }
   sim::SimTime max_time = 0;  // tmax per link-layer CREATE; 0 = unbounded
   std::uint16_t purpose_id = 1;
+  /// When >= 0, the time the higher layer first saw this request; the
+  /// delivery latency is measured from here. The routing layer stamps
+  /// it at submission so time spent queued behind reservations counts.
+  /// Negative (default): stamped when the SwapService admits it.
+  sim::SimTime submitted_at = -1;
   /// Move each link pair into carbon memory on delivery (survives the
   /// wait for the slowest hop; needs the decoupled-memory scenario for
   /// long waits, see examples/chain_e2e_nl.cpp).
@@ -102,9 +108,20 @@ class SwapService : public sim::Entity {
   explicit SwapService(QuantumNetwork& network,
                        metrics::Collector* collector = nullptr);
 
-  /// Submit an end-to-end request. Returns its id; deliveries arrive
-  /// through the deliver handler.
+  /// Submit an end-to-end request over the network's minimum-hop path.
+  /// Returns its id; deliveries arrive through the deliver handler.
   std::uint32_t request(const E2eRequest& request);
+
+  /// Submit over an explicit routed path (e.g. a routing::PathSelector
+  /// candidate, translated to Hops). The route must be a contiguous
+  /// src -> dst walk over existing links (std::invalid_argument
+  /// otherwise). `hop_floors`, when non-empty, carries one per-hop
+  /// CREATE fidelity floor; entries > 0 override the request's
+  /// effective_link_floor() on that hop — heterogeneous links are
+  /// operated at the quality set-point their hardware supports.
+  std::uint32_t request(const E2eRequest& request,
+                        const std::vector<Hop>& route,
+                        std::span<const double> hop_floors = {});
 
   void set_deliver_handler(DeliverFn fn) { on_deliver_ = std::move(fn); }
   void set_error_handler(ErrorFn fn) { on_error_ = std::move(fn); }

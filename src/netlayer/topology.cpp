@@ -8,31 +8,89 @@
 
 namespace qlink::netlayer {
 
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+QuantumNetwork::resolve_edges() {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+  if (config_.edges.empty()) {
+    // Built-in shapes: chain of num_links hops or star of num_links
+    // leaves; nodes = links + 1 either way.
+    if (config_.num_links == 0) {
+      throw std::invalid_argument("QuantumNetwork: at least one link");
+    }
+    edges.reserve(config_.num_links);
+    for (std::size_t i = 0; i < config_.num_links; ++i) {
+      switch (config_.kind) {
+        case TopologyKind::kChain:
+          // Nodes 0..N along the chain.
+          edges.emplace_back(static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(i + 1));
+          break;
+        case TopologyKind::kStar:
+          // Leaf at the A side, center (node 0) at the B side, so a
+          // leaf-to-leaf route is forward over the first hop and
+          // reversed over the second.
+          edges.emplace_back(static_cast<std::uint32_t>(i + 1), 0);
+          break;
+      }
+    }
+    num_nodes_ = config_.num_links + 1;
+    return edges;
+  }
+
+  // Explicit edge list: validate before any link is built so malformed
+  // topologies fail loudly instead of silently mis-routing.
+  std::uint32_t max_id = 0;
+  for (const auto& [a, b] : config_.edges) {
+    max_id = std::max({max_id, a, b});
+  }
+  num_nodes_ = config_.num_nodes != 0
+                   ? config_.num_nodes
+                   : static_cast<std::size_t>(max_id) + 1;
+  for (std::size_t i = 0; i < config_.edges.size(); ++i) {
+    const auto [a, b] = config_.edges[i];
+    if (a == b) {
+      throw std::invalid_argument("QuantumNetwork: link " +
+                                  std::to_string(i) + " is a self-loop at node " +
+                                  std::to_string(a));
+    }
+    if (a >= num_nodes_ || b >= num_nodes_) {
+      throw std::invalid_argument(
+          "QuantumNetwork: link " + std::to_string(i) +
+          " references unknown node id " +
+          std::to_string(a >= num_nodes_ ? a : b) + " (num_nodes = " +
+          std::to_string(num_nodes_) + ")");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto [pa, pb] = config_.edges[j];
+      if ((pa == a && pb == b) || (pa == b && pb == a)) {
+        throw std::invalid_argument(
+            "QuantumNetwork: links " + std::to_string(j) + " and " +
+            std::to_string(i) + " duplicate the pair " + std::to_string(a) +
+            "-" + std::to_string(b));
+      }
+    }
+  }
+  return config_.edges;
+}
+
 QuantumNetwork::QuantumNetwork(const NetworkConfig& config)
     : config_(config),
       random_(config.seed),
       registry_(random_, config.link.backend) {
-  if (config_.num_links == 0) {
-    throw std::invalid_argument("QuantumNetwork: at least one link");
-  }
-  links_.reserve(config_.num_links);
-  for (std::size_t i = 0; i < config_.num_links; ++i) {
+  const auto edges = resolve_edges();
+  links_.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
     core::LinkConfig lc = config_.link;
     lc.label = "[" + std::to_string(i) + "]";
-    switch (config_.kind) {
-      case TopologyKind::kChain:
-        // Nodes 0..N along the chain.
-        lc.node_id_a = static_cast<std::uint32_t>(i);
-        lc.node_id_b = static_cast<std::uint32_t>(i + 1);
-        break;
-      case TopologyKind::kStar:
-        // Leaf at the A side, center (node 0) at the B side, so a
-        // leaf-to-leaf route is forward over the first hop and
-        // reversed over the second.
-        lc.node_id_a = static_cast<std::uint32_t>(i + 1);
-        lc.node_id_b = 0;
-        break;
-    }
+    lc.node_id_a = edges[i].first;
+    lc.node_id_b = edges[i].second;
+    if (config_.configure_link) config_.configure_link(i, lc);
+    // The per-link hook must not re-wire the topology (or swap in a
+    // different backend than the shared registry was built with).
+    lc.node_id_a = edges[i].first;
+    lc.node_id_b = edges[i].second;
+    lc.backend = config_.link.backend;
     links_.push_back(std::make_unique<core::Link>(simulator_, random_,
                                                   registry_, lc));
   }
@@ -48,8 +106,9 @@ std::vector<Hop> QuantumNetwork::path(std::uint32_t src,
     throw std::invalid_argument("path: src == dst");
   }
 
-  // BFS over the (tree) adjacency; record the hop that discovered each
-  // node and walk back from dst.
+  // BFS over the adjacency (minimum-hop on general graphs, the unique
+  // route on trees); record the hop that discovered each node and walk
+  // back from dst.
   std::vector<std::optional<Hop>> via(nodes);
   std::vector<bool> seen(nodes, false);
   std::queue<std::uint32_t> frontier;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -20,22 +21,39 @@
 /// same deterministic clock and (b) qubits of different links can be
 /// joined into one density matrix when a swap entangles them.
 ///
-/// Supported shapes: a chain of N links (nodes 0..N, link i between
-/// nodes i and i+1) and a star of N links (center node 0, leaves
-/// 1..N, link i between leaf i+1 and the center). Both are trees, so
-/// routing is a breadth-first search.
+/// Shapes: the built-in chain of N links (nodes 0..N, link i between
+/// nodes i and i+1) and star of N links (center node 0, leaves 1..N),
+/// or — the general form — an explicit undirected edge list over
+/// arbitrary node ids (rings, grids, tori, dragonflies, ...; the
+/// generators live in routing::Graph, and routing::make_network_config
+/// converts a graph into a NetworkConfig). Edge lists are validated on
+/// construction: self-loops, duplicate links, and unknown node ids are
+/// rejected with std::invalid_argument.
 
 namespace qlink::netlayer {
 
 enum class TopologyKind { kChain, kStar };
 
 struct NetworkConfig {
+  /// Built-in shape; ignored when `edges` is non-empty.
   TopologyKind kind = TopologyKind::kChain;
   /// Number of links (chain: hops; star: leaves). Nodes = links + 1.
+  /// Ignored when `edges` is non-empty.
   std::size_t num_links = 2;
+  /// Explicit undirected edge list (general graphs): link i joins
+  /// global node ids edges[i].first (A side) and edges[i].second (B
+  /// side). Overrides `kind`/`num_links` when non-empty.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  /// Node count in edge-list mode; 0 infers max listed id + 1. Ids in
+  /// `edges` must be < num_nodes.
+  std::size_t num_nodes = 0;
   /// Per-link template (scenario, scheduler, ...). Node ids and labels
   /// are overwritten per link by the topology.
   core::LinkConfig link;
+  /// Optional per-link customisation for heterogeneous networks: called
+  /// with the link index and its template-initialised config (node ids
+  /// already assigned) before the link is built.
+  std::function<void(std::size_t, core::LinkConfig&)> configure_link;
   /// Seed of the single shared Random source.
   std::uint64_t seed = 1;
 };
@@ -61,7 +79,7 @@ class QuantumNetwork {
   const NetworkConfig& config() const noexcept { return config_; }
 
   std::size_t num_links() const noexcept { return links_.size(); }
-  std::size_t num_nodes() const noexcept { return links_.size() + 1; }
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
   core::Link& link(std::size_t i) { return *links_.at(i); }
 
   /// Global node ids of link i, (A side, B side).
@@ -84,9 +102,12 @@ class QuantumNetwork {
     return links_.at(i)->egp(node_id);
   }
 
-  /// Unique route between two nodes (the topologies are trees). Throws
-  /// std::invalid_argument if either node id is out of range or the
-  /// nodes coincide.
+  /// A minimum-hop route between two nodes (breadth-first search; the
+  /// unique route on tree topologies). General graphs get smarter
+  /// routing from routing::PathSelector — this is the fallback the
+  /// SwapService uses when no explicit route is supplied. Throws
+  /// std::invalid_argument if either node id is out of range, the
+  /// nodes coincide, or the nodes are not connected.
   std::vector<Hop> path(std::uint32_t src, std::uint32_t dst) const;
 
   /// Start every link's MHP cycle clocks.
@@ -99,10 +120,15 @@ class QuantumNetwork {
   void run_until(sim::SimTime t) { simulator_.run_until(t); }
 
  private:
+  /// Validated (node_a, node_b) pairs for every link, resolved from
+  /// either the built-in shape or the explicit edge list.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> resolve_edges();
+
   NetworkConfig config_;
   sim::Simulator simulator_;
   sim::Random random_;
   quantum::QuantumRegistry registry_;
+  std::size_t num_nodes_ = 0;
   std::vector<std::unique_ptr<core::Link>> links_;
 };
 

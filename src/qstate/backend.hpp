@@ -34,6 +34,8 @@ struct BackendStats {
   std::uint64_t fast_ops = 0;    ///< ops served by a closed-form path
   std::uint64_t dense_ops = 0;   ///< ops that ran dense linear algebra
   std::uint64_t promotions = 0;  ///< structured groups escalated to dense
+  std::uint64_t demotions = 0;   ///< dense groups rebuilt as Bell pairs
+                                 ///< by a fresh Bell-diagonal install
   std::uint64_t pool_hits = 0;   ///< dense buffers reused from the pool
   std::uint64_t pool_misses = 0; ///< dense buffers newly allocated
 };

@@ -915,12 +915,36 @@ void HybridBackend::set_state(std::span<const QubitId> qubits,
     throw std::invalid_argument("set_state: qubit/state size mismatch");
   }
   check_no_duplicates(qubits);
+
+  const auto listed = [&qubits](QubitId q) {
+    return std::find(qubits.begin(), qubits.end(), q) != qubits.end();
+  };
+  // A fresh install severs every old correlation, so a source group
+  // whose members are all being overwritten is retired wholesale — no
+  // partial trace needed. Groups that also hold unlisted qubits lose
+  // the listed ones one by one (the partner keeps its reduced state).
+  // Remember whether a dense group is retired whole: if the new state
+  // then takes the structured pair path, that promoted group just got
+  // re-twirled back onto the Bell-diagonal manifold (a demotion —
+  // partially covered dense groups survive dense and don't count).
+  bool had_dense_source = false;
   for (QubitId q : qubits) {
-    if (group_size(q) != 1) extract(q);
+    const Group& g = group_of(q);  // validates q
+    const bool covered =
+        std::all_of(g.members.begin(), g.members.end(), listed);
+    if (g.rep == Rep::kDense && covered) had_dense_source = true;
+    if (!covered && g.members.size() > 1) extract(q);
   }
-  // All listed qubits are now singletons; retire their groups and form
+  // Retire the (now singleton or fully covered) source groups and form
   // one fresh group holding the installed state.
-  for (QubitId q : qubits) free_group(slots_[q].group);
+  std::vector<std::uint32_t> retired;
+  for (QubitId q : qubits) {
+    const std::uint32_t gi = slots_[q].group;
+    if (std::find(retired.begin(), retired.end(), gi) == retired.end()) {
+      free_group(gi);
+      retired.push_back(gi);
+    }
+  }
 
   const std::uint32_t gi = alloc_group();
   Group& g = groups_[gi];
@@ -944,6 +968,7 @@ void HybridBackend::set_state(std::span<const QubitId> qubits,
     return;
   }
   if (g.nq == 2 && structured_ && try_set_pair(gi, dm)) {
+    if (had_dense_source) ++stats_.demotions;
     ++stats_.fast_ops;
     return;
   }

@@ -1,0 +1,171 @@
+#include "routing/graph.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace qlink::routing {
+
+Graph::Graph(std::size_t num_nodes)
+    : num_nodes_(num_nodes), adjacency_(num_nodes) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("Graph: at least two nodes");
+  }
+}
+
+std::size_t Graph::add_edge(std::uint32_t a, std::uint32_t b,
+                            const EdgeParams& params) {
+  if (a >= num_nodes_ || b >= num_nodes_) {
+    throw std::invalid_argument(
+        "Graph::add_edge: unknown node id " + std::to_string(a >= num_nodes_ ? a : b) +
+        " (graph has " + std::to_string(num_nodes_) + " nodes)");
+  }
+  if (a == b) {
+    throw std::invalid_argument("Graph::add_edge: self-loop at node " +
+                                std::to_string(a));
+  }
+  if (find_edge(a, b) != npos) {
+    throw std::invalid_argument(
+        "Graph::add_edge: duplicate edge " + std::to_string(a) + "-" +
+        std::to_string(b) +
+        " (model parallel links with EdgeParams::capacity)");
+  }
+  if (params.capacity == 0) {
+    throw std::invalid_argument("Graph::add_edge: zero capacity");
+  }
+  const std::size_t id = edges_.size();
+  edges_.push_back(Edge{a, b, params});
+  adjacency_[a].push_back(Adjacency{id, b});
+  adjacency_[b].push_back(Adjacency{id, a});
+  return id;
+}
+
+std::size_t Graph::find_edge(std::uint32_t a, std::uint32_t b) const {
+  if (a >= num_nodes_ || b >= num_nodes_) return npos;
+  for (const Adjacency& adj : adjacency_[a]) {
+    if (adj.peer == b) return adj.edge;
+  }
+  return npos;
+}
+
+std::uint32_t Graph::other_end(std::size_t edge, std::uint32_t node) const {
+  const Edge& e = edges_.at(edge);
+  if (node == e.a) return e.b;
+  if (node == e.b) return e.a;
+  throw std::invalid_argument("Graph::other_end: node not on edge");
+}
+
+bool Graph::connected() const {
+  std::vector<bool> seen(num_nodes_, false);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const std::uint32_t u = stack.back();
+    stack.pop_back();
+    for (const Adjacency& adj : adjacency_[u]) {
+      if (!seen[adj.peer]) {
+        seen[adj.peer] = true;
+        ++count;
+        stack.push_back(adj.peer);
+      }
+    }
+  }
+  return count == num_nodes_;
+}
+
+Graph Graph::chain(std::size_t num_nodes, const EdgeParams& params) {
+  Graph g(num_nodes);
+  for (std::size_t i = 0; i + 1 < num_nodes; ++i) {
+    g.add_edge(static_cast<std::uint32_t>(i),
+               static_cast<std::uint32_t>(i + 1), params);
+  }
+  return g;
+}
+
+Graph Graph::ring(std::size_t num_nodes, const EdgeParams& params) {
+  if (num_nodes < 3) {
+    throw std::invalid_argument("Graph::ring: at least three nodes");
+  }
+  Graph g = chain(num_nodes, params);
+  g.add_edge(static_cast<std::uint32_t>(num_nodes - 1), 0, params);
+  return g;
+}
+
+Graph Graph::star(std::size_t num_leaves, const EdgeParams& params) {
+  Graph g(num_leaves + 1);
+  for (std::size_t i = 1; i <= num_leaves; ++i) {
+    g.add_edge(static_cast<std::uint32_t>(i), 0, params);
+  }
+  return g;
+}
+
+Graph Graph::grid(std::size_t rows, std::size_t cols,
+                  const EdgeParams& params) {
+  if (rows == 0 || cols == 0 || rows * cols < 2) {
+    throw std::invalid_argument("Graph::grid: at least two nodes");
+  }
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<std::uint32_t>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), params);
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), params);
+    }
+  }
+  return g;
+}
+
+Graph Graph::torus(std::size_t rows, std::size_t cols,
+                   const EdgeParams& params) {
+  Graph g = grid(rows, cols, params);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<std::uint32_t>(r * cols + c);
+  };
+  if (cols >= 3) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      g.add_edge(id(r, cols - 1), id(r, 0), params);
+    }
+  }
+  if (rows >= 3) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(rows - 1, c), id(0, c), params);
+    }
+  }
+  return g;
+}
+
+Graph Graph::dragonfly(std::size_t groups, std::size_t routers_per_group,
+                       const EdgeParams& params) {
+  if (groups == 0 || routers_per_group == 0 ||
+      groups * routers_per_group < 2) {
+    throw std::invalid_argument("Graph::dragonfly: at least two routers");
+  }
+  Graph g(groups * routers_per_group);
+  const auto id = [routers_per_group](std::size_t group, std::size_t router) {
+    return static_cast<std::uint32_t>(group * routers_per_group + router);
+  };
+  // All-to-all inside each group.
+  for (std::size_t grp = 0; grp < groups; ++grp) {
+    for (std::size_t i = 0; i < routers_per_group; ++i) {
+      for (std::size_t j = i + 1; j < routers_per_group; ++j) {
+        g.add_edge(id(grp, i), id(grp, j), params);
+      }
+    }
+  }
+  // One global link per group pair, spread round-robin over each
+  // group's routers so global traffic does not funnel through one
+  // router (the standard dragonfly layout, cf. "The Swapped Dragonfly").
+  std::vector<std::size_t> next_port(groups, 0);
+  for (std::size_t i = 0; i < groups; ++i) {
+    for (std::size_t j = i + 1; j < groups; ++j) {
+      const std::size_t ri = next_port[i]++ % routers_per_group;
+      const std::size_t rj = next_port[j]++ % routers_per_group;
+      g.add_edge(id(i, ri), id(j, rj), params);
+    }
+  }
+  return g;
+}
+
+}  // namespace qlink::routing

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file graph.hpp
+/// The routing layer's network model: an arbitrary undirected multigraph
+/// of nodes joined by quantum links, each edge carrying the parameters
+/// the path-selection cost models consume (estimated delivered fidelity,
+/// expected pair-generation time, classical delay, reservation
+/// capacity).
+///
+/// The graph is pure data — it knows nothing about the simulation. The
+/// netlayer builds a QuantumNetwork from it (edge i becomes link i; see
+/// routing::make_network_config), and routing::Router keeps the two in
+/// lockstep. Generators cover the interconnect shapes the scenario
+/// space needs beyond PR 1's chain/star: rings, grids, tori, and
+/// dragonflies (cf. "The Swapped Dragonfly", PAPERS.md).
+
+namespace qlink::routing {
+
+/// Per-edge link parameters consumed by cost models and admission.
+///
+/// `fidelity`, `pair_time_s` and `link_floor` are *estimates the
+/// routing layer plans with*; Router::annotate_from_network fills them
+/// from each link's FEU so they match what the link layer will actually
+/// deliver. Defaults describe a generic good link so that a bare
+/// generator-built graph is usable in tests.
+struct EdgeParams {
+  /// Concurrent end-to-end reservations this edge admits. 1 makes
+  /// admitted paths edge-disjoint (one communication qubit per end).
+  std::size_t capacity = 1;
+  /// Estimated fidelity of pairs the link delivers (to |Psi+>).
+  double fidelity = 0.9;
+  /// Expected wall time to generate one pair on this edge, seconds.
+  double pair_time_s = 1e-3;
+  /// One-way classical delay across the edge, seconds (swap-outcome
+  /// announcements travel over these).
+  double delay_s = 0.0;
+  /// Per-link CREATE fidelity floor this edge is operated at; 0 means
+  /// "use the request's floor". A degraded link that cannot support the
+  /// network-wide floor is operated at the highest floor its hardware
+  /// sustains (see Router::annotate_from_network).
+  double link_floor = 0.0;
+};
+
+class Graph {
+ public:
+  struct Edge {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    EdgeParams params;
+  };
+
+  /// One entry of a node's adjacency: the incident edge and the node on
+  /// its far side.
+  struct Adjacency {
+    std::size_t edge = 0;
+    std::uint32_t peer = 0;
+  };
+
+  explicit Graph(std::size_t num_nodes);
+
+  /// Add an undirected edge. Throws std::invalid_argument on self-loops,
+  /// out-of-range node ids, or duplicate (a,b) pairs (the quantum links
+  /// are physical: one per node pair; model parallel capacity with
+  /// EdgeParams::capacity instead).
+  std::size_t add_edge(std::uint32_t a, std::uint32_t b,
+                       const EdgeParams& params = {});
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  const Edge& edge(std::size_t i) const { return edges_.at(i); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+  EdgeParams& params(std::size_t i) { return edges_.at(i).params; }
+  const EdgeParams& params(std::size_t i) const {
+    return edges_.at(i).params;
+  }
+
+  const std::vector<Adjacency>& neighbors(std::uint32_t node) const {
+    return adjacency_.at(node);
+  }
+
+  /// Edge between a and b (either orientation), or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find_edge(std::uint32_t a, std::uint32_t b) const;
+
+  std::uint32_t other_end(std::size_t edge, std::uint32_t node) const;
+
+  /// Every node reachable from node 0 (false for an empty graph).
+  bool connected() const;
+
+  // --- Generators ----------------------------------------------------
+  // All generators stamp `params` onto every edge they create.
+
+  /// Nodes 0..n-1 in a line (n-1 edges). n >= 2.
+  static Graph chain(std::size_t num_nodes, const EdgeParams& params = {});
+  /// Chain plus the closing edge n-1 -> 0. n >= 3.
+  static Graph ring(std::size_t num_nodes, const EdgeParams& params = {});
+  /// Center node 0, leaves 1..n. n >= 1 leaves.
+  static Graph star(std::size_t num_leaves, const EdgeParams& params = {});
+  /// rows x cols mesh; node (r, c) has id r * cols + c. rows, cols >= 1,
+  /// at least 2 nodes total.
+  static Graph grid(std::size_t rows, std::size_t cols,
+                    const EdgeParams& params = {});
+  /// Grid plus wraparound edges in every dimension of extent >= 3 (a
+  /// wrap across extent 2 would duplicate the mesh edge).
+  static Graph torus(std::size_t rows, std::size_t cols,
+                     const EdgeParams& params = {});
+  /// Dragonfly: `groups` groups of `routers_per_group` routers,
+  /// all-to-all within each group, and one global link between every
+  /// pair of groups, attached round-robin over each group's routers.
+  /// Requires groups >= 2 (or a single all-to-all group) and
+  /// routers_per_group >= 1.
+  static Graph dragonfly(std::size_t groups, std::size_t routers_per_group,
+                         const EdgeParams& params = {});
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace qlink::routing

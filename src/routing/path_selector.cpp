@@ -1,0 +1,221 @@
+#include "routing/path_selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "qstate/bell_algebra.hpp"
+
+namespace qlink::routing {
+
+namespace ba = qstate::bell_algebra;
+
+namespace {
+
+/// Werner parameter of a pair at fidelity f; floored far enough above
+/// zero that -log stays finite for useless links (f <= 1/4 carries no
+/// entanglement at all).
+constexpr double kMinWerner = 1e-9;
+
+double werner(double fidelity) {
+  return std::max(kMinWerner, (4.0 * fidelity - 1.0) / 3.0);
+}
+
+/// Bell coefficient vector of the Werner state with fidelity f in the
+/// corrected (Phi+-indexed) frame: the swap cascade's conditional
+/// Paulis fold every outcome branch back to index 0, so composing in
+/// this frame with mu = 0 is the expected end-to-end state.
+ba::BellCoeffs werner_coeffs(double fidelity) {
+  const double f = std::clamp(fidelity, 0.0, 1.0);
+  const double rest = (1.0 - f) / 3.0;
+  return {f, rest, rest, rest};
+}
+
+}  // namespace
+
+const char* cost_model_name(CostModel model) noexcept {
+  switch (model) {
+    case CostModel::kHopCount:
+      return "hops";
+    case CostModel::kFidelity:
+      return "fidelity";
+    case CostModel::kLatency:
+      return "latency";
+  }
+  return "?";
+}
+
+std::optional<CostModel> parse_cost_model(std::string_view name) noexcept {
+  if (name == "hops" || name == "hopcount") return CostModel::kHopCount;
+  if (name == "fidelity") return CostModel::kFidelity;
+  if (name == "latency") return CostModel::kLatency;
+  return std::nullopt;
+}
+
+PathSelector::PathSelector(const Graph& graph, CostModel model)
+    : graph_(graph), model_(model) {}
+
+double PathSelector::edge_weight(std::size_t edge) const {
+  const EdgeParams& p = graph_.params(edge);
+  switch (model_) {
+    case CostModel::kHopCount:
+      return 1.0;
+    case CostModel::kFidelity:
+      return -std::log(werner(p.fidelity));
+    case CostModel::kLatency:
+      return p.pair_time_s + p.delay_s;
+  }
+  return 1.0;
+}
+
+std::optional<Path> PathSelector::dijkstra(
+    std::uint32_t src, std::uint32_t dst,
+    const std::vector<bool>& banned_nodes,
+    const std::vector<bool>& banned_edges) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = graph_.num_nodes();
+  std::vector<double> dist(n, kInf);
+  std::vector<std::size_t> via_edge(n, Graph::npos);
+  std::vector<std::uint32_t> via_node(n, 0);
+
+  // (distance, node): ties resolve to the lowest node id, so candidate
+  // enumeration is deterministic across platforms.
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  dist[src] = 0.0;
+  frontier.emplace(0.0, src);
+
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const Graph::Adjacency& adj : graph_.neighbors(u)) {
+      if (banned_edges[adj.edge] || banned_nodes[adj.peer]) continue;
+      const double nd = d + edge_weight(adj.edge);
+      if (nd < dist[adj.peer]) {
+        dist[adj.peer] = nd;
+        via_edge[adj.peer] = adj.edge;
+        via_node[adj.peer] = u;
+        frontier.emplace(nd, adj.peer);
+      }
+    }
+  }
+  if (dist[dst] == kInf) return std::nullopt;
+
+  Path path;
+  path.cost = dist[dst];
+  for (std::uint32_t v = dst; v != src; v = via_node[v]) {
+    path.edges.push_back(via_edge[v]);
+    path.nodes.push_back(v);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.edges.begin(), path.edges.end());
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+std::optional<Path> PathSelector::shortest(std::uint32_t src,
+                                           std::uint32_t dst) const {
+  if (src >= graph_.num_nodes() || dst >= graph_.num_nodes()) {
+    throw std::invalid_argument("PathSelector: node id out of range");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("PathSelector: src == dst");
+  }
+  return dijkstra(src, dst, std::vector<bool>(graph_.num_nodes(), false),
+                  std::vector<bool>(graph_.num_edges(), false));
+}
+
+std::vector<Path> PathSelector::k_shortest(std::uint32_t src,
+                                           std::uint32_t dst,
+                                           std::size_t k) const {
+  std::vector<Path> found;
+  if (k == 0) return found;
+  auto first = shortest(src, dst);
+  if (!first) return found;
+  found.push_back(std::move(*first));
+
+  // Yen's algorithm: spur off every prefix of the last accepted path
+  // with that prefix's edges/nodes banned, keep the cheapest candidate.
+  const auto path_less = [](const Path& a, const Path& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.nodes < b.nodes;  // deterministic tie-break
+  };
+  std::vector<Path> candidates;
+
+  while (found.size() < k) {
+    const Path& prev = found.back();
+    for (std::size_t i = 0; i < prev.edges.size(); ++i) {
+      const std::uint32_t spur = prev.nodes[i];
+
+      std::vector<bool> banned_nodes(graph_.num_nodes(), false);
+      std::vector<bool> banned_edges(graph_.num_edges(), false);
+      // The root path up to the spur node must not be re-entered.
+      for (std::size_t j = 0; j < i; ++j) banned_nodes[prev.nodes[j]] = true;
+      // Any accepted path sharing this root must deviate here.
+      for (const Path& p : found) {
+        if (p.edges.size() > i &&
+            std::equal(p.nodes.begin(), p.nodes.begin() + i + 1,
+                       prev.nodes.begin())) {
+          banned_edges[p.edges[i]] = true;
+        }
+      }
+
+      const auto spur_path =
+          spur == dst ? std::nullopt
+                      : dijkstra(spur, dst, banned_nodes, banned_edges);
+      if (!spur_path) continue;
+
+      Path total;
+      total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + i);
+      total.edges.assign(prev.edges.begin(), prev.edges.begin() + i);
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(),
+                         spur_path->nodes.end());
+      total.edges.insert(total.edges.end(), spur_path->edges.begin(),
+                         spur_path->edges.end());
+      total.cost = spur_path->cost;
+      for (std::size_t j = 0; j < i; ++j) {
+        total.cost += edge_weight(prev.edges[j]);
+      }
+
+      const auto dup = [&](const Path& p) {
+        return p.edges == total.edges;
+      };
+      if (std::none_of(found.begin(), found.end(), dup) &&
+          std::none_of(candidates.begin(), candidates.end(), dup)) {
+        candidates.push_back(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    const auto best =
+        std::min_element(candidates.begin(), candidates.end(), path_less);
+    found.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+  return found;
+}
+
+double PathSelector::estimated_fidelity(const Graph& graph,
+                                        const Path& path) {
+  if (path.edges.empty()) return 0.0;
+  ba::BellCoeffs acc = werner_coeffs(graph.params(path.edges[0]).fidelity);
+  for (std::size_t i = 1; i < path.edges.size(); ++i) {
+    acc = ba::swap_coefficients(
+        acc, werner_coeffs(graph.params(path.edges[i]).fidelity), 0, 0);
+  }
+  return acc[0];
+}
+
+double PathSelector::estimated_latency_s(const Graph& graph,
+                                         const Path& path) {
+  double total = 0.0;
+  for (const std::size_t e : path.edges) {
+    total += graph.params(e).pair_time_s + graph.params(e).delay_s;
+  }
+  return total;
+}
+
+}  // namespace qlink::routing

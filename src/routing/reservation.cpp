@@ -1,0 +1,87 @@
+#include "routing/reservation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qlink::routing {
+
+ReservationTable::ReservationTable(const Graph& graph)
+    : in_use_(graph.num_edges(), 0) {
+  capacity_.reserve(graph.num_edges());
+  for (std::size_t i = 0; i < graph.num_edges(); ++i) {
+    capacity_.push_back(graph.params(i).capacity);
+  }
+}
+
+bool ReservationTable::can_reserve(
+    std::span<const std::size_t> edges) const {
+  for (const std::size_t e : edges) {
+    if (in_use_.at(e) >= capacity_.at(e)) return false;
+  }
+  return true;
+}
+
+std::optional<ReservationTable::Ticket> ReservationTable::try_reserve(
+    std::span<const std::size_t> edges) {
+  if (edges.empty()) {
+    throw std::invalid_argument("ReservationTable: empty path");
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i] >= capacity_.size()) {
+      throw std::invalid_argument("ReservationTable: unknown edge id");
+    }
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      if (edges[i] == edges[j]) {
+        // A repeated edge would count against capacity several times
+        // and silently break the edge-disjointness invariant.
+        throw std::invalid_argument(
+            "ReservationTable: path repeats an edge");
+      }
+    }
+  }
+  if (!can_reserve(edges)) return std::nullopt;
+  for (const std::size_t e : edges) ++in_use_[e];
+  const Ticket ticket = next_ticket_++;
+  active_.emplace(ticket, std::vector<std::size_t>(edges.begin(),
+                                                   edges.end()));
+  max_active_ = std::max(max_active_, active_.size());
+  return ticket;
+}
+
+void ReservationTable::release(Ticket ticket) {
+  const auto it = active_.find(ticket);
+  if (it == active_.end()) {
+    throw std::invalid_argument("ReservationTable: unknown ticket");
+  }
+  for (const std::size_t e : it->second) --in_use_[e];
+  active_.erase(it);
+  drain_blocked();
+}
+
+void ReservationTable::enqueue_blocked(RetryFn retry) {
+  blocked_.push_back(std::move(retry));
+}
+
+void ReservationTable::drain_blocked() {
+  // A retry may reserve and a later completion may release reentrantly;
+  // let the outermost drain finish the sweep instead of recursing.
+  if (draining_) return;
+  draining_ = true;
+  std::size_t remaining = blocked_.size();
+  try {
+    while (remaining-- > 0 && !blocked_.empty()) {
+      RetryFn retry = std::move(blocked_.front());
+      blocked_.pop_front();
+      if (!retry()) blocked_.push_back(std::move(retry));
+    }
+  } catch (...) {
+    // Keep the table usable for everyone else: clear the drain flag
+    // (or every later release() would skip its sweep forever) and drop
+    // the poisoned retry — it would only throw again.
+    draining_ = false;
+    throw;
+  }
+  draining_ = false;
+}
+
+}  // namespace qlink::routing

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "routing/graph.hpp"
+
+/// \file reservation.hpp
+/// Per-request edge-capacity admission for concurrent end-to-end
+/// requests.
+///
+/// Every admitted request holds a reservation on each edge of its path
+/// for its whole lifetime (the link-layer CREATEs of all hops run
+/// concurrently, so the path's resources are pinned together). With the
+/// default EdgeParams::capacity of 1 this admits exactly edge-disjoint
+/// paths; higher capacities model links that can serve several
+/// network-layer requests at once.
+///
+/// Requests that do not fit queue FIFO as retry callbacks and are
+/// retried whenever a reservation releases; a retry that still does not
+/// fit stays queued. (The drain is one pass per release in queue order,
+/// so a request freed resources can immediately be re-admitted, while a
+/// still-blocked head does not starve later requests whose edges are
+/// disjoint from it.)
+
+namespace qlink::routing {
+
+class ReservationTable {
+ public:
+  using Ticket = std::uint64_t;
+  /// A blocked request's retry hook: return true once the request left
+  /// the blocked state (admitted or abandoned), false to stay queued.
+  using RetryFn = std::function<bool()>;
+
+  /// Capacities are snapshotted from the graph's EdgeParams here; later
+  /// edits to the graph do not change admission (rebuild the Router /
+  /// table to apply a new capacity plan).
+  explicit ReservationTable(const Graph& graph);
+
+  /// Whether every listed edge currently has spare capacity.
+  bool can_reserve(std::span<const std::size_t> edges) const;
+
+  /// Atomically reserve all listed edges; nullopt (and no change) when
+  /// any of them is at capacity. Throws std::invalid_argument for an
+  /// empty or non-simple path (a repeated edge would over-subscribe
+  /// capacity) or unknown edge ids.
+  std::optional<Ticket> try_reserve(std::span<const std::size_t> edges);
+
+  /// Release a reservation and retry the blocked queue. Unknown tickets
+  /// throw std::invalid_argument (double release is a caller bug).
+  void release(Ticket ticket);
+
+  /// Queue a blocked request for retry on the next release.
+  void enqueue_blocked(RetryFn retry);
+
+  std::size_t capacity(std::size_t edge) const {
+    return capacity_.at(edge);
+  }
+  std::size_t in_use(std::size_t edge) const { return in_use_.at(edge); }
+  std::size_t active() const noexcept { return active_.size(); }
+  std::size_t blocked() const noexcept { return blocked_.size(); }
+  /// High-water mark of concurrently held reservations.
+  std::size_t max_active() const noexcept { return max_active_; }
+
+ private:
+  void drain_blocked();
+
+  std::vector<std::size_t> capacity_;
+  std::vector<std::size_t> in_use_;
+  std::map<Ticket, std::vector<std::size_t>> active_;
+  std::deque<RetryFn> blocked_;
+  Ticket next_ticket_ = 1;
+  std::size_t max_active_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace qlink::routing

@@ -1,0 +1,228 @@
+#include "routing/router.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace qlink::routing {
+
+netlayer::NetworkConfig make_network_config(
+    const Graph& graph, const core::LinkConfig& link_template,
+    std::uint64_t seed) {
+  netlayer::NetworkConfig config;
+  config.link = link_template;
+  config.seed = seed;
+  config.num_nodes = graph.num_nodes();
+  config.edges.reserve(graph.num_edges());
+  for (const Graph::Edge& e : graph.edges()) {
+    config.edges.emplace_back(e.a, e.b);
+  }
+  return config;
+}
+
+Router::Router(Graph graph, netlayer::QuantumNetwork& network,
+               netlayer::SwapService& swap, const RouterConfig& config,
+               metrics::Collector* collector)
+    : graph_(std::move(graph)),
+      net_(network),
+      swap_(swap),
+      config_(config),
+      collector_(collector),
+      selector_(graph_, config.cost),
+      reservations_(graph_) {
+  if (graph_.num_edges() != net_.num_links() ||
+      graph_.num_nodes() != net_.num_nodes()) {
+    throw std::invalid_argument(
+        "Router: graph and network disagree on size");
+  }
+  for (std::size_t i = 0; i < graph_.num_edges(); ++i) {
+    const Graph::Edge& e = graph_.edge(i);
+    const auto [a, b] = net_.endpoints(i);
+    const bool match = (e.a == a && e.b == b) || (e.a == b && e.b == a);
+    if (!match) {
+      throw std::invalid_argument("Router: edge " + std::to_string(i) +
+                                  " does not match link " +
+                                  std::to_string(i) + "'s endpoints");
+    }
+  }
+  if (config_.k_candidates == 0) {
+    throw std::invalid_argument("Router: k_candidates must be positive");
+  }
+  swap_.set_deliver_handler(
+      [this](const netlayer::E2eOk& ok) { on_deliver(ok); });
+  swap_.set_error_handler(
+      [this](const netlayer::E2eErr& err) { on_error(err); });
+}
+
+void Router::annotate_from_network(std::span<const double> floor_menu) {
+  if (floor_menu.empty()) {
+    throw std::invalid_argument("Router: empty floor menu");
+  }
+  for (std::size_t i = 0; i < graph_.num_edges(); ++i) {
+    EdgeParams& params = graph_.params(i);
+    core::Link& link = net_.link(i);
+    params.delay_s = sim::to_seconds(link.scenario().delay_a_to_b());
+    params.link_floor = 0.0;
+    params.fidelity = 0.25;  // separable: the fidelity model shuns it
+    params.pair_time_s = 1.0;
+    for (const double floor : floor_menu) {
+      const auto estimate = link.estimate_k_create(floor);
+      if (estimate.feasible) {
+        params.link_floor = floor;
+        params.fidelity = estimate.fidelity;
+        params.pair_time_s = estimate.pair_time_s;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<netlayer::Hop> Router::to_hops(const Path& path) const {
+  std::vector<netlayer::Hop> hops;
+  hops.reserve(path.edges.size());
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    const std::size_t link = path.edges[i];
+    const auto [a, b] = net_.endpoints(link);
+    (void)b;
+    hops.push_back(netlayer::Hop{link, path.nodes[i] != a});
+  }
+  return hops;
+}
+
+std::vector<double> Router::hop_floors(const Path& path) const {
+  std::vector<double> floors;
+  floors.reserve(path.edges.size());
+  for (const std::size_t e : path.edges) {
+    floors.push_back(graph_.params(e).link_floor);
+  }
+  return floors;
+}
+
+bool Router::try_admit(const netlayer::E2eRequest& request,
+                       const std::vector<Path>& candidates) {
+  for (const Path& path : candidates) {
+    const auto ticket = reservations_.try_reserve(path.edges);
+    if (!ticket) continue;
+    std::uint32_t id = 0;
+    try {
+      id = swap_.request(request, to_hops(path), hop_floors(path));
+    } catch (...) {
+      // A malformed pinned path (submit_on checks only the endpoints)
+      // must not leak its reservation and wedge the edges forever.
+      reservations_.release(*ticket);
+      throw;
+    }
+    in_flight_.emplace(id, *ticket);
+    last_admitted_ = id;
+    ++stats_.admitted;
+    if (collector_) collector_->record_route(path.hops());
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t Router::submit(const netlayer::E2eRequest& request) {
+  std::vector<Path> candidates = selector_.k_shortest(
+      request.src, request.dst, config_.k_candidates);
+  if (candidates.empty()) {
+    throw std::invalid_argument("Router: no path between nodes " +
+                                std::to_string(request.src) + " and " +
+                                std::to_string(request.dst));
+  }
+  return submit_candidates(request, std::move(candidates));
+}
+
+std::uint32_t Router::submit_on(const netlayer::E2eRequest& request,
+                                const Path& path) {
+  // Validate the full walk now: a malformed path could otherwise sit in
+  // the blocked queue and only throw later, from inside the simulator
+  // event that releases a reservation. Shape first — src()/dst() read
+  // nodes.front()/back().
+  if (path.edges.empty() || path.nodes.size() != path.edges.size() + 1) {
+    throw std::invalid_argument("Router: pinned path nodes/edges mismatch");
+  }
+  if (path.src() != request.src || path.dst() != request.dst) {
+    throw std::invalid_argument(
+        "Router: pinned path does not join the request's endpoints");
+  }
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    if (path.edges[i] >= graph_.num_edges() ||
+        graph_.find_edge(path.nodes[i], path.nodes[i + 1]) !=
+            path.edges[i]) {
+      throw std::invalid_argument(
+          "Router: pinned path is not a walk over graph edges");
+    }
+  }
+  for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < path.nodes.size(); ++j) {
+      if (path.nodes[i] == path.nodes[j]) {
+        throw std::invalid_argument("Router: pinned path revisits node " +
+                                    std::to_string(path.nodes[i]));
+      }
+    }
+  }
+  return submit_candidates(request, {path});
+}
+
+std::uint32_t Router::submit_candidates(netlayer::E2eRequest request,
+                                        std::vector<Path> candidates) {
+  // Latency is measured from here: time a request spends queued behind
+  // reservations is part of its service time.
+  if (request.submitted_at < 0) {
+    request.submitted_at = net_.simulator().now();
+  }
+  // try_admit may throw on a malformed pinned path; count the request
+  // only once it is known to be admitted, queued, or rejected, so
+  // submitted == admitted + blocked + rejected stays an invariant.
+  const bool admitted = try_admit(request, candidates);
+  ++stats_.submitted;
+  if (admitted) {
+    return last_admitted_;
+  }
+  if (!config_.queue_blocked) {
+    ++stats_.rejected;
+    return 0;
+  }
+  ++stats_.blocked;
+  if (collector_) collector_->record_blocked();
+  reservations_.enqueue_blocked(
+      [this, request, candidates = std::move(candidates)] {
+        return try_admit(request, candidates);
+      });
+  return 0;
+}
+
+void Router::on_deliver(const netlayer::E2eOk& ok) {
+  ++stats_.pairs_delivered;
+  if (on_deliver_) {
+    on_deliver_(ok);
+  } else {
+    // Same policy as an unhandled SwapService delivery: a pair nobody
+    // consumes must not pin device memory forever.
+    swap_.release(ok);
+  }
+  if (ok.pair_index + 1 == ok.total_pairs) {
+    ++stats_.completed;
+    const auto it = in_flight_.find(ok.request_id);
+    if (it != in_flight_.end()) {
+      const ReservationTable::Ticket ticket = it->second;
+      in_flight_.erase(it);
+      // May reentrantly admit blocked requests (fresh SwapService
+      // CREATEs fire from inside this delivery).
+      reservations_.release(ticket);
+    }
+  }
+}
+
+void Router::on_error(const netlayer::E2eErr& err) {
+  ++stats_.failed;
+  if (on_error_) on_error_(err);
+  const auto it = in_flight_.find(err.request_id);
+  if (it != in_flight_.end()) {
+    const ReservationTable::Ticket ticket = it->second;
+    in_flight_.erase(it);
+    reservations_.release(ticket);
+  }
+}
+
+}  // namespace qlink::routing

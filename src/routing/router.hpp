@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "netlayer/swap_service.hpp"
+#include "netlayer/topology.hpp"
+#include "routing/graph.hpp"
+#include "routing/path_selector.hpp"
+#include "routing/reservation.hpp"
+
+/// \file router.hpp
+/// The glue that turns graph + path selection + reservations into a
+/// running network: a Router owns the Graph's annotated view of a
+/// netlayer::QuantumNetwork (edge i == link i, verified on
+/// construction) and admits end-to-end requests onto reserved routed
+/// paths of its SwapService.
+///
+/// Admission: the k cheapest candidate paths under the configured cost
+/// model are tried in order; the first whose edges all have spare
+/// reservation capacity is reserved and handed to the SwapService
+/// (with per-hop CREATE floors from EdgeParams::link_floor). A request
+/// that fits no candidate queues FIFO in the ReservationTable and is
+/// retried whenever any reservation releases. Reservations release when
+/// the request delivers its last pair or fails.
+
+namespace qlink::routing {
+
+/// netlayer edge-list config for a graph: link i joins edge i's nodes.
+/// The caller still picks the per-link template / seed / configure_link
+/// hook on the returned config.
+netlayer::NetworkConfig make_network_config(
+    const Graph& graph, const core::LinkConfig& link_template,
+    std::uint64_t seed);
+
+struct RouterConfig {
+  CostModel cost = CostModel::kHopCount;
+  /// Candidate paths per request (k of k-shortest).
+  std::size_t k_candidates = 4;
+  /// Queue requests that fit no candidate (retried on every release);
+  /// false rejects them immediately instead.
+  bool queue_blocked = true;
+};
+
+class Router {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    /// Requests that went through the blocked queue at least once.
+    std::uint64_t blocked = 0;
+    /// Requests dropped because queueing is disabled.
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t pairs_delivered = 0;
+  };
+
+  /// Takes over the SwapService's deliver/error handlers (route the
+  /// higher layer's handlers through the Router instead). Throws
+  /// std::invalid_argument when graph and network disagree (edge/link
+  /// count, node count, or any edge's endpoints).
+  Router(Graph graph, netlayer::QuantumNetwork& network,
+         netlayer::SwapService& swap, const RouterConfig& config = {},
+         metrics::Collector* collector = nullptr);
+
+  // selector_ references graph_ (a copy's selector would keep reading
+  // the source Router's graph), and the SwapService handlers capture
+  // `this`.
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Fill every edge's planning parameters from its link's FEU: the
+  /// edge is operated at the first feasible floor of `floor_menu`
+  /// (descending quality set-points, e.g. {0.85, 0.775, 0.7, 0.625});
+  /// fidelity/pair-time estimates and the classical delay follow from
+  /// that choice. Edges feasible at no menu entry keep link_floor 0 and
+  /// advertise fidelity 0.25 (no entanglement — the fidelity cost model
+  /// then avoids them whenever an alternative exists).
+  void annotate_from_network(std::span<const double> floor_menu);
+
+  /// Submit an end-to-end request. Returns the SwapService request id
+  /// when admitted immediately, 0 when queued (or rejected — see
+  /// Stats). Throws std::invalid_argument when the graph offers no
+  /// src -> dst path at all.
+  std::uint32_t submit(const netlayer::E2eRequest& request);
+
+  /// Submit pinned to one explicit path (no candidate search): reserved
+  /// and admitted, or queued for that same path. The path must join the
+  /// request's endpoints.
+  std::uint32_t submit_on(const netlayer::E2eRequest& request,
+                          const Path& path);
+
+  void set_deliver_handler(netlayer::SwapService::DeliverFn fn) {
+    on_deliver_ = std::move(fn);
+  }
+  void set_error_handler(netlayer::SwapService::ErrorFn fn) {
+    on_error_ = std::move(fn);
+  }
+
+  /// Mutable for cost-model parameters (fidelity/pair-time/floors; also
+  /// what annotate_from_network writes). Edge *capacities* were
+  /// snapshotted into the ReservationTable at construction — capacity
+  /// edits here do not change admission.
+  Graph& graph() noexcept { return graph_; }
+  const Graph& graph() const noexcept { return graph_; }
+  const PathSelector& selector() const noexcept { return selector_; }
+  const ReservationTable& reservations() const noexcept {
+    return reservations_;
+  }
+  const Stats& stats() const noexcept { return stats_; }
+  netlayer::QuantumNetwork& network() noexcept { return net_; }
+  netlayer::SwapService& swap() noexcept { return swap_; }
+
+  /// A selector path as SwapService hops / per-hop CREATE floors.
+  std::vector<netlayer::Hop> to_hops(const Path& path) const;
+  std::vector<double> hop_floors(const Path& path) const;
+
+ private:
+  std::uint32_t submit_candidates(netlayer::E2eRequest request,
+                                  std::vector<Path> candidates);
+  bool try_admit(const netlayer::E2eRequest& request,
+                 const std::vector<Path>& candidates);
+  void on_deliver(const netlayer::E2eOk& ok);
+  void on_error(const netlayer::E2eErr& err);
+
+  Graph graph_;
+  netlayer::QuantumNetwork& net_;
+  netlayer::SwapService& swap_;
+  RouterConfig config_;
+  metrics::Collector* collector_;
+  PathSelector selector_;
+  ReservationTable reservations_;
+  /// SwapService request id -> its reservation.
+  std::map<std::uint32_t, ReservationTable::Ticket> in_flight_;
+  std::uint32_t last_admitted_ = 0;
+  netlayer::SwapService::DeliverFn on_deliver_;
+  netlayer::SwapService::ErrorFn on_error_;
+  Stats stats_;
+};
+
+}  // namespace qlink::routing

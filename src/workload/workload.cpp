@@ -4,6 +4,7 @@
 
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
+#include "routing/router.hpp"
 
 namespace qlink::workload {
 
@@ -79,6 +80,27 @@ WorkloadDriver::WorkloadDriver(netlayer::QuantumNetwork& network,
   });
 }
 
+WorkloadDriver::WorkloadDriver(routing::Router& router,
+                               const WorkloadConfig& config,
+                               metrics::Collector& collector)
+    : Entity(router.network().simulator(), "workload-routed"),
+      net_(&router.network()),
+      swap_(&router.swap()),
+      router_(&router),
+      config_(config),
+      collector_(collector),
+      random_(config.seed),
+      timer_(router.network().simulator(),
+             router.network().link(0).scenario().mhp_cycle,
+             [this] { on_cycle(); }) {
+  // The Router owns the SwapService's handlers; we consume the routed
+  // deliveries it forwards.
+  router_->set_deliver_handler([this](const netlayer::E2eOk& ok) {
+    ++matched_;
+    swap_->release(ok);
+  });
+}
+
 void WorkloadDriver::start() {
   collector_.begin(now());
   timer_.start();
@@ -105,8 +127,17 @@ double WorkloadDriver::issue_probability(Priority kind,
     netlayer::E2eRequest floor_probe;
     floor_probe.min_fidelity = config_.min_fidelity;
     floor_probe.link_min_fidelity = config_.link_min_fidelity;
-    const double floor = link_ == nullptr ? floor_probe.effective_link_floor()
-                                          : config_.min_fidelity;
+    double floor = link_ == nullptr ? floor_probe.effective_link_floor()
+                                    : config_.min_fidelity;
+    // Routed mode: the router operates every link at its annotated
+    // CREATE floor, so calibrate against the reference link's actual
+    // set-point — probing a degraded link at a floor its hardware
+    // cannot support would read as infeasible and silently zero the
+    // offered load.
+    if (router_ != nullptr) {
+      const double annotated = router_->graph().params(0).link_floor;
+      if (annotated > 0.0) floor = annotated;
+    }
     const auto advice = link.egp_a().feu().advise(
         floor,
         is_keep ? RequestType::kCreateKeep : RequestType::kCreateMeasure);
@@ -166,10 +197,15 @@ void WorkloadDriver::maybe_issue_e2e() {
 
   const auto last = static_cast<std::uint32_t>(net_->num_nodes() - 1);
   // In a star, node 0 is the center: the "first" end is leaf 1 so that
-  // fixed-endpoint runs actually traverse a swap at the center.
+  // fixed-endpoint runs actually traverse a swap at the center. (Only
+  // the built-in shapes have a distinguished center; edge-list
+  // topologies use plain node 0.)
   const std::uint32_t first =
-      net_->config().kind == netlayer::TopologyKind::kStar && last > 1 ? 1
-                                                                       : 0;
+      net_->config().edges.empty() &&
+              net_->config().kind == netlayer::TopologyKind::kStar &&
+              last > 1
+          ? 1
+          : 0;
   std::uint32_t src = first;
   std::uint32_t dst = last;
   switch (config_.origin) {
@@ -193,7 +229,11 @@ void WorkloadDriver::maybe_issue_e2e() {
   req.min_fidelity = config_.min_fidelity;
   req.link_min_fidelity = config_.link_min_fidelity;
   req.max_time = config_.max_time;
-  swap_->request(req);
+  if (router_ != nullptr) {
+    router_->submit(req);  // admission (or queueing) is the router's call
+  } else {
+    swap_->request(req);
+  }
   ++issued_;
 }
 

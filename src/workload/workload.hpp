@@ -14,6 +14,10 @@ class QuantumNetwork;
 class SwapService;
 }  // namespace qlink::netlayer
 
+namespace qlink::routing {
+class Router;
+}  // namespace qlink::routing
+
 /// \file workload.hpp
 /// The evaluation harness of Section 6 / Appendix C.2.
 ///
@@ -25,13 +29,18 @@ class SwapService;
 /// true fidelity first — simulator privilege), records all metrics, and
 /// releases qubits back to the memory managers.
 ///
-/// Two modes:
+/// Three modes:
 ///  - single-link (historical): drive one core::Link directly;
 ///  - end-to-end: drive a netlayer::QuantumNetwork through its
 ///    SwapService — every issued request asks for entanglement between
 ///    two nodes of the topology (the fixed-endpoint modes pick the two
 ///    farthest ends, so the route always crosses at least one swap),
-///    and the NL KindSpec controls rate and request size.
+///    and the NL KindSpec controls rate and request size;
+///  - routed (multi-pair random traffic over graphs): submit through a
+///    routing::Router instead of the SwapService directly, so every
+///    request is path-selected under the router's cost model and
+///    admitted against its reservation table (blocked requests queue
+///    and retry; see routing/router.hpp).
 
 namespace qlink::workload {
 
@@ -81,6 +90,14 @@ class WorkloadDriver : public sim::Entity {
                  netlayer::SwapService& swap, const WorkloadConfig& config,
                  metrics::Collector& collector);
 
+  /// Routed mode: multi-pair random traffic over a general graph. Each
+  /// issued request picks its endpoints per OriginMode (kRandom: a
+  /// uniformly random distinct pair) and goes through `router`, whose
+  /// reservation table decides admission. The driver consumes the
+  /// router's deliveries.
+  WorkloadDriver(routing::Router& router, const WorkloadConfig& config,
+                 metrics::Collector& collector);
+
   /// Begin issuing requests and consuming results.
   void start();
   void stop();
@@ -124,6 +141,7 @@ class WorkloadDriver : public sim::Entity {
   core::Link* link_ = nullptr;               // single-link mode
   netlayer::QuantumNetwork* net_ = nullptr;  // end-to-end mode
   netlayer::SwapService* swap_ = nullptr;
+  routing::Router* router_ = nullptr;        // routed mode
   WorkloadConfig config_;
   metrics::Collector& collector_;
   sim::Random random_;

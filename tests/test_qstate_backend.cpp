@@ -273,6 +273,73 @@ TEST(BellBackendTest, NonCliffordOpPromotesToDenseWithMatchingState) {
   h.expect_pair_states_match(qa, qb);
 }
 
+TEST(BellBackendTest, FreshInstallDemotesPromotedPair) {
+  // The ROADMAP's demotion case: a pair escalated to dense by a
+  // non-Clifford op returns to the Bell-diagonal fast path when a fresh
+  // (re-twirled) install lands on the same qubits — the install rebuilds
+  // the group anyway, so the demotion is free.
+  BackendHarness h;
+  const auto [qa, qb] = h.install_pair(h.bell, arbitrary_coeffs(9));
+  const auto [da, db] = h.install_pair(h.dense, arbitrary_coeffs(9));
+
+  const Matrix u = gates::rx(0.4);
+  const QubitId one_b[] = {qa};
+  const QubitId one_d[] = {da};
+  h.bell.apply_unitary(u, one_b);
+  h.dense.apply_unitary(u, one_d);
+  EXPECT_EQ(h.bell.backend().stats().promotions, 1u);
+  EXPECT_EQ(h.bell.backend().stats().demotions, 0u);
+
+  // Fresh Bell-diagonal install on the same qubits (what
+  // pauli_twirl_installs produces for every heralded pair).
+  const auto p = arbitrary_coeffs(3);
+  const QubitId bpair[] = {qa, qb};
+  const QubitId dpair[] = {da, db};
+  h.bell.set_state(bpair, bell::from_coefficients(p));
+  h.dense.set_state(dpair, bell::from_coefficients(p));
+  EXPECT_EQ(h.bell.backend().stats().promotions, 1u);
+  EXPECT_EQ(h.bell.backend().stats().demotions, 1u);
+  h.expect_pair_states_match(qa, qb);
+
+  // Back on the fast path: closed-form noise, no further promotion.
+  const auto fast_before = h.bell.backend().stats().fast_ops;
+  h.bell.dephase(qa, 0.1);
+  h.dense.dephase(da, 0.1);
+  EXPECT_EQ(h.bell.backend().stats().fast_ops, fast_before + 1);
+  EXPECT_EQ(h.bell.backend().stats().promotions, 1u);
+  h.expect_pair_states_match(qa, qb);
+
+  // The dense reference never demotes (it has no structured manifold).
+  EXPECT_EQ(h.dense.backend().stats().demotions, 0u);
+}
+
+TEST(BellBackendTest, PartiallyCoveredDenseGroupIsNotADemotion) {
+  // The promoted pair (qa, qb) only half-overlaps the install: qb's
+  // group stays dense, so nothing was won back — no demotion counted.
+  BackendHarness h;
+  const auto [qa, qb] = h.install_pair(h.bell, arbitrary_coeffs(5));
+  const QubitId one[] = {qa};
+  h.bell.apply_unitary(gates::rx(0.4), one);
+  EXPECT_EQ(h.bell.backend().stats().promotions, 1u);
+
+  const QubitId fresh = h.bell.create();
+  const QubitId mixed[] = {qa, fresh};
+  h.bell.set_state(mixed, bell::from_coefficients(arbitrary_coeffs(1)));
+  EXPECT_EQ(h.bell.backend().stats().demotions, 0u);
+  EXPECT_EQ(h.bell.group_size(qb), 1u);  // qb kept its reduced state
+}
+
+TEST(BellBackendTest, InstallOverStructuredPairIsNotADemotion) {
+  // Re-installing over a pair that never left the fast path must not
+  // count: demotions measure dense groups won back, nothing else.
+  BackendHarness h;
+  const auto [qa, qb] = h.install_pair(h.bell, arbitrary_coeffs(2));
+  const QubitId pair[] = {qa, qb};
+  h.bell.set_state(pair, bell::from_coefficients(arbitrary_coeffs(4)));
+  EXPECT_EQ(h.bell.backend().stats().promotions, 0u);
+  EXPECT_EQ(h.bell.backend().stats().demotions, 0u);
+}
+
 TEST(BellBackendTest, NonBellDiagonalInstallGoesDense) {
   BackendHarness h;
   // |00><00| is separable but not Bell-diagonal.

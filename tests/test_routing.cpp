@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "qstate/bell_algebra.hpp"
+#include "routing/graph.hpp"
+#include "routing/path_selector.hpp"
+#include "routing/reservation.hpp"
+
+/// Unit tests for the routing subsystem's pure pieces: graph model and
+/// generators, k-shortest path selection under the three cost models,
+/// and the reservation table's admission / blocked-retry mechanics.
+/// Router-over-QuantumNetwork integration lives in test_netlayer.cpp.
+
+namespace qlink::routing {
+namespace {
+
+TEST(RoutingGraph, ValidatesEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(2, 2), std::invalid_argument);  // self-loop
+  EXPECT_THROW(g.add_edge(0, 4), std::invalid_argument);  // unknown id
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);  // duplicate
+  EdgeParams zero;
+  zero.capacity = 0;
+  EXPECT_THROW(g.add_edge(2, 3, zero), std::invalid_argument);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_THROW(Graph(1), std::invalid_argument);
+}
+
+TEST(RoutingGraph, GeneratorShapes) {
+  const Graph chain = Graph::chain(5);
+  EXPECT_EQ(chain.num_nodes(), 5u);
+  EXPECT_EQ(chain.num_edges(), 4u);
+  EXPECT_TRUE(chain.connected());
+
+  const Graph ring = Graph::ring(6);
+  EXPECT_EQ(ring.num_edges(), 6u);
+  for (std::uint32_t n = 0; n < 6; ++n) {
+    EXPECT_EQ(ring.neighbors(n).size(), 2u);
+  }
+
+  const Graph star = Graph::star(4);
+  EXPECT_EQ(star.num_nodes(), 5u);
+  EXPECT_EQ(star.neighbors(0).size(), 4u);
+
+  const Graph grid = Graph::grid(3, 4);
+  EXPECT_EQ(grid.num_nodes(), 12u);
+  // 3 rows x 3 horizontal + 2 x 4 vertical.
+  EXPECT_EQ(grid.num_edges(), 3u * 3u + 2u * 4u);
+  EXPECT_TRUE(grid.connected());
+  EXPECT_NE(grid.find_edge(0, 1), Graph::npos);
+  EXPECT_NE(grid.find_edge(0, 4), Graph::npos);
+  EXPECT_EQ(grid.find_edge(0, 5), Graph::npos);
+
+  const Graph torus = Graph::torus(3, 4);
+  // Grid edges + 3 row wraps + 4 column wraps; every node degree 4.
+  EXPECT_EQ(torus.num_edges(), 17u + 3u + 4u);
+  for (std::uint32_t n = 0; n < 12; ++n) {
+    EXPECT_EQ(torus.neighbors(n).size(), 4u);
+  }
+  // A torus of extent 2 in one dimension must not duplicate the mesh
+  // edge with a wrap: only the extent-3 dimension gets its two wraps.
+  const Graph thin = Graph::torus(2, 3);
+  EXPECT_EQ(thin.num_edges(), 7u + 2u);
+
+  const Graph fly = Graph::dragonfly(4, 3);
+  EXPECT_EQ(fly.num_nodes(), 12u);
+  // 4 groups x C(3,2) intra + C(4,2) global.
+  EXPECT_EQ(fly.num_edges(), 4u * 3u + 6u);
+  EXPECT_TRUE(fly.connected());
+}
+
+TEST(PathSelector, HopCountShortestOnRing) {
+  const Graph ring = Graph::ring(6);
+  const PathSelector sel(ring, CostModel::kHopCount);
+  const auto best = sel.shortest(0, 5);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->hops(), 1u);  // the closing edge 5-0
+  EXPECT_EQ(best->nodes, (std::vector<std::uint32_t>{0, 5}));
+
+  // k = 2 surfaces the long way around as well.
+  const auto both = sel.k_shortest(0, 5, 2);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0].hops(), 1u);
+  EXPECT_EQ(both[1].hops(), 5u);
+  EXPECT_EQ(both[1].nodes, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_LE(both[0].cost, both[1].cost);
+
+  EXPECT_THROW(sel.shortest(0, 0), std::invalid_argument);
+  EXPECT_THROW(sel.shortest(0, 9), std::invalid_argument);
+}
+
+TEST(PathSelector, KShortestAreSimpleAndOrdered) {
+  const Graph grid = Graph::grid(3, 3);
+  const PathSelector sel(grid, CostModel::kHopCount);
+  const auto paths = sel.k_shortest(0, 8, 6);
+  ASSERT_EQ(paths.size(), 6u);  // corner-to-corner: six 4-hop routes
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.hops(), 4u);
+    EXPECT_EQ(p.src(), 0u);
+    EXPECT_EQ(p.dst(), 8u);
+    // Simple: no node repeats.
+    std::vector<std::uint32_t> nodes = p.nodes;
+    std::sort(nodes.begin(), nodes.end());
+    EXPECT_EQ(std::adjacent_find(nodes.begin(), nodes.end()), nodes.end());
+  }
+  // Distinct edge sequences.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].edges, paths[j].edges);
+    }
+  }
+}
+
+TEST(PathSelector, NoPathAcrossDisconnectedComponents) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const PathSelector sel(g);
+  EXPECT_FALSE(sel.shortest(0, 3).has_value());
+  EXPECT_TRUE(sel.k_shortest(0, 3, 3).empty());
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(PathSelector, FidelityModelPrefersCleanDetour) {
+  // Ring of 6, endpoints 0 and 3: both ways are 3 hops, but the
+  // low-numbered side is degraded. Hop count ties (and its
+  // deterministic tie-break takes the degraded side); the fidelity
+  // model must pay the identical hop count for the clean side.
+  EdgeParams clean;
+  clean.fidelity = 0.9;
+  Graph ring = Graph::ring(6, clean);
+  for (const auto [a, b] : {std::pair{0u, 1u}, {1u, 2u}, {2u, 3u}}) {
+    ring.params(ring.find_edge(a, b)).fidelity = 0.6;
+  }
+
+  const PathSelector hops(ring, CostModel::kHopCount);
+  const auto hop_path = hops.shortest(0, 3);
+  ASSERT_TRUE(hop_path.has_value());
+  EXPECT_EQ(hop_path->nodes, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+
+  const PathSelector fid(ring, CostModel::kFidelity);
+  const auto fid_path = fid.shortest(0, 3);
+  ASSERT_TRUE(fid_path.has_value());
+  EXPECT_EQ(fid_path->nodes, (std::vector<std::uint32_t>{0, 5, 4, 3}));
+  EXPECT_GT(PathSelector::estimated_fidelity(ring, *fid_path),
+            PathSelector::estimated_fidelity(ring, *hop_path));
+}
+
+TEST(PathSelector, EstimatedFidelityMatchesSwapAlgebra) {
+  // Two hops at Werner fidelities f1, f2 compose through the Bell
+  // XOR-convolution; the closed form for Werner inputs is
+  // F = f1 f2 + (1 - f1)(1 - f2) / 3.
+  EdgeParams e1, e2;
+  e1.fidelity = 0.9;
+  e2.fidelity = 0.8;
+  Graph chain(3);
+  chain.add_edge(0, 1, e1);
+  chain.add_edge(1, 2, e2);
+  const PathSelector sel(chain, CostModel::kFidelity);
+  const auto path = sel.shortest(0, 2);
+  ASSERT_TRUE(path.has_value());
+  const double expected = 0.9 * 0.8 + (0.1 * 0.2) / 3.0;
+  EXPECT_NEAR(PathSelector::estimated_fidelity(chain, *path), expected,
+              1e-12);
+  // Single hop: the estimate is the edge fidelity itself.
+  Path one;
+  one.edges = {0};
+  one.nodes = {0, 1};
+  EXPECT_NEAR(PathSelector::estimated_fidelity(chain, one), 0.9, 1e-12);
+}
+
+TEST(PathSelector, LatencyModelAvoidsSlowLinks) {
+  // 0-1-2 fast detour vs direct slow 0-2.
+  EdgeParams fast, slow;
+  fast.pair_time_s = 0.01;
+  slow.pair_time_s = 0.2;
+  Graph g(3);
+  g.add_edge(0, 1, fast);
+  g.add_edge(1, 2, fast);
+  g.add_edge(0, 2, slow);
+  const PathSelector lat(g, CostModel::kLatency);
+  const auto path = lat.shortest(0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2u);
+  EXPECT_NEAR(PathSelector::estimated_latency_s(g, *path), 0.02, 1e-12);
+  // Hop count would take the direct edge.
+  const PathSelector hops(g, CostModel::kHopCount);
+  EXPECT_EQ(hops.shortest(0, 2)->hops(), 1u);
+}
+
+TEST(ReservationTable, EdgeDisjointAdmission) {
+  const Graph grid = Graph::grid(3, 3);
+  ReservationTable table(grid);
+  const PathSelector sel(grid, CostModel::kHopCount);
+
+  const auto top = sel.shortest(0, 2);      // row 0
+  const auto bottom = sel.shortest(6, 8);   // row 2
+  ASSERT_TRUE(top && bottom);
+  const auto t1 = table.try_reserve(top->edges);
+  ASSERT_TRUE(t1.has_value());
+  // Same edges again: at capacity.
+  EXPECT_FALSE(table.can_reserve(top->edges));
+  EXPECT_FALSE(table.try_reserve(top->edges).has_value());
+  // Disjoint path: fine.
+  const auto t2 = table.try_reserve(bottom->edges);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(table.active(), 2u);
+  EXPECT_EQ(table.max_active(), 2u);
+
+  table.release(*t1);
+  EXPECT_TRUE(table.can_reserve(top->edges));
+  EXPECT_EQ(table.active(), 1u);
+  EXPECT_EQ(table.max_active(), 2u);
+  EXPECT_THROW(table.release(*t1), std::invalid_argument);  // double free
+}
+
+TEST(ReservationTable, CapacityAboveOneAdmitsConcurrency) {
+  EdgeParams wide;
+  wide.capacity = 2;
+  const Graph chain = Graph::chain(3, wide);
+  ReservationTable table(chain);
+  const std::vector<std::size_t> path{0, 1};
+  const auto t1 = table.try_reserve(path);
+  const auto t2 = table.try_reserve(path);
+  ASSERT_TRUE(t1 && t2);
+  EXPECT_EQ(table.in_use(0), 2u);
+  EXPECT_FALSE(table.try_reserve(path).has_value());
+  table.release(*t2);
+  EXPECT_TRUE(table.try_reserve(path).has_value());
+}
+
+TEST(ReservationTable, RejectsNonSimplePaths) {
+  const Graph chain = Graph::chain(3);
+  ReservationTable table(chain);
+  const std::vector<std::size_t> looped{0, 0, 1};
+  EXPECT_THROW(table.try_reserve(looped), std::invalid_argument);
+  EXPECT_THROW(table.try_reserve(std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_EQ(table.in_use(0), 0u);  // nothing was partially reserved
+}
+
+TEST(ReservationTable, BlockedRequestsRetryOnRelease) {
+  const Graph chain = Graph::chain(3);
+  ReservationTable table(chain);
+  const std::vector<std::size_t> path{0, 1};
+  auto held = table.try_reserve(path);
+  ASSERT_TRUE(held.has_value());
+
+  // Two blocked requests in FIFO order; both want the same path, so
+  // one release admits exactly the first.
+  std::vector<int> admitted;
+  ReservationTable::Ticket got = 0;
+  for (int id : {1, 2}) {
+    table.enqueue_blocked([&table, &admitted, &got, path, id] {
+      const auto t = table.try_reserve(path);
+      if (!t) return false;
+      admitted.push_back(id);
+      got = *t;
+      return true;
+    });
+  }
+  EXPECT_EQ(table.blocked(), 2u);
+  EXPECT_TRUE(admitted.empty());  // nothing retries until a release
+
+  table.release(*held);
+  ASSERT_EQ(admitted, (std::vector<int>{1}));
+  EXPECT_EQ(table.blocked(), 1u);
+
+  table.release(got);
+  EXPECT_EQ(admitted, (std::vector<int>{1, 2}));
+  EXPECT_EQ(table.blocked(), 0u);
+}
+
+}  // namespace
+}  // namespace qlink::routing
