@@ -221,4 +221,12 @@ Link::RateEstimate Link::estimate_k_create(double min_fidelity) {
   return estimate;
 }
 
+Link::TestRoundEstimate Link::test_round_estimate() const {
+  // Both EGPs record the same interspersed test rounds from their own
+  // REPLY streams; side A is the reference (cf. WorkloadDriver's
+  // calibration, which reads egp_a's FEU too).
+  const FidelityEstimationUnit& feu = egp_a_->feu();
+  return {feu.test_rounds_recorded(), feu.estimated_fidelity_from_tests()};
+}
+
 }  // namespace qlink::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/egp.hpp"
@@ -127,6 +128,18 @@ class Link {
     double pair_time_s = 0.0;
   };
   RateEstimate estimate_k_create(double min_fidelity);
+
+  /// The link's most recent *measured* quality: the FEU's sliding-window
+  /// test-round record (Appendix B). `fidelity` is the Eq. 16 estimate,
+  /// present once all three bases have samples; `rounds` is how many
+  /// test rounds ever fed the window — the routing layer uses its growth
+  /// to tell fresh measurements from stale ones (see
+  /// routing::Router::refresh_annotations).
+  struct TestRoundEstimate {
+    std::size_t rounds = 0;
+    std::optional<double> fidelity;
+  };
+  TestRoundEstimate test_round_estimate() const;
 
   static constexpr std::uint32_t kNodeA = 0;
   static constexpr std::uint32_t kNodeB = 1;

@@ -48,6 +48,30 @@ void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
   }
 }
 
+void Collector::record_resubmit(std::uint32_t origin, std::uint32_t old_id,
+                                std::uint32_t new_id, Priority kind,
+                                std::uint16_t num_pairs,
+                                sim::SimTime submitted_at) {
+  ++reroutes_;
+  const auto it = open_.find({origin, old_id});
+  if (it != open_.end()) {
+    auto node = open_.extract(it);
+    node.key() = {origin, new_id};
+    // Re-scale to the resubmission's remaining pairs — the recreate
+    // branch below can only know those, so both error classes
+    // (kExpired keeps the entry, others erase it via record_err) must
+    // yield the same scaled_latency_s divisor.
+    node.mapped().num_pairs = num_pairs;
+    open_.insert(std::move(node));
+    return;
+  }
+  // The hop failure's ERR already erased the entry (record_err); put it
+  // back at the *original* submission time so queue + reroute time
+  // still counts toward latency.
+  open_[{origin, new_id}] = OpenRequest{kind, num_pairs, submitted_at,
+                                        origin};
+}
+
 void Collector::record_err(const core::ErrMessage& err) {
   error_counts_[err.error] += 1;
   if (err.error != core::EgpError::kExpired) {

@@ -63,6 +63,21 @@ class Collector {
   }
   void record_blocked() { ++requests_blocked_; }
 
+  /// A failed request re-routed onto a sibling path (adaptive
+  /// re-routing, routing::Router): carries the open-request latency
+  /// entry from the old network-layer request id to the new one so
+  /// delivery latency stays measured from the original submission —
+  /// recreated at `submitted_at` when an error already closed it —
+  /// without double-counting requests_submitted.
+  void record_resubmit(std::uint32_t origin, std::uint32_t old_id,
+                       std::uint32_t new_id, core::Priority kind,
+                       std::uint16_t num_pairs, sim::SimTime submitted_at);
+  /// A re-routable request abandoned after its reroute budget (or the
+  /// sibling-candidate space) was exhausted.
+  void record_abandon() { ++requests_abandoned_; }
+  std::uint64_t reroutes() const { return reroutes_; }
+  std::uint64_t abandons() const { return requests_abandoned_; }
+
   const KindMetrics& kind(core::Priority p) const {
     return kinds_[static_cast<std::size_t>(p)];
   }
@@ -116,6 +131,8 @@ class Collector {
   RunningStat queue_length_;
   RunningStat route_length_;
   std::uint64_t requests_blocked_ = 0;
+  std::uint64_t reroutes_ = 0;
+  std::uint64_t requests_abandoned_ = 0;
 };
 
 }  // namespace qlink::metrics

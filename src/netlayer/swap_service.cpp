@@ -116,9 +116,17 @@ std::uint32_t SwapService::request(const E2eRequest& request,
   }
 
   if (collector_) {
-    collector_->record_create(request.src, rs.id, Priority::kNetworkLayer,
-                              request.num_pairs, now());
+    if (request.resubmission_of != 0) {
+      collector_->record_resubmit(request.src, request.resubmission_of,
+                                  rs.id, Priority::kNetworkLayer,
+                                  request.num_pairs, rs.submitted);
+    } else {
+      collector_->record_create(request.src, rs.id,
+                                Priority::kNetworkLayer,
+                                request.num_pairs, now());
+    }
   }
+  if (request.resubmission_of != 0) ++stats_.resubmissions;
   ++stats_.requests;
   const std::uint32_t id = rs.id;
   requests_.emplace(id, std::move(rs));

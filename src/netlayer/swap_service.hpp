@@ -56,6 +56,12 @@ struct E2eRequest {
   /// wait for the slowest hop; needs the decoupled-memory scenario for
   /// long waits, see examples/chain_e2e_nl.cpp).
   bool store_in_memory = true;
+  /// Set by the routing layer when re-submitting a failed request over
+  /// a sibling path (adaptive re-routing): the SwapService request id
+  /// this one continues. Metrics then carry the original submission's
+  /// latency entry to the new id instead of counting a fresh request.
+  /// 0 = a fresh request.
+  std::uint32_t resubmission_of = 0;
 };
 
 /// End-to-end delivery, the network-layer analogue of core::OkMessage.
@@ -95,6 +101,8 @@ class SwapService : public sim::Entity {
 
   struct Stats {
     std::uint64_t requests = 0;
+    /// Of `requests`, how many were re-routing resubmissions.
+    std::uint64_t resubmissions = 0;
     std::uint64_t link_pairs_consumed = 0;
     std::uint64_t swaps = 0;
     std::uint64_t pairs_delivered = 0;

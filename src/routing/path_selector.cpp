@@ -132,9 +132,37 @@ std::optional<Path> PathSelector::shortest(std::uint32_t src,
 std::vector<Path> PathSelector::k_shortest(std::uint32_t src,
                                            std::uint32_t dst,
                                            std::size_t k) const {
+  return yen(src, dst, k, std::vector<bool>(graph_.num_edges(), false));
+}
+
+std::vector<Path> PathSelector::k_shortest(
+    std::uint32_t src, std::uint32_t dst, std::size_t k,
+    std::span<const std::size_t> excluded_edges) const {
+  std::vector<bool> excluded(graph_.num_edges(), false);
+  for (const std::size_t e : excluded_edges) {
+    if (e >= graph_.num_edges()) {
+      throw std::invalid_argument("PathSelector: unknown excluded edge");
+    }
+    excluded[e] = true;
+  }
+  return yen(src, dst, k, excluded);
+}
+
+std::vector<Path> PathSelector::yen(std::uint32_t src, std::uint32_t dst,
+                                    std::size_t k,
+                                    const std::vector<bool>& excluded)
+    const {
+  if (src >= graph_.num_nodes() || dst >= graph_.num_nodes()) {
+    throw std::invalid_argument("PathSelector: node id out of range");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("PathSelector: src == dst");
+  }
   std::vector<Path> found;
   if (k == 0) return found;
-  auto first = shortest(src, dst);
+  auto first = dijkstra(src, dst,
+                        std::vector<bool>(graph_.num_nodes(), false),
+                        excluded);
   if (!first) return found;
   found.push_back(std::move(*first));
 
@@ -152,7 +180,7 @@ std::vector<Path> PathSelector::k_shortest(std::uint32_t src,
       const std::uint32_t spur = prev.nodes[i];
 
       std::vector<bool> banned_nodes(graph_.num_nodes(), false);
-      std::vector<bool> banned_edges(graph_.num_edges(), false);
+      std::vector<bool> banned_edges = excluded;
       // The root path up to the spur node must not be re-entered.
       for (std::size_t j = 0; j < i; ++j) banned_nodes[prev.nodes[j]] = true;
       // Any accepted path sharing this root must deviate here.

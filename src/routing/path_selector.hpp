@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -66,6 +67,15 @@ class PathSelector {
   std::vector<Path> k_shortest(std::uint32_t src, std::uint32_t dst,
                                std::size_t k) const;
 
+  /// As k_shortest, but no returned path uses any edge in
+  /// `excluded_edges` — the re-routing search over a request's
+  /// exclusion set (see Router). Unknown edge ids throw
+  /// std::invalid_argument.
+  std::vector<Path> k_shortest(std::uint32_t src, std::uint32_t dst,
+                               std::size_t k,
+                               std::span<const std::size_t> excluded_edges)
+      const;
+
   /// Expected end-to-end fidelity of delivering over `path`: per-edge
   /// Werner states at EdgeParams::fidelity composed hop by hop through
   /// the Bell-diagonal swap algebra (exact for Werner inputs; the swap
@@ -80,6 +90,8 @@ class PathSelector {
   std::optional<Path> dijkstra(std::uint32_t src, std::uint32_t dst,
                                const std::vector<bool>& banned_nodes,
                                const std::vector<bool>& banned_edges) const;
+  std::vector<Path> yen(std::uint32_t src, std::uint32_t dst, std::size_t k,
+                        const std::vector<bool>& excluded) const;
 
   const Graph& graph_;
   CostModel model_;

@@ -6,25 +6,34 @@
 namespace qlink::routing {
 
 ReservationTable::ReservationTable(const Graph& graph)
-    : in_use_(graph.num_edges(), 0) {
+    : leases_(graph.num_edges()) {
   capacity_.reserve(graph.num_edges());
   for (std::size_t i = 0; i < graph.num_edges(); ++i) {
     capacity_.push_back(graph.params(i).capacity);
   }
 }
 
-bool ReservationTable::can_reserve(
-    std::span<const std::size_t> edges) const {
+bool ReservationTable::can_reserve(std::span<const std::size_t> edges,
+                                   sim::SimTime now) const {
   for (const std::size_t e : edges) {
-    if (in_use_.at(e) >= capacity_.at(e)) return false;
+    const std::vector<Lease>& held = leases_.at(e);
+    std::size_t live = 0;
+    for (const Lease& lease : held) {
+      if (lease.end > now) ++live;
+    }
+    if (live >= capacity_.at(e)) return false;
   }
   return true;
 }
 
 std::optional<ReservationTable::Ticket> ReservationTable::try_reserve(
-    std::span<const std::size_t> edges) {
+    std::span<const std::size_t> edges, sim::SimTime now,
+    sim::SimTime duration) {
   if (edges.empty()) {
     throw std::invalid_argument("ReservationTable: empty path");
+  }
+  if (duration <= 0) {
+    throw std::invalid_argument("ReservationTable: non-positive lease");
   }
   for (std::size_t i = 0; i < edges.size(); ++i) {
     if (edges[i] >= capacity_.size()) {
@@ -39,9 +48,11 @@ std::optional<ReservationTable::Ticket> ReservationTable::try_reserve(
       }
     }
   }
-  if (!can_reserve(edges)) return std::nullopt;
-  for (const std::size_t e : edges) ++in_use_[e];
+  if (!can_reserve(edges, now)) return std::nullopt;
+  const sim::SimTime end =
+      duration >= kNoExpiry - now ? kNoExpiry : now + duration;
   const Ticket ticket = next_ticket_++;
+  for (const std::size_t e : edges) leases_[e].push_back({ticket, end});
   active_.emplace(ticket, std::vector<std::size_t>(edges.begin(),
                                                    edges.end()));
   max_active_ = std::max(max_active_, active_.size());
@@ -53,9 +64,39 @@ void ReservationTable::release(Ticket ticket) {
   if (it == active_.end()) {
     throw std::invalid_argument("ReservationTable: unknown ticket");
   }
-  for (const std::size_t e : it->second) --in_use_[e];
+  for (const std::size_t e : it->second) {
+    std::vector<Lease>& held = leases_[e];
+    // Absent = the lease lapsed earlier (already in lease_expiries_).
+    const auto li = std::find_if(
+        held.begin(), held.end(),
+        [ticket](const Lease& l) { return l.ticket == ticket; });
+    if (li != held.end()) held.erase(li);
+  }
   active_.erase(it);
   drain_blocked();
+}
+
+std::size_t ReservationTable::expire_until(sim::SimTime now) {
+  std::size_t lapsed = 0;
+  for (std::vector<Lease>& held : leases_) {
+    const std::size_t before = held.size();
+    std::erase_if(held, [now](const Lease& l) { return l.end <= now; });
+    lapsed += before - held.size();
+  }
+  lease_expiries_ += lapsed;
+  if (lapsed > 0) drain_blocked();
+  return lapsed;
+}
+
+std::optional<sim::SimTime> ReservationTable::next_expiry() const {
+  std::optional<sim::SimTime> next;
+  for (const std::vector<Lease>& held : leases_) {
+    for (const Lease& lease : held) {
+      if (lease.end == kNoExpiry) continue;
+      if (!next || lease.end < *next) next = lease.end;
+    }
+  }
+  return next;
 }
 
 void ReservationTable::enqueue_blocked(RetryFn retry) {
@@ -63,24 +104,45 @@ void ReservationTable::enqueue_blocked(RetryFn retry) {
 }
 
 void ReservationTable::drain_blocked() {
-  // A retry may reserve and a later completion may release reentrantly;
-  // let the outermost drain finish the sweep instead of recursing.
-  if (draining_) return;
-  draining_ = true;
-  std::size_t remaining = blocked_.size();
-  try {
-    while (remaining-- > 0 && !blocked_.empty()) {
-      RetryFn retry = std::move(blocked_.front());
-      blocked_.pop_front();
-      if (!retry()) blocked_.push_back(std::move(retry));
-    }
-  } catch (...) {
-    // Keep the table usable for everyone else: clear the drain flag
-    // (or every later release() would skip its sweep forever) and drop
-    // the poisoned retry — it would only throw again.
-    draining_ = false;
-    throw;
+  // A retry may reserve and a later completion may release (or a lease
+  // lapse) reentrantly; instead of recursing, ask the outermost sweep
+  // to run one more pass.
+  if (draining_) {
+    redrain_ = true;
+    return;
   }
+  draining_ = true;
+  do {
+    redrain_ = false;
+    // Retry a snapshot in queue order and rebuild the queue with the
+    // still-blocked ones first: arrival order survives mixed
+    // release/expiry wakeups, thrown retries, and mid-sweep enqueues.
+    std::deque<RetryFn> round;
+    round.swap(blocked_);
+    std::deque<RetryFn> still;
+    while (!round.empty()) {
+      RetryFn retry = std::move(round.front());
+      round.pop_front();
+      bool left = false;
+      try {
+        left = retry();
+      } catch (...) {
+        // Keep the table usable for everyone else: restore the queue
+        // (minus the poisoned retry — it would only throw again) in
+        // arrival order and clear the drain flag, or every later
+        // release() would skip its sweep forever.
+        for (RetryFn& r : round) still.push_back(std::move(r));
+        for (RetryFn& r : blocked_) still.push_back(std::move(r));
+        blocked_ = std::move(still);
+        draining_ = false;
+        redrain_ = false;
+        throw;
+      }
+      if (!left) still.push_back(std::move(retry));
+    }
+    for (RetryFn& r : blocked_) still.push_back(std::move(r));
+    blocked_ = std::move(still);
+  } while (redrain_);
   draining_ = false;
 }
 

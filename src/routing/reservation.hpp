@@ -3,30 +3,45 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "routing/graph.hpp"
+#include "sim/time.hpp"
 
 /// \file reservation.hpp
-/// Per-request edge-capacity admission for concurrent end-to-end
-/// requests.
+/// Time-sliced per-edge admission for concurrent end-to-end requests.
 ///
-/// Every admitted request holds a reservation on each edge of its path
-/// for its whole lifetime (the link-layer CREATEs of all hops run
-/// concurrently, so the path's resources are pinned together). With the
-/// default EdgeParams::capacity of 1 this admits exactly edge-disjoint
-/// paths; higher capacities model links that can serve several
-/// network-layer requests at once.
+/// Every admitted request holds a *lease* on each edge of its path: a
+/// time window sized from the request's estimated occupancy (the
+/// routing layer derives it from the FEU-estimated hop pair times of
+/// `core::Link::estimate_k_create`; see Router::lease_duration).
+/// Admission at time `now` counts only leases whose window still covers
+/// `now` against EdgeParams::capacity, so two requests sharing an edge
+/// at disjoint times both admit. A lease ending at kNoExpiry never
+/// lapses — whole-request pinning (the historical behavior, and the
+/// default when no duration is given) is the infinite-lease special
+/// case.
 ///
-/// Requests that do not fit queue FIFO as retry callbacks and are
-/// retried whenever a reservation releases; a retry that still does not
-/// fit stays queued. (The drain is one pass per release in queue order,
-/// so a request freed resources can immediately be re-admitted, while a
-/// still-blocked head does not starve later requests whose edges are
-/// disjoint from it.)
+/// A lapsed lease does NOT release its ticket: the holder may overrun
+/// its estimate and still owns its qubits; expiry merely stops the edge
+/// counting against capacity, time-slicing the edge optimistically
+/// (per-edge capacity is a routing admission policy, not a hardware
+/// invariant — the EGP multiplexes concurrent CREATEs on one link).
+/// release() always wins: it drops whatever lease entries remain.
+///
+/// Requests that do not fit queue FIFO as retry callbacks, retried on
+/// every release *and* on lease expiry (the caller drives expiry via
+/// expire_until / next_expiry — the table knows durations, not clocks).
+/// The drain preserves arrival order across mixed release/expiry
+/// wakeups: each sweep retries a snapshot in queue order and re-queues
+/// the still-blocked ones, in order, ahead of anything enqueued
+/// mid-sweep. (The previous pop-front/push-back rotation could leave
+/// the queue mid-rotation when a retry threw, and silently skipped
+/// sweeps requested while one was already running.)
 
 namespace qlink::routing {
 
@@ -37,46 +52,78 @@ class ReservationTable {
   /// the blocked state (admitted or abandoned), false to stay queued.
   using RetryFn = std::function<bool()>;
 
+  /// Lease end meaning "never lapses" (whole-request pinning).
+  static constexpr sim::SimTime kNoExpiry =
+      std::numeric_limits<sim::SimTime>::max();
+
   /// Capacities are snapshotted from the graph's EdgeParams here; later
   /// edits to the graph do not change admission (rebuild the Router /
   /// table to apply a new capacity plan).
   explicit ReservationTable(const Graph& graph);
 
-  /// Whether every listed edge currently has spare capacity.
-  bool can_reserve(std::span<const std::size_t> edges) const;
+  /// Whether every listed edge has spare capacity at time `now`.
+  bool can_reserve(std::span<const std::size_t> edges,
+                   sim::SimTime now = 0) const;
 
-  /// Atomically reserve all listed edges; nullopt (and no change) when
-  /// any of them is at capacity. Throws std::invalid_argument for an
-  /// empty or non-simple path (a repeated edge would over-subscribe
-  /// capacity) or unknown edge ids.
-  std::optional<Ticket> try_reserve(std::span<const std::size_t> edges);
+  /// Atomically lease all listed edges for [now, now + duration);
+  /// nullopt (and no change) when any of them is at capacity at `now`.
+  /// Throws std::invalid_argument for an empty or non-simple path (a
+  /// repeated edge would over-subscribe capacity), unknown edge ids, or
+  /// a non-positive duration.
+  std::optional<Ticket> try_reserve(std::span<const std::size_t> edges,
+                                    sim::SimTime now = 0,
+                                    sim::SimTime duration = kNoExpiry);
 
-  /// Release a reservation and retry the blocked queue. Unknown tickets
-  /// throw std::invalid_argument (double release is a caller bug).
+  /// Release a reservation (dropping any lease entries that have not
+  /// lapsed yet) and retry the blocked queue. Unknown tickets throw
+  /// std::invalid_argument (double release is a caller bug).
   void release(Ticket ticket);
 
-  /// Queue a blocked request for retry on the next release.
+  /// Queue a blocked request for retry on the next release or expiry.
   void enqueue_blocked(RetryFn retry);
+
+  /// Drop every lease whose window ended at or before `now` and, when
+  /// anything lapsed, retry the blocked queue. Returns the number of
+  /// lapsed lease entries (per edge, not per ticket).
+  std::size_t expire_until(sim::SimTime now);
+
+  /// Earliest finite lease end still on the books, or nullopt when
+  /// every live lease is an unbounded pin.
+  std::optional<sim::SimTime> next_expiry() const;
 
   std::size_t capacity(std::size_t edge) const {
     return capacity_.at(edge);
   }
-  std::size_t in_use(std::size_t edge) const { return in_use_.at(edge); }
+  /// Lease entries currently held on the edge (a lapsed-but-unexpired
+  /// entry still counts until expire_until or release prunes it).
+  std::size_t in_use(std::size_t edge) const {
+    return leases_.at(edge).size();
+  }
   std::size_t active() const noexcept { return active_.size(); }
   std::size_t blocked() const noexcept { return blocked_.size(); }
   /// High-water mark of concurrently held reservations.
   std::size_t max_active() const noexcept { return max_active_; }
+  /// Lease entries that lapsed before their ticket released.
+  std::uint64_t lease_expiries() const noexcept { return lease_expiries_; }
 
  private:
+  struct Lease {
+    Ticket ticket = 0;
+    sim::SimTime end = kNoExpiry;
+  };
+
   void drain_blocked();
 
   std::vector<std::size_t> capacity_;
-  std::vector<std::size_t> in_use_;
+  /// Per edge: the leases currently counting against its capacity.
+  std::vector<std::vector<Lease>> leases_;
   std::map<Ticket, std::vector<std::size_t>> active_;
   std::deque<RetryFn> blocked_;
   Ticket next_ticket_ = 1;
   std::size_t max_active_ = 0;
+  std::uint64_t lease_expiries_ = 0;
   bool draining_ = false;
+  bool redrain_ = false;
 };
 
 }  // namespace qlink::routing

@@ -1,5 +1,7 @@
 #include "routing/router.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -54,6 +56,11 @@ Router::Router(Graph graph, netlayer::QuantumNetwork& network,
       [this](const netlayer::E2eErr& err) { on_error(err); });
 }
 
+Router::~Router() {
+  // A pending lease-expiry wakeup captures `this`.
+  if (expiry_event_) net_.simulator().cancel(*expiry_event_);
+}
+
 void Router::annotate_from_network(std::span<const double> floor_menu) {
   if (floor_menu.empty()) {
     throw std::invalid_argument("Router: empty floor menu");
@@ -74,6 +81,36 @@ void Router::annotate_from_network(std::span<const double> floor_menu) {
         break;
       }
     }
+  }
+}
+
+void Router::refresh_annotations(const RefreshOptions& options) {
+  annotate_from_network(options.floor_menu);  // the static baseline
+  const bool first_refresh = freshness_.empty();
+  if (first_refresh) freshness_.resize(graph_.num_edges());
+  const sim::SimTime now = net_.simulator().now();
+  for (std::size_t i = 0; i < graph_.num_edges(); ++i) {
+    const auto measured = net_.link(i).test_round_estimate();
+    EdgeFreshness& fresh = freshness_[i];
+    if (first_refresh) {
+      // Rounds recorded before anyone watched cannot be dated; treat
+      // them as aged since sim start (last_fresh stays 0) rather than
+      // letting a long-stale record masquerade as fresh.
+      fresh.rounds_seen = measured.rounds;
+    } else if (measured.rounds > fresh.rounds_seen) {
+      fresh.rounds_seen = measured.rounds;
+      fresh.last_fresh = now;
+    }
+    if (!measured.fidelity || measured.rounds < options.min_rounds) {
+      continue;  // not enough data: stay on the model
+    }
+    const double age_s = sim::to_seconds(now - fresh.last_fresh);
+    const double weight = options.stale_halflife_s <= 0.0
+                              ? 0.0
+                              : std::exp2(-age_s / options.stale_halflife_s);
+    EdgeParams& params = graph_.params(i);
+    params.fidelity =
+        weight * *measured.fidelity + (1.0 - weight) * params.fidelity;
   }
 }
 
@@ -98,27 +135,46 @@ std::vector<double> Router::hop_floors(const Path& path) const {
   return floors;
 }
 
-bool Router::try_admit(const netlayer::E2eRequest& request,
-                       const std::vector<Path>& candidates) {
-  for (const Path& path : candidates) {
-    const auto ticket = reservations_.try_reserve(path.edges);
+sim::SimTime Router::lease_duration(
+    const Path& path, const netlayer::E2eRequest& request) const {
+  if (config_.lease_slack <= 0.0) return ReservationTable::kNoExpiry;
+  double slowest = 0.0;
+  for (const std::size_t e : path.edges) {
+    slowest = std::max(slowest, graph_.params(e).pair_time_s);
+  }
+  const double window_s =
+      config_.lease_slack * slowest *
+      static_cast<double>(std::max<std::uint16_t>(request.num_pairs, 1));
+  return std::max<sim::SimTime>(sim::duration::seconds(window_s), 1);
+}
+
+std::uint32_t Router::try_admit(FlightState& flight) {
+  const sim::SimTime now = net_.simulator().now();
+  for (const Path& path : flight.candidates) {
+    const auto ticket = reservations_.try_reserve(
+        path.edges, now, lease_duration(path, flight.request));
     if (!ticket) continue;
     std::uint32_t id = 0;
     try {
-      id = swap_.request(request, to_hops(path), hop_floors(path));
+      id = swap_.request(flight.request, to_hops(path), hop_floors(path));
     } catch (...) {
       // A malformed pinned path (submit_on checks only the endpoints)
       // must not leak its reservation and wedge the edges forever.
       reservations_.release(*ticket);
       throw;
     }
-    in_flight_.emplace(id, *ticket);
-    last_admitted_ = id;
+    flight.ticket = *ticket;
     ++stats_.admitted;
+    // Count the reroute only here, where the resubmission actually
+    // reached the SwapService (record_resubmit fired inside request),
+    // so Stats::rerouted and Collector::reroutes always agree.
+    if (flight.request.resubmission_of != 0) ++stats_.rerouted;
     if (collector_) collector_->record_route(path.hops());
-    return true;
+    in_flight_.emplace(id, std::move(flight));
+    schedule_expiry_wakeup();
+    return id;
   }
-  return false;
+  return 0;
 }
 
 std::uint32_t Router::submit(const netlayer::E2eRequest& request) {
@@ -129,7 +185,10 @@ std::uint32_t Router::submit(const netlayer::E2eRequest& request) {
                                 std::to_string(request.src) + " and " +
                                 std::to_string(request.dst));
   }
-  return submit_candidates(request, std::move(candidates));
+  FlightState flight;
+  flight.request = request;
+  flight.candidates = std::move(candidates);
+  return submit_flight(std::move(flight));
 }
 
 std::uint32_t Router::submit_on(const netlayer::E2eRequest& request,
@@ -161,23 +220,27 @@ std::uint32_t Router::submit_on(const netlayer::E2eRequest& request,
       }
     }
   }
-  return submit_candidates(request, {path});
+  FlightState flight;
+  flight.request = request;
+  flight.candidates = {path};
+  flight.reroutable = false;
+  return submit_flight(std::move(flight));
 }
 
-std::uint32_t Router::submit_candidates(netlayer::E2eRequest request,
-                                        std::vector<Path> candidates) {
+std::uint32_t Router::submit_flight(FlightState flight) {
   // Latency is measured from here: time a request spends queued behind
   // reservations is part of its service time.
-  if (request.submitted_at < 0) {
-    request.submitted_at = net_.simulator().now();
+  if (flight.request.submitted_at < 0) {
+    flight.request.submitted_at = net_.simulator().now();
   }
   // try_admit may throw on a malformed pinned path; count the request
   // only once it is known to be admitted, queued, or rejected, so
-  // submitted == admitted + blocked + rejected stays an invariant.
-  const bool admitted = try_admit(request, candidates);
+  // submitted == admitted-first-try + blocked + rejected stays an
+  // invariant.
+  const std::uint32_t id = try_admit(flight);
   ++stats_.submitted;
-  if (admitted) {
-    return last_admitted_;
+  if (id != 0) {
+    return id;
   }
   if (!config_.queue_blocked) {
     ++stats_.rejected;
@@ -186,14 +249,60 @@ std::uint32_t Router::submit_candidates(netlayer::E2eRequest request,
   ++stats_.blocked;
   if (collector_) collector_->record_blocked();
   reservations_.enqueue_blocked(
-      [this, request, candidates = std::move(candidates)] {
-        return try_admit(request, candidates);
+      [this, flight = std::move(flight)]() mutable {
+        return try_admit(flight) != 0;
       });
+  schedule_expiry_wakeup();
   return 0;
+}
+
+void Router::queue_or_drop_reroute(FlightState flight,
+                                   const netlayer::E2eErr& err) {
+  if (try_admit(flight) != 0) return;
+  if (config_.queue_blocked) {
+    // Not counted in Stats::blocked / record_blocked: those count
+    // *requests* that ever queued, and this one already counted at
+    // submission if it did.
+    reservations_.enqueue_blocked(
+        [this, flight = std::move(flight)]() mutable {
+          return try_admit(flight) != 0;
+        });
+    schedule_expiry_wakeup();
+    return;
+  }
+  // Queueing disabled: the reroute dies here, and the death is
+  // terminal — the error handler's contract covers it.
+  ++stats_.failed;
+  ++stats_.abandoned;
+  if (collector_) collector_->record_abandon();
+  if (on_error_) on_error_(err);
+}
+
+void Router::schedule_expiry_wakeup() {
+  if (reservations_.blocked() == 0) return;
+  const auto next = reservations_.next_expiry();
+  if (!next) return;  // only unbounded pins: releases drive retries
+  // Always wake from a fresh simulator event — never prune (and so
+  // drain the blocked queue) synchronously here, which could reenter
+  // try_admit from inside a submit already in progress. A lease that
+  // lapsed in the past wakes "now", i.e. right after the current event.
+  const sim::SimTime at = std::max(*next, net_.simulator().now());
+  if (expiry_event_ && expiry_at_ <= at) return;
+  if (expiry_event_) net_.simulator().cancel(*expiry_event_);
+  expiry_at_ = at;
+  expiry_event_ = net_.simulator().schedule_at(at, [this] {
+    expiry_event_.reset();
+    // Prunes every lease lapsed by now and retries the blocked queue;
+    // anything still blocked gets the next wakeup.
+    reservations_.expire_until(net_.simulator().now());
+    schedule_expiry_wakeup();
+  });
 }
 
 void Router::on_deliver(const netlayer::E2eOk& ok) {
   ++stats_.pairs_delivered;
+  const auto flight = in_flight_.find(ok.request_id);
+  if (flight != in_flight_.end()) ++flight->second.delivered;
   if (on_deliver_) {
     on_deliver_(ok);
   } else {
@@ -205,24 +314,64 @@ void Router::on_deliver(const netlayer::E2eOk& ok) {
     ++stats_.completed;
     const auto it = in_flight_.find(ok.request_id);
     if (it != in_flight_.end()) {
-      const ReservationTable::Ticket ticket = it->second;
+      const ReservationTable::Ticket ticket = it->second.ticket;
       in_flight_.erase(it);
       // May reentrantly admit blocked requests (fresh SwapService
       // CREATEs fire from inside this delivery).
       reservations_.release(ticket);
+      schedule_expiry_wakeup();
     }
   }
 }
 
 void Router::on_error(const netlayer::E2eErr& err) {
-  ++stats_.failed;
-  if (on_error_) on_error_(err);
   const auto it = in_flight_.find(err.request_id);
-  if (it != in_flight_.end()) {
-    const ReservationTable::Ticket ticket = it->second;
-    in_flight_.erase(it);
-    reservations_.release(ticket);
+  if (it == in_flight_.end()) {
+    // Not one of ours (or already completed): report and move on.
+    ++stats_.failed;
+    if (on_error_) on_error_(err);
+    return;
   }
+  FlightState flight = std::move(it->second);
+  in_flight_.erase(it);
+  // May reentrantly admit blocked requests; the failed request's own
+  // resubmission (below) queues behind them — it already had service.
+  reservations_.release(flight.ticket);
+  schedule_expiry_wakeup();
+
+  if (flight.reroutable && flight.reroutes_used < config_.max_reroutes) {
+    // The failing edge joins the request's exclusion set; surviving
+    // candidates (Yen already yielded k) are preferred, and the search
+    // only re-runs over the exclusion set once they run dry.
+    flight.excluded.push_back(err.link);
+    std::erase_if(flight.candidates, [&err](const Path& path) {
+      return std::find(path.edges.begin(), path.edges.end(), err.link) !=
+             path.edges.end();
+    });
+    if (flight.candidates.empty()) {
+      flight.candidates =
+          selector_.k_shortest(flight.request.src, flight.request.dst,
+                               config_.k_candidates, flight.excluded);
+    }
+    if (!flight.candidates.empty()) {
+      ++flight.reroutes_used;
+      // Resume with the remaining pairs; metrics carry the original
+      // submission time through resubmission_of.
+      flight.request.resubmission_of = err.request_id;
+      flight.request.num_pairs = static_cast<std::uint16_t>(
+          flight.request.num_pairs - flight.delivered);
+      flight.delivered = 0;
+      queue_or_drop_reroute(std::move(flight), err);
+      return;
+    }
+  }
+
+  ++stats_.failed;
+  if (flight.reroutable && config_.max_reroutes > 0) {
+    ++stats_.abandoned;
+    if (collector_) collector_->record_abandon();
+  }
+  if (on_error_) on_error_(err);
 }
 
 }  // namespace qlink::routing

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "routing/graph.hpp"
 #include "routing/path_selector.hpp"
 #include "routing/reservation.hpp"
+#include "sim/simulator.hpp"
 
 /// \file router.hpp
 /// The glue that turns graph + path selection + reservations into a
@@ -21,11 +23,21 @@
 ///
 /// Admission: the k cheapest candidate paths under the configured cost
 /// model are tried in order; the first whose edges all have spare
-/// reservation capacity is reserved and handed to the SwapService
-/// (with per-hop CREATE floors from EdgeParams::link_floor). A request
-/// that fits no candidate queues FIFO in the ReservationTable and is
-/// retried whenever any reservation releases. Reservations release when
-/// the request delivers its last pair or fails.
+/// reservation capacity *now* is leased (see ReservationTable — a lease
+/// window sized by lease_slack, or an unbounded pin) and handed to the
+/// SwapService (with per-hop CREATE floors from EdgeParams::link_floor).
+/// A request that fits no candidate queues FIFO in the ReservationTable
+/// and is retried whenever any reservation releases or any lease
+/// lapses. Reservations release when the request delivers its last pair
+/// or fails terminally.
+///
+/// Adaptive re-routing (max_reroutes > 0): when an admitted request
+/// fails, the failing edge joins the request's exclusion set, the
+/// surviving candidates (the Yen list minus excluded edges) are retried
+/// in order — recomputed over the exclusion set once they run dry — and
+/// the request is resubmitted, up to the budget. The error handler sees
+/// terminal failures only; absorbed hop failures surface in
+/// Stats::rerouted and metrics::Collector::reroutes.
 
 namespace qlink::routing {
 
@@ -40,22 +52,62 @@ struct RouterConfig {
   CostModel cost = CostModel::kHopCount;
   /// Candidate paths per request (k of k-shortest).
   std::size_t k_candidates = 4;
-  /// Queue requests that fit no candidate (retried on every release);
-  /// false rejects them immediately instead.
+  /// Queue requests that fit no candidate (retried on release or lease
+  /// expiry); false rejects them immediately instead.
   bool queue_blocked = true;
+  /// Re-routing budget per request: after a hop failure the failing
+  /// edge is excluded and the request resubmitted over a sibling
+  /// candidate, at most this many times. 0 = static routing (every
+  /// failure is terminal — the historical behavior). Pinned submit_on
+  /// requests never re-route.
+  std::size_t max_reroutes = 0;
+  /// Time-sliced reservations: each admission leases its edges for
+  /// lease_slack x num_pairs x (slowest hop's expected pair time)
+  /// instead of pinning them for the whole request lifetime, so a
+  /// blocked request sharing an edge at a disjoint time admits on lease
+  /// expiry without waiting for the holder's release. <= 0 = unbounded
+  /// leases (whole-request pinning, the historical behavior).
+  double lease_slack = 0.0;
+};
+
+/// How Router::refresh_annotations folds live FEU test-round estimates
+/// into the graph's planning parameters.
+struct RefreshOptions {
+  /// Descending CREATE-floor quality set-points (as
+  /// annotate_from_network).
+  std::span<const double> floor_menu;
+  /// Minimum recorded test rounds before a link's measurements are
+  /// trusted at all.
+  std::size_t min_rounds = 30;
+  /// Staleness half-life: with no new test rounds for one half-life,
+  /// the measured estimate's weight halves toward the static model.
+  double stale_halflife_s = 0.5;
 };
 
 class Router {
  public:
   struct Stats {
     std::uint64_t submitted = 0;
+    /// Admissions (a re-routed request is admitted again; resubmissions
+    /// do not count toward `submitted`).
     std::uint64_t admitted = 0;
-    /// Requests that went through the blocked queue at least once.
+    /// Requests that queued behind reservations at initial submission
+    /// (a re-routed request re-queueing is not counted again).
     std::uint64_t blocked = 0;
     /// Requests dropped because queueing is disabled.
     std::uint64_t rejected = 0;
     std::uint64_t completed = 0;
+    /// Terminal failures (with re-routing enabled, failures that could
+    /// not be absorbed).
     std::uint64_t failed = 0;
+    /// Hop failures absorbed by resubmitting over a sibling path,
+    /// counted when the resubmission is (re-)admitted — equal to
+    /// metrics::Collector::reroutes when the SwapService shares the
+    /// Router's collector (reroutes is recorded by the SwapService's).
+    std::uint64_t rerouted = 0;
+    /// Re-routable requests that still failed: budget or sibling
+    /// candidates exhausted.
+    std::uint64_t abandoned = 0;
     std::uint64_t pairs_delivered = 0;
   };
 
@@ -66,6 +118,7 @@ class Router {
   Router(Graph graph, netlayer::QuantumNetwork& network,
          netlayer::SwapService& swap, const RouterConfig& config = {},
          metrics::Collector* collector = nullptr);
+  ~Router();
 
   // selector_ references graph_ (a copy's selector would keep reading
   // the source Router's graph), and the SwapService handlers capture
@@ -82,21 +135,31 @@ class Router {
   /// then avoids them whenever an alternative exists).
   void annotate_from_network(std::span<const double> floor_menu);
 
+  /// annotate_from_network, then blend each edge's fidelity toward the
+  /// link's *measured* test-round estimate (core::Link::
+  /// test_round_estimate): weight 2^(-age / half-life), where age is
+  /// the time since the link last recorded a new test round. Fresh
+  /// measurements dominate the static model; stale ones decay back to
+  /// it. Links below min_rounds stay on the model.
+  void refresh_annotations(const RefreshOptions& options);
+
   /// Submit an end-to-end request. Returns the SwapService request id
   /// when admitted immediately, 0 when queued (or rejected — see
   /// Stats). Throws std::invalid_argument when the graph offers no
   /// src -> dst path at all.
   std::uint32_t submit(const netlayer::E2eRequest& request);
 
-  /// Submit pinned to one explicit path (no candidate search): reserved
-  /// and admitted, or queued for that same path. The path must join the
-  /// request's endpoints.
+  /// Submit pinned to one explicit path (no candidate search, no
+  /// re-routing): reserved and admitted, or queued for that same path.
+  /// The path must join the request's endpoints.
   std::uint32_t submit_on(const netlayer::E2eRequest& request,
                           const Path& path);
 
   void set_deliver_handler(netlayer::SwapService::DeliverFn fn) {
     on_deliver_ = std::move(fn);
   }
+  /// Sees terminal failures only: a hop failure absorbed by re-routing
+  /// is not reported here (see Stats::rerouted).
   void set_error_handler(netlayer::SwapService::ErrorFn fn) {
     on_error_ = std::move(fn);
   }
@@ -119,13 +182,40 @@ class Router {
   std::vector<netlayer::Hop> to_hops(const Path& path) const;
   std::vector<double> hop_floors(const Path& path) const;
 
+  /// Lease window for admitting `request` on `path` (kNoExpiry when
+  /// lease_slack <= 0): the estimated occupancy from the annotated
+  /// per-hop pair times, times the slack.
+  sim::SimTime lease_duration(const Path& path,
+                              const netlayer::E2eRequest& request) const;
+
  private:
-  std::uint32_t submit_candidates(netlayer::E2eRequest request,
-                                  std::vector<Path> candidates);
-  bool try_admit(const netlayer::E2eRequest& request,
-                 const std::vector<Path>& candidates);
+  /// Everything needed to re-route an in-flight request: its remaining
+  /// work, the surviving candidates, and the edges it must now avoid.
+  struct FlightState {
+    ReservationTable::Ticket ticket = 0;
+    netlayer::E2eRequest request;
+    std::vector<Path> candidates;
+    std::vector<std::size_t> excluded;
+    std::size_t reroutes_used = 0;
+    std::uint16_t delivered = 0;
+    /// false for pinned submit_on requests: re-routing would betray
+    /// the pin.
+    bool reroutable = true;
+  };
+
+  std::uint32_t submit_flight(FlightState flight);
+  /// Reserve + hand to the SwapService over the first fitting
+  /// candidate; returns the SwapService request id, 0 when nothing
+  /// fits. On success `flight` has been moved into in_flight_.
+  std::uint32_t try_admit(FlightState& flight);
+  void queue_or_drop_reroute(FlightState flight,
+                             const netlayer::E2eErr& err);
   void on_deliver(const netlayer::E2eOk& ok);
   void on_error(const netlayer::E2eErr& err);
+  /// Keep a wakeup scheduled at the reservation table's next lease
+  /// expiry while anything is blocked, so expiry retries fire without
+  /// a release.
+  void schedule_expiry_wakeup();
 
   Graph graph_;
   netlayer::QuantumNetwork& net_;
@@ -134,9 +224,18 @@ class Router {
   metrics::Collector* collector_;
   PathSelector selector_;
   ReservationTable reservations_;
-  /// SwapService request id -> its reservation.
-  std::map<std::uint32_t, ReservationTable::Ticket> in_flight_;
-  std::uint32_t last_admitted_ = 0;
+  /// SwapService request id -> its flight (reservation + reroute
+  /// state).
+  std::map<std::uint32_t, FlightState> in_flight_;
+  /// Per-edge measurement freshness for refresh_annotations: the test
+  /// round count last seen, and when it last grew.
+  struct EdgeFreshness {
+    std::size_t rounds_seen = 0;
+    sim::SimTime last_fresh = 0;
+  };
+  std::vector<EdgeFreshness> freshness_;
+  std::optional<sim::EventId> expiry_event_;
+  sim::SimTime expiry_at_ = 0;
   netlayer::SwapService::DeliverFn on_deliver_;
   netlayer::SwapService::ErrorFn on_error_;
   Stats stats_;

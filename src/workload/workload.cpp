@@ -163,10 +163,25 @@ double WorkloadDriver::issue_probability(Priority kind,
   return spec.fraction * p_succ / e_cycles;  // per pair; /k applied later
 }
 
+void WorkloadDriver::maybe_refresh_annotations() {
+  if (router_ == nullptr || config_.annotate_refresh_interval <= 0) return;
+  if (last_refresh_ &&
+      now() - *last_refresh_ < config_.annotate_refresh_interval) {
+    return;
+  }
+  routing::RefreshOptions options;
+  options.floor_menu = config_.refresh_floor_menu;
+  options.min_rounds = config_.refresh_min_rounds;
+  options.stale_halflife_s = config_.refresh_stale_halflife_s;
+  router_->refresh_annotations(options);
+  last_refresh_ = now();
+}
+
 void WorkloadDriver::on_cycle() {
   if (swap_ != nullptr) {
     // Stale-pair eviction lives in the SwapService here; pending_ is
     // only populated in single-link mode.
+    maybe_refresh_annotations();
     maybe_issue_e2e();
     std::size_t queued = 0;
     for (std::size_t i = 0; i < net_->num_links(); ++i) {

@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/network.hpp"
 #include "metrics/collector.hpp"
@@ -67,6 +68,18 @@ struct WorkloadConfig {
   /// End-to-end mode only: per-link CREATE fidelity floor (0 = use
   /// min_fidelity on every hop; see E2eRequest::link_min_fidelity).
   double link_min_fidelity = 0.0;
+  /// Routed mode only: refresh the router's edge annotations from live
+  /// FEU test-round estimates this often (0 = static annotations). See
+  /// routing::Router::refresh_annotations.
+  sim::SimTime annotate_refresh_interval = 0;
+  /// CREATE-floor menu the periodic refresh re-annotates with
+  /// (descending quality set-points — also what stale measurements
+  /// decay back to).
+  std::vector<double> refresh_floor_menu{0.85, 0.775, 0.7, 0.625};
+  /// Minimum recorded test rounds before a link's measurements count.
+  std::size_t refresh_min_rounds = 30;
+  /// Staleness half-life of a measurement, seconds.
+  double refresh_stale_halflife_s = 0.5;
 };
 
 /// The named usage patterns of Table 2 (Appendix C.2).
@@ -130,6 +143,7 @@ class WorkloadDriver : public sim::Entity {
   std::uint16_t throttled_request_size(double base, std::uint16_t k_max);
 
   void on_cycle();
+  void maybe_refresh_annotations();
   void maybe_issue(core::Priority kind, const KindSpec& spec);
   void maybe_issue_e2e();
   void on_ok(std::uint32_t node, const core::OkMessage& ok);
@@ -150,6 +164,7 @@ class WorkloadDriver : public sim::Entity {
   std::map<std::uint32_t, core::Priority> kind_by_create_[2];
   std::uint64_t issued_ = 0;
   std::uint64_t matched_ = 0;
+  std::optional<sim::SimTime> last_refresh_;
   std::array<std::optional<double>, 2> cached_p_succ_{};  // per type K/M
 };
 

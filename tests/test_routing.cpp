@@ -243,6 +243,113 @@ TEST(ReservationTable, RejectsNonSimplePaths) {
   EXPECT_EQ(table.in_use(0), 0u);  // nothing was partially reserved
 }
 
+TEST(ReservationTable, TimeSlicedLeasesAdmitDisjointWindows) {
+  const Graph chain = Graph::chain(3);
+  ReservationTable table(chain);
+  const std::vector<std::size_t> path{0, 1};
+
+  // A lease for [0, 100): the edges are busy inside the window ...
+  const auto first = table.try_reserve(path, /*now=*/0, /*duration=*/100);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(table.can_reserve(path, 50));
+  EXPECT_FALSE(table.try_reserve(path, 99, 100).has_value());
+  // ... and free at its end even though the holder has not released:
+  // a second request sharing the edges at a disjoint time admits.
+  EXPECT_TRUE(table.can_reserve(path, 100));
+  const auto second = table.try_reserve(path, /*now=*/100, /*duration=*/50);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(table.active(), 2u);  // both tickets still held
+
+  // Overrunning holders still release cleanly (their lapsed lease
+  // entries are simply gone), and nothing double-frees.
+  EXPECT_EQ(table.expire_until(120), 2u);  // first's two edge leases
+  EXPECT_EQ(table.lease_expiries(), 2u);
+  table.release(*first);
+  table.release(*second);
+  EXPECT_EQ(table.active(), 0u);
+  EXPECT_EQ(table.in_use(0), 0u);
+  EXPECT_THROW(table.try_reserve(path, 0, 0), std::invalid_argument);
+}
+
+TEST(ReservationTable, ExpiryRetriesBlockedQueue) {
+  const Graph chain = Graph::chain(2);
+  ReservationTable table(chain);
+  const std::vector<std::size_t> path{0};
+  const auto held = table.try_reserve(path, 0, 100);
+  ASSERT_TRUE(held.has_value());
+  ASSERT_EQ(table.next_expiry(), std::optional<sim::SimTime>(100));
+
+  int admitted = 0;
+  table.enqueue_blocked([&table, &admitted, path] {
+    const auto t = table.try_reserve(path, 100, 100);
+    if (!t) return false;
+    ++admitted;
+    return true;
+  });
+  EXPECT_EQ(admitted, 0);
+  // The lease lapse alone — no release — wakes the blocked request.
+  EXPECT_EQ(table.expire_until(100), 1u);
+  EXPECT_EQ(admitted, 1);
+  EXPECT_EQ(table.blocked(), 0u);
+  EXPECT_EQ(table.next_expiry(), std::optional<sim::SimTime>(200));
+  table.release(*held);  // lapsed but still held: release is fine
+}
+
+TEST(ReservationTable, BlockedRetryOrderSurvivesMixedWakeups) {
+  // Regression: the old pop-front/push-back rotation left the queue
+  // mid-rotation when a retry threw, so a later request could jump an
+  // earlier one across mixed release/expiry wakeups. Pin the FIFO
+  // order: A (wants edge 0), B (throws once), C (wants edge 0) must
+  // admit as A-then-C no matter how the wakeups interleave.
+  const Graph chain = Graph::chain(3);
+  ReservationTable table(chain);
+  const std::vector<std::size_t> edge0{0};
+  const std::vector<std::size_t> edge1{1};
+  const auto hold0 = table.try_reserve(edge0, 0, 100);   // lapses at 100
+  const auto hold1 = table.try_reserve(edge1);           // pinned
+  ASSERT_TRUE(hold0 && hold1);
+
+  std::vector<char> admitted;
+  sim::SimTime now = 0;
+  const auto want_edge0 = [&table, &admitted, &now, edge0](char name) {
+    return [&table, &admitted, &now, edge0, name] {
+      const auto t = table.try_reserve(edge0, now, 1000);
+      if (!t) return false;
+      admitted.push_back(name);
+      return true;
+    };
+  };
+  bool threw = false;
+  table.enqueue_blocked(want_edge0('A'));
+  table.enqueue_blocked([&threw]() -> bool {
+    if (!threw) {
+      threw = true;
+      throw std::runtime_error("poisoned retry");
+    }
+    return true;  // leaves the queue if ever retried again
+  });
+  table.enqueue_blocked(want_edge0('C'));
+
+  // Wakeup 1 is a *release* (edge 1): A retries first but edge 0 is
+  // still leased, B throws. C must stay behind A.
+  EXPECT_THROW(table.release(*hold1), std::runtime_error);
+  EXPECT_TRUE(admitted.empty());
+  EXPECT_EQ(table.blocked(), 2u);
+
+  // Wakeup 2 is a *lease expiry* (edge 0 lapses at t = 100): exactly
+  // the older request A admits; C queues behind A's fresh lease.
+  now = 100;
+  EXPECT_EQ(table.expire_until(100), 1u);
+  EXPECT_EQ(admitted, (std::vector<char>{'A'}));
+  EXPECT_EQ(table.blocked(), 1u);
+
+  // Wakeup 3, expiry again (A's lease ends at 1100): C's turn.
+  now = 1100;
+  table.expire_until(1100);
+  EXPECT_EQ(admitted, (std::vector<char>{'A', 'C'}));
+  EXPECT_EQ(table.blocked(), 0u);
+}
+
 TEST(ReservationTable, BlockedRequestsRetryOnRelease) {
   const Graph chain = Graph::chain(3);
   ReservationTable table(chain);

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Tolerance-based bench-regression gate (ISSUE 4).
+
+Compares a freshly produced BENCH_*.json against its checked-in
+baseline (bench/baselines/) and exits non-zero on a regression beyond
+tolerance, so CI's bench-smoke job *fails* instead of merely uploading
+artifacts.
+
+Rows are matched by their identity keys (whichever of bench / hops /
+backend / scenario / topology / cost / mode / reroute_budget both sides
+carry). Three classes of values are compared, everything else is
+informational:
+
+  quality   keys containing "fidelity" or "completion" (except *_gain):
+            deterministic per seed but float-sensitive across
+            compilers, so lower-than-baseline beyond --quality-tol
+            (absolute) fails.
+  counts    completed / delivered / pairs / issued / swaps: lower than
+            baseline by more than --count-tol (relative) fails.
+  perf      wall_seconds higher, or events_per_sec lower, than baseline
+            by more than the --perf-tol factor fails. CI machines vary
+            wildly, so this is a catastrophic-regression backstop, not
+            a microbenchmark.
+
+Top-level summary scalars (e.g. hetero_fidelity_gain,
+adaptive_completion_gain) can be asserted directly:
+
+    --require adaptive_completion_gain>0 --require hetero_fidelity_gain>0.05
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [options]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+IDENTITY_KEYS = ("bench", "hops", "backend", "scenario", "topology",
+                 "cost", "mode", "reroute_budget")
+COUNT_KEYS = ("completed", "delivered", "pairs_delivered", "issued",
+              "swaps")
+PERF_HIGHER_IS_WORSE = ("wall_seconds",)
+PERF_LOWER_IS_WORSE = ("events_per_sec",)
+
+
+def is_quality_key(key):
+    if key.endswith("_gain"):
+        return False
+    return "fidelity" in key or "completion" in key
+
+
+def row_identity(row):
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def fmt_identity(identity):
+    return " ".join(f"{k}={v}" for k, v in identity) or "<unkeyed>"
+
+
+class Gate:
+    def __init__(self, args):
+        self.args = args
+        self.failures = []
+        self.checks = 0
+
+    def check(self, ok, message):
+        self.checks += 1
+        if not ok:
+            self.failures.append(message)
+            print(f"FAIL  {message}")
+        elif self.args.verbose:
+            print(f"ok    {message}")
+
+    def compare_row(self, identity, base, cur):
+        where = fmt_identity(identity)
+        for key, bval in base.items():
+            if not isinstance(bval, (int, float)) or isinstance(bval, bool):
+                continue
+            gated = (is_quality_key(key) or key in COUNT_KEYS
+                     or key in PERF_HIGHER_IS_WORSE
+                     or key in PERF_LOWER_IS_WORSE)
+            cval = cur.get(key)
+            if not isinstance(cval, (int, float)) or isinstance(cval, bool):
+                # A gated metric must not vanish quietly — a renamed or
+                # dropped key would otherwise pass the gate vacuously.
+                if gated:
+                    self.check(False,
+                               f"[{where}] {key}: gated metric missing "
+                               f"from current run (baseline {bval:.6g})")
+                else:
+                    print(f"note  [{where}] {key}: not in current run")
+                continue
+            if is_quality_key(key):
+                self.check(
+                    cval >= bval - self.args.quality_tol,
+                    f"[{where}] {key}: {cval:.6g} vs baseline {bval:.6g} "
+                    f"(quality tolerance {self.args.quality_tol})")
+            elif key in COUNT_KEYS:
+                floor = bval * (1.0 - self.args.count_tol)
+                self.check(
+                    cval >= floor,
+                    f"[{where}] {key}: {cval:.6g} vs baseline {bval:.6g} "
+                    f"(count tolerance {self.args.count_tol:.0%})")
+            elif key in PERF_HIGHER_IS_WORSE:
+                self.check(
+                    cval <= bval * self.args.perf_tol,
+                    f"[{where}] {key}: {cval:.6g} vs baseline {bval:.6g} "
+                    f"(x{self.args.perf_tol} budget)")
+            elif key in PERF_LOWER_IS_WORSE:
+                self.check(
+                    cval >= bval / self.args.perf_tol,
+                    f"[{where}] {key}: {cval:.6g} vs baseline {bval:.6g} "
+                    f"(/{self.args.perf_tol} budget)")
+
+
+def parse_require(spec):
+    for op in (">=", "<=", ">", "<"):
+        if op in spec:
+            key, value = spec.split(op, 1)
+            return key.strip(), op, float(value)
+    raise argparse.ArgumentTypeError(
+        f"--require needs KEY>VALUE / KEY>=VALUE / KEY<VALUE: {spec!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--quality-tol", type=float, default=0.05,
+                        help="absolute slack on fidelity/completion keys "
+                             "(default %(default)s)")
+    parser.add_argument("--count-tol", type=float, default=0.15,
+                        help="relative slack on delivery/throughput counts "
+                             "(default %(default)s)")
+    parser.add_argument("--perf-tol", type=float, default=8.0,
+                        help="multiplicative budget on wall time / event "
+                             "rate (default x%(default)s — CI hardware "
+                             "varies; this catches blowups, not percent)")
+    parser.add_argument("--require", type=parse_require, action="append",
+                        default=[], metavar="KEY>VALUE",
+                        help="assert a top-level summary scalar of CURRENT")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    gate = Gate(args)
+    base_rows = {row_identity(r): r for r in base.get("rows", [])}
+    cur_rows = {row_identity(r): r for r in cur.get("rows", [])}
+    for identity, base_row in base_rows.items():
+        cur_row = cur_rows.get(identity)
+        gate.check(cur_row is not None,
+                   f"baseline row missing from current run: "
+                   f"{fmt_identity(identity)}")
+        if cur_row is not None:
+            gate.compare_row(identity, base_row, cur_row)
+    for identity in cur_rows:
+        if identity not in base_rows:
+            print(f"note  new row (no baseline): {fmt_identity(identity)}")
+
+    ops = {">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+           "<": lambda a, b: a < b, "<=": lambda a, b: a <= b}
+    for key, op, value in args.require:
+        actual = cur.get(key)
+        gate.check(
+            isinstance(actual, (int, float)) and not isinstance(actual, bool)
+            and math.isfinite(actual) and ops[op](actual, value),
+            f"require {key} {op} {value}: got {actual!r}")
+
+    name = cur.get("bench", args.current)
+    if gate.failures:
+        print(f"\n{name}: {len(gate.failures)}/{gate.checks} checks failed "
+              f"against {args.baseline}")
+        return 1
+    print(f"{name}: {gate.checks} checks passed against {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
