@@ -78,6 +78,36 @@ class Collector {
   std::uint64_t reroutes() const { return reroutes_; }
   std::uint64_t abandons() const { return requests_abandoned_; }
 
+  /// Scheduler-grade admission accounting (routing::Router, ISSUE 5):
+  /// submit -> first-admission wait per request (0 for instant admits;
+  /// resubmissions excluded — their latency stays anchored at the
+  /// original submission).
+  void record_admission_wait(double seconds) {
+    admission_wait_s_.add(seconds);
+  }
+  /// A deferred-admission booking and its booked wait (the gap between
+  /// the deferral and the booked window start).
+  void record_deferral(double booked_wait_s) {
+    ++deferrals_;
+    deferred_wait_s_.add(booked_wait_s);
+  }
+  /// Head-of-line accounting: an admission that jumped an older blocked
+  /// request on a shared edge (greedy drain) ...
+  void record_steal() { ++admission_steals_; }
+  /// ... and a drain retry withheld to preserve per-edge FIFO (batch
+  /// drain).
+  void record_hol_hold() { ++hol_holds_; }
+  /// Scheduler backlog sample: blocked + deferred-pending requests.
+  void sample_sched_backlog(std::size_t n) {
+    sched_backlog_.add(static_cast<double>(n));
+  }
+  const RunningStat& admission_wait() const { return admission_wait_s_; }
+  const RunningStat& deferred_wait() const { return deferred_wait_s_; }
+  const RunningStat& sched_backlog() const { return sched_backlog_; }
+  std::uint64_t deferrals() const { return deferrals_; }
+  std::uint64_t admission_steals() const { return admission_steals_; }
+  std::uint64_t hol_holds() const { return hol_holds_; }
+
   const KindMetrics& kind(core::Priority p) const {
     return kinds_[static_cast<std::size_t>(p)];
   }
@@ -130,9 +160,15 @@ class Collector {
   std::array<std::pair<std::uint64_t, std::uint64_t>, 3> qber_counts_{};
   RunningStat queue_length_;
   RunningStat route_length_;
+  RunningStat admission_wait_s_;
+  RunningStat deferred_wait_s_;
+  RunningStat sched_backlog_;
   std::uint64_t requests_blocked_ = 0;
   std::uint64_t reroutes_ = 0;
   std::uint64_t requests_abandoned_ = 0;
+  std::uint64_t deferrals_ = 0;
+  std::uint64_t admission_steals_ = 0;
+  std::uint64_t hol_holds_ = 0;
 };
 
 }  // namespace qlink::metrics

@@ -13,22 +13,33 @@ ReservationTable::ReservationTable(const Graph& graph)
   }
 }
 
+bool ReservationTable::window_fits(std::size_t edge, sim::SimTime start,
+                                   sim::SimTime end) const {
+  // A lease [s, e) overlaps the window [start, end) iff e > start and
+  // s < end. Counting *overlapping* leases is conservative for
+  // capacity > 1 (two leases may overlap the window at different
+  // instants), which keeps booked windows honest: a slot promised by
+  // earliest_window can never be half-occupied when it arrives.
+  const std::vector<Lease>& held = leases_.at(edge);
+  std::size_t overlapping = 0;
+  for (const Lease& lease : held) {
+    if (lease.end > start && lease.start < end) ++overlapping;
+  }
+  return overlapping < capacity_.at(edge);
+}
+
 bool ReservationTable::can_reserve(std::span<const std::size_t> edges,
-                                   sim::SimTime now) const {
+                                   sim::SimTime now,
+                                   sim::SimTime duration) const {
+  const sim::SimTime end = window_end(now, duration);
   for (const std::size_t e : edges) {
-    const std::vector<Lease>& held = leases_.at(e);
-    std::size_t live = 0;
-    for (const Lease& lease : held) {
-      if (lease.end > now) ++live;
-    }
-    if (live >= capacity_.at(e)) return false;
+    if (!window_fits(e, now, end)) return false;
   }
   return true;
 }
 
-std::optional<ReservationTable::Ticket> ReservationTable::try_reserve(
-    std::span<const std::size_t> edges, sim::SimTime now,
-    sim::SimTime duration) {
+void ReservationTable::validate(std::span<const std::size_t> edges,
+                                sim::SimTime duration) const {
   if (edges.empty()) {
     throw std::invalid_argument("ReservationTable: empty path");
   }
@@ -48,15 +59,81 @@ std::optional<ReservationTable::Ticket> ReservationTable::try_reserve(
       }
     }
   }
-  if (!can_reserve(edges, now)) return std::nullopt;
-  const sim::SimTime end =
-      duration >= kNoExpiry - now ? kNoExpiry : now + duration;
+}
+
+bool ReservationTable::conflicts_blocked(
+    std::span<const std::size_t> edges) const {
+  for (const Blocked& b : blocked_) {
+    for (const std::size_t e : b.footprint) {
+      if (std::find(edges.begin(), edges.end(), e) != edges.end()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<ReservationTable::Ticket> ReservationTable::reserve_window(
+    std::span<const std::size_t> edges, sim::SimTime start,
+    sim::SimTime duration, bool count_steal) {
+  validate(edges, duration);
+  const sim::SimTime end = window_end(start, duration);
+  for (const std::size_t e : edges) {
+    if (!window_fits(e, start, end)) return std::nullopt;
+  }
+  // Mid-drain retries are ordered by the drain itself (which counts its
+  // own greedy jumps); only out-of-queue admissions are checked here.
+  if (count_steal && !draining_ && conflicts_blocked(edges)) ++steals_;
   const Ticket ticket = next_ticket_++;
-  for (const std::size_t e : edges) leases_[e].push_back({ticket, end});
+  for (const std::size_t e : edges) {
+    leases_[e].push_back({ticket, start, end});
+    if (end != kNoExpiry) finite_ends_.insert(end);
+  }
   active_.emplace(ticket, std::vector<std::size_t>(edges.begin(),
                                                    edges.end()));
   max_active_ = std::max(max_active_, active_.size());
   return ticket;
+}
+
+std::optional<ReservationTable::Ticket> ReservationTable::try_reserve(
+    std::span<const std::size_t> edges, sim::SimTime now,
+    sim::SimTime duration) {
+  return reserve_window(edges, now, duration, /*count_steal=*/true);
+}
+
+std::optional<ReservationTable::Ticket> ReservationTable::reserve_at(
+    std::span<const std::size_t> edges, sim::SimTime start,
+    sim::SimTime duration) {
+  if (start < 0) {
+    throw std::invalid_argument("ReservationTable: negative window start");
+  }
+  // A booked window is the scheduler keeping a promise to an *older*
+  // request; it is never a queue jump.
+  return reserve_window(edges, start, duration, /*count_steal=*/false);
+}
+
+std::optional<sim::SimTime> ReservationTable::earliest_window(
+    std::span<const std::size_t> edges, sim::SimTime now,
+    sim::SimTime duration) const {
+  validate(edges, duration);
+  // Occupancy over a window only drops when a lease ends, so the
+  // earliest feasible start is `now` or one of the finite lease ends on
+  // the listed edges.
+  std::vector<sim::SimTime> candidates{now};
+  for (const std::size_t e : edges) {
+    for (const Lease& lease : leases_.at(e)) {
+      if (lease.end != kNoExpiry && lease.end > now) {
+        candidates.push_back(lease.end);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (const sim::SimTime start : candidates) {
+    if (can_reserve(edges, start, duration)) return start;
+  }
+  return std::nullopt;
 }
 
 void ReservationTable::release(Ticket ticket) {
@@ -70,7 +147,12 @@ void ReservationTable::release(Ticket ticket) {
     const auto li = std::find_if(
         held.begin(), held.end(),
         [ticket](const Lease& l) { return l.ticket == ticket; });
-    if (li != held.end()) held.erase(li);
+    if (li != held.end()) {
+      if (li->end != kNoExpiry) {
+        finite_ends_.erase(finite_ends_.find(li->end));
+      }
+      held.erase(li);
+    }
   }
   active_.erase(it);
   drain_blocked();
@@ -83,12 +165,19 @@ std::size_t ReservationTable::expire_until(sim::SimTime now) {
     std::erase_if(held, [now](const Lease& l) { return l.end <= now; });
     lapsed += before - held.size();
   }
+  // One index entry per lapsed edge lease, by construction.
+  finite_ends_.erase(finite_ends_.begin(), finite_ends_.upper_bound(now));
   lease_expiries_ += lapsed;
   if (lapsed > 0) drain_blocked();
   return lapsed;
 }
 
 std::optional<sim::SimTime> ReservationTable::next_expiry() const {
+  if (finite_ends_.empty()) return std::nullopt;
+  return *finite_ends_.begin();
+}
+
+std::optional<sim::SimTime> ReservationTable::next_expiry_scan() const {
   std::optional<sim::SimTime> next;
   for (const std::vector<Lease>& held : leases_) {
     for (const Lease& lease : held) {
@@ -99,8 +188,9 @@ std::optional<sim::SimTime> ReservationTable::next_expiry() const {
   return next;
 }
 
-void ReservationTable::enqueue_blocked(RetryFn retry) {
-  blocked_.push_back(std::move(retry));
+void ReservationTable::enqueue_blocked(RetryFn retry,
+                                       std::vector<std::size_t> footprint) {
+  blocked_.push_back({std::move(retry), std::move(footprint)});
 }
 
 void ReservationTable::drain_blocked() {
@@ -117,30 +207,63 @@ void ReservationTable::drain_blocked() {
     // Retry a snapshot in queue order and rebuild the queue with the
     // still-blocked ones first: arrival order survives mixed
     // release/expiry wakeups, thrown retries, and mid-sweep enqueues.
-    std::deque<RetryFn> round;
+    std::deque<Blocked> round;
     round.swap(blocked_);
-    std::deque<RetryFn> still;
+    std::deque<Blocked> still;
+    // Edges that still-blocked earlier entries of this sweep are
+    // waiting for; a later entry touching one of them either gets
+    // withheld (kPerEdgeFifo) or counted as a queue jump (kGreedy).
+    std::vector<std::size_t> held_edges;
+    bool earlier_blocked = false;
+    const auto conflicts_held = [&held_edges](const Blocked& b) {
+      for (const std::size_t e : b.footprint) {
+        if (std::find(held_edges.begin(), held_edges.end(), e) !=
+            held_edges.end()) {
+          return true;
+        }
+      }
+      return false;
+    };
     while (!round.empty()) {
-      RetryFn retry = std::move(round.front());
+      Blocked entry = std::move(round.front());
       round.pop_front();
+      const bool conflict = conflicts_held(entry);
+      if (policy_ == DrainPolicy::kPerEdgeFifo && conflict) {
+        // An older request sharing an edge is still blocked: hold this
+        // one back so FIFO survives per conflicting edge set.
+        ++hol_holds_;
+        earlier_blocked = true;
+        held_edges.insert(held_edges.end(), entry.footprint.begin(),
+                          entry.footprint.end());
+        still.push_back(std::move(entry));
+        continue;
+      }
       bool left = false;
       try {
-        left = retry();
+        left = entry.retry();
       } catch (...) {
         // Keep the table usable for everyone else: restore the queue
         // (minus the poisoned retry — it would only throw again) in
         // arrival order and clear the drain flag, or every later
         // release() would skip its sweep forever.
-        for (RetryFn& r : round) still.push_back(std::move(r));
-        for (RetryFn& r : blocked_) still.push_back(std::move(r));
+        for (Blocked& r : round) still.push_back(std::move(r));
+        for (Blocked& r : blocked_) still.push_back(std::move(r));
         blocked_ = std::move(still);
         draining_ = false;
         redrain_ = false;
         throw;
       }
-      if (!left) still.push_back(std::move(retry));
+      if (left) {
+        if (conflict) ++steals_;  // kGreedy: jumped a blocked elder
+        if (earlier_blocked) ++batch_admits_;
+      } else {
+        earlier_blocked = true;
+        held_edges.insert(held_edges.end(), entry.footprint.begin(),
+                          entry.footprint.end());
+        still.push_back(std::move(entry));
+      }
     }
-    for (RetryFn& r : blocked_) still.push_back(std::move(r));
+    for (Blocked& r : blocked_) still.push_back(std::move(r));
     blocked_ = std::move(still);
   } while (redrain_);
   draining_ = false;

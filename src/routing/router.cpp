@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -50,6 +51,9 @@ Router::Router(Graph graph, netlayer::QuantumNetwork& network,
   if (config_.k_candidates == 0) {
     throw std::invalid_argument("Router: k_candidates must be positive");
   }
+  reservations_.set_drain_policy(config_.batch_admission
+                                     ? DrainPolicy::kPerEdgeFifo
+                                     : DrainPolicy::kGreedy);
   swap_.set_deliver_handler(
       [this](const netlayer::E2eOk& ok) { on_deliver(ok); });
   swap_.set_error_handler(
@@ -57,8 +61,11 @@ Router::Router(Graph graph, netlayer::QuantumNetwork& network,
 }
 
 Router::~Router() {
-  // A pending lease-expiry wakeup captures `this`.
+  // Pending lease-expiry and deferred-submission events capture `this`.
   if (expiry_event_) net_.simulator().cancel(*expiry_event_);
+  for (const sim::EventId id : deferred_events_) {
+    net_.simulator().cancel(id);
+  }
 }
 
 void Router::annotate_from_network(std::span<const double> floor_menu) {
@@ -111,6 +118,21 @@ void Router::refresh_annotations(const RefreshOptions& options) {
     EdgeParams& params = graph_.params(i);
     params.fidelity =
         weight * *measured.fidelity + (1.0 - weight) * params.fidelity;
+  }
+  // Fidelity-recovery signal for exclusion decay: an edge whose blended
+  // estimate rose by >= recovery_min_gain since the previous refresh is
+  // stamped recovered — exclusion entries older than the stamp are
+  // dropped at the next re-route (prune_exclusions).
+  if (recovered_at_.empty()) recovered_at_.resize(graph_.num_edges(), 0);
+  const bool have_prev = !prev_refresh_fidelity_.empty();
+  if (!have_prev) prev_refresh_fidelity_.resize(graph_.num_edges(), 0.0);
+  for (std::size_t i = 0; i < graph_.num_edges(); ++i) {
+    const double fidelity = graph_.params(i).fidelity;
+    if (have_prev &&
+        fidelity >= prev_refresh_fidelity_[i] + config_.recovery_min_gain) {
+      recovered_at_[i] = now;
+    }
+    prev_refresh_fidelity_[i] = fidelity;
   }
 }
 
@@ -169,12 +191,92 @@ std::uint32_t Router::try_admit(FlightState& flight) {
     // reached the SwapService (record_resubmit fired inside request),
     // so Stats::rerouted and Collector::reroutes always agree.
     if (flight.request.resubmission_of != 0) ++stats_.rerouted;
-    if (collector_) collector_->record_route(path.hops());
+    if (collector_) {
+      collector_->record_route(path.hops());
+      // Admission wait covers submit -> first admission (0 for an
+      // instant admit, the queueing time for a drained one);
+      // resubmissions keep their original latency accounting instead.
+      if (flight.request.resubmission_of == 0 &&
+          flight.request.submitted_at >= 0) {
+        collector_->record_admission_wait(
+            sim::to_seconds(now - flight.request.submitted_at));
+      }
+    }
     in_flight_.emplace(id, std::move(flight));
     schedule_expiry_wakeup();
+    sync_contention_metrics();
     return id;
   }
+  sync_contention_metrics();
   return 0;
+}
+
+bool Router::try_defer(FlightState& flight) {
+  if (!config_.defer_admission) return false;
+  const sim::SimTime now = net_.simulator().now();
+  // Book the candidate whose window opens first; ties keep candidate
+  // (cost) order.
+  const Path* best = nullptr;
+  sim::SimTime best_start = 0;
+  sim::SimTime best_duration = 0;
+  for (const Path& path : flight.candidates) {
+    const sim::SimTime duration = lease_duration(path, flight.request);
+    const auto start =
+        reservations_.earliest_window(path.edges, now, duration);
+    if (!start) continue;
+    if (best == nullptr || *start < best_start) {
+      best = &path;
+      best_start = *start;
+      best_duration = duration;
+    }
+  }
+  if (best == nullptr) return false;  // every candidate pinned shut
+  const auto ticket =
+      reservations_.reserve_at(best->edges, best_start, best_duration);
+  if (!ticket) return false;  // cannot happen: same-event recompute
+  flight.ticket = *ticket;
+  ++stats_.deferred;
+  stats_.deferred_wait_total += best_start - now;
+  if (collector_) {
+    collector_->record_deferral(sim::to_seconds(best_start - now));
+  }
+  // The booked path must survive until the window opens; candidates
+  // live in the flight, so remember it by value in the closure. The
+  // closure learns its own event id through the shared holder so it can
+  // retire itself from deferred_events_ when it fires (the destructor
+  // must not cancel an already-fired event).
+  auto id_holder = std::make_shared<sim::EventId>(0);
+  const sim::EventId id = net_.simulator().schedule_at(
+      best_start,
+      [this, id_holder, flight = std::move(flight), path = *best]() mutable {
+        deferred_events_.erase(*id_holder);
+        submit_deferred(std::move(flight), path);
+      });
+  *id_holder = id;
+  deferred_events_.insert(id);
+  return true;
+}
+
+void Router::submit_deferred(FlightState flight, const Path& path) {
+  std::uint32_t id = 0;
+  try {
+    id = swap_.request(flight.request, to_hops(path), hop_floors(path));
+  } catch (...) {
+    reservations_.release(flight.ticket);
+    throw;
+  }
+  ++stats_.admitted;
+  if (flight.request.resubmission_of != 0) ++stats_.rerouted;
+  if (collector_) {
+    collector_->record_route(path.hops());
+    if (flight.request.resubmission_of == 0 &&
+        flight.request.submitted_at >= 0) {
+      collector_->record_admission_wait(sim::to_seconds(
+          net_.simulator().now() - flight.request.submitted_at));
+    }
+  }
+  in_flight_.emplace(id, std::move(flight));
+  schedule_expiry_wakeup();
 }
 
 std::uint32_t Router::submit(const netlayer::E2eRequest& request) {
@@ -234,13 +336,17 @@ std::uint32_t Router::submit_flight(FlightState flight) {
     flight.request.submitted_at = net_.simulator().now();
   }
   // try_admit may throw on a malformed pinned path; count the request
-  // only once it is known to be admitted, queued, or rejected, so
-  // submitted == admitted-first-try + blocked + rejected stays an
-  // invariant.
+  // only once it is known to be admitted, deferred, queued, or
+  // rejected, so submitted == admitted-first-try + deferred-first-try
+  // + blocked + rejected stays an invariant (a deferred request joins
+  // `admitted` later, when its booked window opens).
   const std::uint32_t id = try_admit(flight);
   ++stats_.submitted;
   if (id != 0) {
     return id;
+  }
+  if (try_defer(flight)) {
+    return 0;  // booked: the submission fires at the window start
   }
   if (!config_.queue_blocked) {
     ++stats_.rejected;
@@ -248,26 +354,54 @@ std::uint32_t Router::submit_flight(FlightState flight) {
   }
   ++stats_.blocked;
   if (collector_) collector_->record_blocked();
+  enqueue_flight(std::move(flight));
+  return 0;
+}
+
+void Router::enqueue_flight(FlightState flight) {
+  // The preferred candidate's edges are the drain footprint: what this
+  // request is (approximately) waiting for, for per-edge FIFO ordering
+  // and steal accounting.
+  std::vector<std::size_t> footprint =
+      flight.candidates.empty() ? std::vector<std::size_t>{}
+                                : flight.candidates.front().edges;
   reservations_.enqueue_blocked(
       [this, flight = std::move(flight)]() mutable {
         return try_admit(flight) != 0;
-      });
+      },
+      std::move(footprint));
   schedule_expiry_wakeup();
-  return 0;
+}
+
+void Router::prune_exclusions(FlightState& flight, sim::SimTime now) const {
+  const sim::SimTime ttl = config_.exclusion_ttl;
+  std::erase_if(flight.excluded, [this, now, ttl](const Exclusion& e) {
+    if (ttl > 0 && now - e.at >= ttl) return true;
+    // Strict >: an exclusion recorded in the same event as a recovery
+    // stamp reflects a *later* observation (the edge just failed).
+    return edge_recovered_at(e.edge) > e.at;
+  });
+}
+
+void Router::sync_contention_metrics() {
+  if (collector_ == nullptr) return;
+  for (; steals_seen_ < reservations_.steals(); ++steals_seen_) {
+    collector_->record_steal();
+  }
+  for (; hol_holds_seen_ < reservations_.hol_holds(); ++hol_holds_seen_) {
+    collector_->record_hol_hold();
+  }
 }
 
 void Router::queue_or_drop_reroute(FlightState flight,
                                    const netlayer::E2eErr& err) {
   if (try_admit(flight) != 0) return;
+  if (try_defer(flight)) return;
   if (config_.queue_blocked) {
     // Not counted in Stats::blocked / record_blocked: those count
     // *requests* that ever queued, and this one already counted at
     // submission if it did.
-    reservations_.enqueue_blocked(
-        [this, flight = std::move(flight)]() mutable {
-          return try_admit(flight) != 0;
-        });
-    schedule_expiry_wakeup();
+    enqueue_flight(std::move(flight));
     return;
   }
   // Queueing disabled: the reroute dies here, and the death is
@@ -295,6 +429,7 @@ void Router::schedule_expiry_wakeup() {
     // Prunes every lease lapsed by now and retries the blocked queue;
     // anything still blocked gets the next wakeup.
     reservations_.expire_until(net_.simulator().now());
+    sync_contention_metrics();
     schedule_expiry_wakeup();
   });
 }
@@ -319,6 +454,7 @@ void Router::on_deliver(const netlayer::E2eOk& ok) {
       // May reentrantly admit blocked requests (fresh SwapService
       // CREATEs fire from inside this delivery).
       reservations_.release(ticket);
+      sync_contention_metrics();
       schedule_expiry_wakeup();
     }
   }
@@ -337,21 +473,31 @@ void Router::on_error(const netlayer::E2eErr& err) {
   // May reentrantly admit blocked requests; the failed request's own
   // resubmission (below) queues behind them — it already had service.
   reservations_.release(flight.ticket);
+  sync_contention_metrics();
   schedule_expiry_wakeup();
 
   if (flight.reroutable && flight.reroutes_used < config_.max_reroutes) {
     // The failing edge joins the request's exclusion set; surviving
     // candidates (Yen already yielded k) are preferred, and the search
-    // only re-runs over the exclusion set once they run dry.
-    flight.excluded.push_back(err.link);
+    // only re-runs over the exclusion set once they run dry. Exclusions
+    // decay first (TTL / fidelity recovery), so a recovered edge is
+    // back in the search space within the re-route budget.
+    const sim::SimTime now = net_.simulator().now();
+    flight.excluded.push_back({err.link, now});
+    prune_exclusions(flight, now);
     std::erase_if(flight.candidates, [&err](const Path& path) {
       return std::find(path.edges.begin(), path.edges.end(), err.link) !=
              path.edges.end();
     });
     if (flight.candidates.empty()) {
+      std::vector<std::size_t> excluded_edges;
+      excluded_edges.reserve(flight.excluded.size());
+      for (const Exclusion& e : flight.excluded) {
+        excluded_edges.push_back(e.edge);
+      }
       flight.candidates =
           selector_.k_shortest(flight.request.src, flight.request.dst,
-                               config_.k_candidates, flight.excluded);
+                               config_.k_candidates, excluded_edges);
     }
     if (!flight.candidates.empty()) {
       ++flight.reroutes_used;

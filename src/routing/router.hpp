@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -37,7 +38,21 @@
 /// in order — recomputed over the exclusion set once they run dry — and
 /// the request is resubmitted, up to the budget. The error handler sees
 /// terminal failures only; absorbed hop failures surface in
-/// Stats::rerouted and metrics::Collector::reroutes.
+/// Stats::rerouted and metrics::Collector::reroutes. Exclusions decay:
+/// with exclusion_ttl > 0 an excluded edge ages out after the TTL, and
+/// independently of the TTL an edge whose annotated fidelity recovered
+/// (refresh_annotations measured a gain >= recovery_min_gain since the
+/// exclusion) is dropped at the next re-route, so a repaired link is
+/// routable again within the request's budget.
+///
+/// Deferred admission (defer_admission): a request that fits no
+/// candidate *now* books the earliest future window in which one
+/// candidate's edges are all free (ReservationTable::earliest_window /
+/// reserve_at) and the Router schedules its submission at that start —
+/// instead of parking the request blind in the blocked queue. Requests
+/// that cannot book a finite window (an edge pinned forever) still
+/// queue. batch_admission switches the blocked-queue drain to the
+/// per-edge-FIFO batch policy (see reservation.hpp).
 
 namespace qlink::routing {
 
@@ -68,6 +83,22 @@ struct RouterConfig {
   /// expiry without waiting for the holder's release. <= 0 = unbounded
   /// leases (whole-request pinning, the historical behavior).
   double lease_slack = 0.0;
+  /// Book a future lease window for requests that fit nothing now and
+  /// schedule their submission at the window start (see file comment).
+  /// false = queue blind (the PR-4 behavior).
+  bool defer_admission = false;
+  /// Per-edge-FIFO batch drain of the blocked queue: a younger blocked
+  /// request never jumps an older one on a shared edge, while requests
+  /// with disjoint footprints admit in the same wakeup. false = the
+  /// historical greedy drain (jumps allowed, counted as steals).
+  bool batch_admission = false;
+  /// Re-routing exclusions age out after this long (sim time); 0 =
+  /// excluded forever (the PR-4 behavior).
+  sim::SimTime exclusion_ttl = 0;
+  /// An excluded edge whose annotated fidelity rises by at least this
+  /// much across refresh_annotations calls counts as recovered and is
+  /// dropped from exclusion sets at the next re-route.
+  double recovery_min_gain = 0.05;
 };
 
 /// How Router::refresh_annotations folds live FEU test-round estimates
@@ -94,6 +125,13 @@ class Router {
     /// Requests that queued behind reservations at initial submission
     /// (a re-routed request re-queueing is not counted again).
     std::uint64_t blocked = 0;
+    /// Deferred-admission bookings: submissions (initial or re-route)
+    /// that fit nothing now and booked a future lease window instead of
+    /// queueing blind.
+    std::uint64_t deferred = 0;
+    /// Total booked wait (sim time) across `deferred`: the gap between
+    /// the deferral and the booked window start.
+    sim::SimTime deferred_wait_total = 0;
     /// Requests dropped because queueing is disabled.
     std::uint64_t rejected = 0;
     std::uint64_t completed = 0;
@@ -175,6 +213,16 @@ class Router {
     return reservations_;
   }
   const Stats& stats() const noexcept { return stats_; }
+  /// Deferred bookings whose window start has not arrived yet.
+  std::size_t deferred_pending() const noexcept {
+    return deferred_events_.size();
+  }
+  /// When refresh_annotations last saw this edge's fidelity recover by
+  /// >= recovery_min_gain (0 = never). Exclusions older than this are
+  /// dropped at the next re-route.
+  sim::SimTime edge_recovered_at(std::size_t edge) const {
+    return edge < recovered_at_.size() ? recovered_at_[edge] : 0;
+  }
   netlayer::QuantumNetwork& network() noexcept { return net_; }
   netlayer::SwapService& swap() noexcept { return swap_; }
 
@@ -189,13 +237,20 @@ class Router {
                               const netlayer::E2eRequest& request) const;
 
  private:
+  /// A re-routing exclusion: the edge to avoid and when it failed (so
+  /// exclusion_ttl / recovery can age it out).
+  struct Exclusion {
+    std::size_t edge = 0;
+    sim::SimTime at = 0;
+  };
+
   /// Everything needed to re-route an in-flight request: its remaining
   /// work, the surviving candidates, and the edges it must now avoid.
   struct FlightState {
     ReservationTable::Ticket ticket = 0;
     netlayer::E2eRequest request;
     std::vector<Path> candidates;
-    std::vector<std::size_t> excluded;
+    std::vector<Exclusion> excluded;
     std::size_t reroutes_used = 0;
     std::uint16_t delivered = 0;
     /// false for pinned submit_on requests: re-routing would betray
@@ -208,6 +263,22 @@ class Router {
   /// candidate; returns the SwapService request id, 0 when nothing
   /// fits. On success `flight` has been moved into in_flight_.
   std::uint32_t try_admit(FlightState& flight);
+  /// Deferred admission: book the candidate with the earliest feasible
+  /// future window and schedule the submission at its start. False when
+  /// deferral is off or no candidate has a finite window.
+  bool try_defer(FlightState& flight);
+  /// Hand a booked flight to the SwapService at its window start (the
+  /// deferred analogue of try_admit's success path).
+  void submit_deferred(FlightState flight, const Path& path);
+  /// Queue `flight` in the reservation table's blocked queue with its
+  /// preferred candidate's edges as the drain footprint.
+  void enqueue_flight(FlightState flight);
+  /// Drop exclusions that aged past exclusion_ttl or whose edge
+  /// recovered (refresh_annotations) since the exclusion was recorded.
+  void prune_exclusions(FlightState& flight, sim::SimTime now) const;
+  /// Forward the reservation table's contention counters (steals /
+  /// per-edge-FIFO holds) to the collector as they grow.
+  void sync_contention_metrics();
   void queue_or_drop_reroute(FlightState flight,
                              const netlayer::E2eErr& err);
   void on_deliver(const netlayer::E2eOk& ok);
@@ -234,6 +305,17 @@ class Router {
     sim::SimTime last_fresh = 0;
   };
   std::vector<EdgeFreshness> freshness_;
+  /// Per-edge recovery stamps (see edge_recovered_at) and the blended
+  /// fidelity each edge had after the previous refresh, so a recovery
+  /// is a measured *gain*, not an absolute level.
+  std::vector<sim::SimTime> recovered_at_;
+  std::vector<double> prev_refresh_fidelity_;
+  /// Pending deferred-submission events (cancelled on destruction —
+  /// their closures capture `this`).
+  std::set<sim::EventId> deferred_events_;
+  /// Table counters already forwarded to the collector.
+  std::uint64_t steals_seen_ = 0;
+  std::uint64_t hol_holds_seen_ = 0;
   std::optional<sim::EventId> expiry_event_;
   sim::SimTime expiry_at_ = 0;
   netlayer::SwapService::DeliverFn on_deliver_;

@@ -188,6 +188,12 @@ void WorkloadDriver::on_cycle() {
       queued += net_->link(i).egp_a().queue().total_size();
     }
     collector_.sample_queue_length(queued);
+    if (router_ != nullptr) {
+      // Scheduler occupancy: requests parked blind in the blocked queue
+      // plus deferred bookings waiting for their window to open.
+      collector_.sample_sched_backlog(
+          router_->reservations().blocked() + router_->deferred_pending());
+    }
     return;
   }
   maybe_issue(Priority::kNetworkLayer, config_.nl);

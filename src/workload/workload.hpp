@@ -41,7 +41,10 @@ class Router;
 ///    routing::Router instead of the SwapService directly, so every
 ///    request is path-selected under the router's cost model and
 ///    admitted against its reservation table (blocked requests queue
-///    and retry; see routing/router.hpp).
+///    and retry, or book a deferred window when the router runs with
+///    defer_admission; see routing/router.hpp). Each MHP cycle the
+///    driver samples the scheduler backlog (blocked + deferred-pending
+///    requests) into metrics::Collector::sched_backlog.
 
 namespace qlink::workload {
 

@@ -253,22 +253,173 @@ TEST(ReservationTable, TimeSlicedLeasesAdmitDisjointWindows) {
   ASSERT_TRUE(first.has_value());
   EXPECT_FALSE(table.can_reserve(path, 50));
   EXPECT_FALSE(table.try_reserve(path, 99, 100).has_value());
+  EXPECT_EQ(table.next_expiry(), table.next_expiry_scan());
   // ... and free at its end even though the holder has not released:
   // a second request sharing the edges at a disjoint time admits.
   EXPECT_TRUE(table.can_reserve(path, 100));
   const auto second = table.try_reserve(path, /*now=*/100, /*duration=*/50);
   ASSERT_TRUE(second.has_value());
   EXPECT_EQ(table.active(), 2u);  // both tickets still held
+  EXPECT_EQ(table.next_expiry(), table.next_expiry_scan());
 
   // Overrunning holders still release cleanly (their lapsed lease
   // entries are simply gone), and nothing double-frees.
   EXPECT_EQ(table.expire_until(120), 2u);  // first's two edge leases
   EXPECT_EQ(table.lease_expiries(), 2u);
+  EXPECT_EQ(table.next_expiry(), table.next_expiry_scan());
   table.release(*first);
   table.release(*second);
   EXPECT_EQ(table.active(), 0u);
   EXPECT_EQ(table.in_use(0), 0u);
+  EXPECT_EQ(table.next_expiry(), table.next_expiry_scan());
+  EXPECT_FALSE(table.next_expiry().has_value());
   EXPECT_THROW(table.try_reserve(path, 0, 0), std::invalid_argument);
+}
+
+TEST(ReservationTable, FutureWindowBookingsBlockOverlappingAdmissions) {
+  const Graph chain = Graph::chain(3);
+  ReservationTable table(chain);
+  const std::vector<std::size_t> path{0, 1};
+  const std::vector<std::size_t> edge0{0};
+
+  const auto held = table.try_reserve(path, /*now=*/0, /*duration=*/100);
+  ASSERT_TRUE(held.has_value());
+  // The earliest whole-window slot behind a [0, 100) lease is its end.
+  EXPECT_EQ(table.earliest_window(path, 0, 50),
+            std::optional<sim::SimTime>(100));
+  const auto booked = table.reserve_at(path, 100, 50);
+  ASSERT_TRUE(booked.has_value());
+  EXPECT_EQ(table.in_use(0), 2u);
+  EXPECT_EQ(table.next_expiry(), table.next_expiry_scan());
+
+  // An instant admission whose window overlaps the booking is refused;
+  // one fitting the gap after it admits.
+  EXPECT_FALSE(table.try_reserve(edge0, 120, 50).has_value());
+  EXPECT_FALSE(table.can_reserve(edge0, 120, 50));
+  EXPECT_TRUE(table.can_reserve(edge0, 150, 50));
+  // The next free whole-window slot is behind the booking...
+  EXPECT_EQ(table.earliest_window(edge0, 0, 50),
+            std::optional<sim::SimTime>(150));
+  // ...but a shorter window still fits the gap in front of nothing: a
+  // booking starting at the lease end leaves no gap on this edge, so
+  // the earliest 1-tick slot after `now`=100 is also 150.
+  EXPECT_EQ(table.earliest_window(edge0, 100, 1),
+            std::optional<sim::SimTime>(150));
+
+  // Unbounded pins never free a window.
+  const auto pin = table.try_reserve(edge0, 150);
+  ASSERT_TRUE(pin.has_value());
+  EXPECT_FALSE(table.earliest_window(edge0, 150, 10).has_value());
+  EXPECT_EQ(table.next_expiry(), table.next_expiry_scan());
+
+  table.release(*held);
+  table.release(*booked);
+  table.release(*pin);
+  EXPECT_EQ(table.next_expiry(), table.next_expiry_scan());
+  EXPECT_THROW(table.reserve_at(path, -1, 10), std::invalid_argument);
+}
+
+TEST(ReservationTable, GreedyDrainCountsQueueJumps) {
+  // C (older, wants edges {0, 1}) blocks on edge 1; D (younger, wants
+  // {0}) admits the freed edge 0 under the greedy policy — a counted
+  // queue jump, and a batch admission past the blocked elder.
+  const Graph chain = Graph::chain(3);
+  ReservationTable table(chain);
+  const auto hold0 = table.try_reserve(std::vector<std::size_t>{0}, 0, 50);
+  const auto hold1 = table.try_reserve(std::vector<std::size_t>{1}, 0, 100);
+  ASSERT_TRUE(hold0 && hold1);
+
+  std::vector<char> admitted;
+  const auto want = [&table, &admitted](char name,
+                                        std::vector<std::size_t> edges) {
+    table.enqueue_blocked(
+        [&table, &admitted, edges, name] {
+          const auto t = table.try_reserve(edges, 50, 1000);
+          if (!t) return false;
+          admitted.push_back(name);
+          return true;
+        },
+        edges);
+  };
+  want('C', {0, 1});
+  want('D', {0});
+
+  EXPECT_EQ(table.expire_until(50), 1u);  // edge 0 frees; edge 1 busy
+  EXPECT_EQ(admitted, (std::vector<char>{'D'}));
+  EXPECT_EQ(table.steals(), 1u);
+  EXPECT_EQ(table.batch_admits(), 1u);
+  EXPECT_EQ(table.hol_holds(), 0u);
+  EXPECT_EQ(table.blocked(), 1u);  // C still parked
+}
+
+TEST(ReservationTable, PerEdgeFifoDrainHoldsConflictsAdmitsDisjoint) {
+  // Same shape under the batch policy, plus a disjoint E: D is held
+  // back (it shares edge 0 with the still-blocked elder C), while E
+  // (edge 2, disjoint) admits in the same wakeup.
+  const Graph chain = Graph::chain(4);
+  ReservationTable table(chain);
+  table.set_drain_policy(DrainPolicy::kPerEdgeFifo);
+  const auto hold0 = table.try_reserve(std::vector<std::size_t>{0}, 0, 50);
+  const auto hold1 = table.try_reserve(std::vector<std::size_t>{1}, 0, 100);
+  const auto hold2 = table.try_reserve(std::vector<std::size_t>{2}, 0, 50);
+  ASSERT_TRUE(hold0 && hold1 && hold2);
+
+  std::vector<char> admitted;
+  ReservationTable::Ticket got_c = 0;
+  const auto want = [&table, &admitted, &got_c](
+                        char name, std::vector<std::size_t> edges) {
+    table.enqueue_blocked(
+        [&table, &admitted, &got_c, edges, name] {
+          const auto t = table.try_reserve(edges, 50, 1000);
+          if (!t) return false;
+          admitted.push_back(name);
+          if (name == 'C') got_c = *t;
+          return true;
+        },
+        edges);
+  };
+  want('C', {0, 1});
+  want('D', {0});
+  want('E', {2});
+
+  EXPECT_EQ(table.expire_until(50), 2u);  // edges 0 and 2 free
+  // D was withheld (conflict with C); E admitted batch-style.
+  EXPECT_EQ(admitted, (std::vector<char>{'E'}));
+  EXPECT_EQ(table.hol_holds(), 1u);
+  EXPECT_EQ(table.steals(), 0u);
+  EXPECT_EQ(table.batch_admits(), 1u);
+  EXPECT_EQ(table.blocked(), 2u);
+
+  // When edge 1 frees, FIFO within the conflicting set resumes: C
+  // admits first, D queues behind C's fresh lease on edge 0.
+  table.release(*hold1);
+  EXPECT_EQ(admitted, (std::vector<char>{'E', 'C'}));
+  EXPECT_EQ(table.blocked(), 1u);
+  table.release(got_c);
+  EXPECT_EQ(admitted, (std::vector<char>{'E', 'C', 'D'}));
+  EXPECT_EQ(table.blocked(), 0u);
+}
+
+TEST(ReservationTable, FreshReservationOverBlockedFootprintCountsSteal) {
+  const Graph chain = Graph::chain(4);
+  ReservationTable table(chain);
+  const auto hold1 = table.try_reserve(std::vector<std::size_t>{1});
+  ASSERT_TRUE(hold1.has_value());
+  table.enqueue_blocked([] { return false; },
+                        std::vector<std::size_t>{0, 1});
+  // A fresh out-of-queue admission touching the blocked footprint is a
+  // queue jump; a disjoint one is not.
+  const auto jump = table.try_reserve(std::vector<std::size_t>{0});
+  ASSERT_TRUE(jump.has_value());
+  EXPECT_EQ(table.steals(), 1u);
+  const auto clean = table.try_reserve(std::vector<std::size_t>{2});
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(table.steals(), 1u);
+  // Booked future windows are scheduler promises, not jumps.
+  table.release(*jump);
+  const auto booked = table.reserve_at(std::vector<std::size_t>{0}, 10, 10);
+  ASSERT_TRUE(booked.has_value());
+  EXPECT_EQ(table.steals(), 1u);
 }
 
 TEST(ReservationTable, ExpiryRetriesBlockedQueue) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Tolerance-based bench-regression gate (ISSUE 4).
+"""Tolerance-based bench-regression gate (ISSUE 4, extended in ISSUE 5).
 
 Compares a freshly produced BENCH_*.json against its checked-in
 baseline (bench/baselines/) and exits non-zero on a regression beyond
@@ -27,6 +27,22 @@ adaptive_completion_gain) can be asserted directly:
 
     --require adaptive_completion_gain>0 --require hetero_fidelity_gain>0.05
 
+Besides the compare mode, three maintenance modes (ISSUE 5):
+
+    # Rewrite bench/baselines/ from freshly produced JSON (previously an
+    # undocumented manual copy). The target name comes from each file's
+    # "bench" field.
+    bench_diff.py --update-baselines CURRENT.json... [--baselines-dir DIR]
+
+    # Append each CURRENT's top-level summary scalars to a JSONL
+    # trajectory (one line per run; CI keeps it as a per-branch cache +
+    # artifact). Missing files are noted and skipped so one crashed
+    # bench cannot lose the others' data points.
+    bench_diff.py --append-history FILE CURRENT.json...
+
+    # Print the last N per-bench scalar deltas of such a trajectory.
+    bench_diff.py --history FILE [--last N]
+
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [options]
 """
@@ -34,7 +50,9 @@ Usage:
 import argparse
 import json
 import math
+import os
 import sys
+import time
 
 IDENTITY_KEYS = ("bench", "hops", "backend", "scenario", "topology",
                  "cost", "mode", "reroute_budget")
@@ -123,11 +141,98 @@ def parse_require(spec):
         f"--require needs KEY>VALUE / KEY>=VALUE / KEY<VALUE: {spec!r}")
 
 
+def summary_scalars(doc):
+    """Top-level numeric scalars of a BENCH_*.json (the per-row detail
+    stays out of the trajectory — rows are re-derivable from the
+    uploaded artifacts, scalars are what re-anchoring needs)."""
+    return {k: v for k, v in doc.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def update_baselines(files, baselines_dir):
+    """Rewrite bench/baselines/ from freshly produced JSON; the target
+    file name comes from each document's "bench" field."""
+    for path in files:
+        with open(path) as f:
+            doc = json.load(f)
+        bench = doc.get("bench")
+        if not isinstance(bench, str) or not bench:
+            print(f"error: {path} has no \"bench\" name; cannot place it "
+                  f"in {baselines_dir}")
+            return 1
+        target = os.path.join(baselines_dir, f"BENCH_{bench}.json")
+        with open(path) as src:
+            payload = src.read()
+        with open(target, "w") as dst:
+            dst.write(payload)
+        print(f"updated {target} from {path}")
+    return 0
+
+
+def append_history(history_path, files):
+    """Append each file's summary scalars as one JSONL trajectory entry.
+
+    A file a crashed bench never wrote is noted and skipped rather than
+    aborting: the step runs after gate failures precisely to record
+    whatever data points exist."""
+    with open(history_path, "a") as out:
+        for path in files:
+            try:
+                with open(path) as f:
+                    doc = json.load(f)
+            except (OSError, ValueError) as err:
+                print(f"note  skipping {path}: {err}")
+                continue
+            entry = {
+                "bench": doc.get("bench", os.path.basename(path)),
+                "sha": os.environ.get("GITHUB_SHA"),
+                "time": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "scalars": summary_scalars(doc),
+            }
+            out.write(json.dumps(entry, sort_keys=True) + "\n")
+            print(f"appended {entry['bench']} scalars to {history_path}")
+    return 0
+
+
+def print_history(history_path, last):
+    """Per bench, the last N runs of the trajectory with the delta of
+    every scalar against the run before it."""
+    entries = []
+    with open(history_path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    by_bench = {}
+    for entry in entries:
+        by_bench.setdefault(entry.get("bench", "<unnamed>"), []).append(entry)
+    for bench, runs in sorted(by_bench.items()):
+        print(f"== {bench} ({len(runs)} runs, showing last "
+              f"{min(last, len(runs))})")
+        offset = max(0, len(runs) - last)
+        for idx in range(offset, len(runs)):
+            run = runs[idx]
+            prev = runs[idx - 1] if idx > 0 else None
+            parts = []
+            for key, val in sorted(run.get("scalars", {}).items()):
+                if prev is not None and key in prev.get("scalars", {}):
+                    delta = val - prev["scalars"][key]
+                    parts.append(f"{key}={val:.6g} ({delta:+.6g})")
+                else:
+                    parts.append(f"{key}={val:.6g}")
+            sha = (run.get("sha") or "")[:9]
+            stamp = run.get("time", "?")
+            print(f"  {stamp} {sha:<9} " + "  ".join(parts))
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("files", nargs="*", metavar="JSON",
+                        help="compare mode: BASELINE CURRENT; "
+                             "--update-baselines / --append-history: "
+                             "one or more fresh CURRENT files")
     parser.add_argument("--quality-tol", type=float, default=0.05,
                         help="absolute slack on fidelity/completion keys "
                              "(default %(default)s)")
@@ -141,8 +246,41 @@ def main():
     parser.add_argument("--require", type=parse_require, action="append",
                         default=[], metavar="KEY>VALUE",
                         help="assert a top-level summary scalar of CURRENT")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite the baselines dir from the given "
+                             "fresh JSON files instead of comparing")
+    parser.add_argument("--baselines-dir", default="bench/baselines",
+                        help="target of --update-baselines "
+                             "(default %(default)s)")
+    parser.add_argument("--append-history", metavar="FILE",
+                        help="append the given files' summary scalars to "
+                             "a JSONL trajectory instead of comparing")
+    parser.add_argument("--history", metavar="FILE",
+                        help="print the last --last per-bench scalar "
+                             "deltas of a JSONL trajectory")
+    parser.add_argument("--last", type=int, default=5,
+                        help="entries per bench for --history "
+                             "(default %(default)s)")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args()
+
+    if args.update_baselines:
+        if not args.files:
+            parser.error("--update-baselines needs at least one fresh "
+                         "CURRENT.json")
+        return update_baselines(args.files, args.baselines_dir)
+    if args.history is not None:
+        if args.files:
+            parser.error("--history takes no positional files")
+        return print_history(args.history, args.last)
+    if args.append_history is not None:
+        if not args.files:
+            parser.error("--append-history needs at least one CURRENT.json")
+        return append_history(args.append_history, args.files)
+    if len(args.files) != 2:
+        parser.error("compare mode needs exactly BASELINE.json and "
+                     "CURRENT.json")
+    args.baseline, args.current = args.files
 
     with open(args.baseline) as f:
         base = json.load(f)
