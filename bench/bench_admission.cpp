@@ -92,6 +92,9 @@ struct Row {
   double deferred_wait_total_s = 0.0;
   double mean_admission_wait_s = 0.0;
   double max_admission_wait_s = 0.0;
+  double p50_admission_wait_s = 0.0;
+  double p99_admission_wait_s = 0.0;
+  double p99_request_latency_s = 0.0;
   double completion_rate = 0.0;
   double sim_seconds = 0.0;
   double wall_seconds = 0.0;
@@ -261,6 +264,9 @@ Row run_mode(const Options& opt, const char* scenario, const char* mode,
   row.deferred_wait_total_s = sim::to_seconds(stats.deferred_wait_total);
   row.mean_admission_wait_s = collector.admission_wait().mean();
   row.max_admission_wait_s = collector.admission_wait().max();
+  row.p50_admission_wait_s = collector.admission_wait_hist().p50();
+  row.p99_admission_wait_s = collector.admission_wait_hist().p99();
+  row.p99_request_latency_s = collector.request_latency_hist().p99();
   row.completion_rate = static_cast<double>(stats.completed) /
                         static_cast<double>(expected);
   row.sim_seconds = sim::to_seconds(net->simulator().now());
@@ -294,7 +300,9 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
       "\"delivered\": %llu, \"steals\": %llu, \"hol_holds\": %llu, "
       "\"batch_admits\": %llu, \"lease_expiries\": %llu, "
       "\"deferred_wait_total_s\": %.6f, \"mean_admission_wait_s\": %.6f, "
-      "\"max_admission_wait_s\": %.6f, \"completion_rate\": %.6f, "
+      "\"max_admission_wait_s\": %.6f, \"p50_admission_wait_s\": %.6f, "
+      "\"p99_admission_wait_s\": %.6f, \"p99_request_latency_s\": %.6f, "
+      "\"completion_rate\": %.6f, "
       "\"sim_seconds\": %.3f, \"wall_seconds\": %.4f, \"events\": %llu, "
       "\"events_per_sec\": %.1f}%s\n",
       r.scenario, r.mode, r.backend, r.nodes, r.links, r.corridors,
@@ -310,7 +318,9 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
       static_cast<unsigned long long>(r.batch_admits),
       static_cast<unsigned long long>(r.lease_expiries),
       r.deferred_wait_total_s, r.mean_admission_wait_s,
-      r.max_admission_wait_s, r.completion_rate, r.sim_seconds,
+      r.max_admission_wait_s, r.p50_admission_wait_s,
+      r.p99_admission_wait_s, r.p99_request_latency_s,
+      r.completion_rate, r.sim_seconds,
       r.wall_seconds, static_cast<unsigned long long>(r.events),
       r.wall_seconds > 0.0
           ? static_cast<double>(r.events) / r.wall_seconds

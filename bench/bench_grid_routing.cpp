@@ -25,12 +25,16 @@
 // Usage: bench_grid_routing [--scenario all|grid|dragonfly|hetero]
 //          [--rows R] [--cols C] [--requests N] [--pairs P]
 //          [--seconds S] [--cap-seconds S] [--backend dense|bell]
-//          [--seed K] [--json PATH|-]
+//          [--seed K] [--json PATH|-] [--trace PATH]
 //   --seconds bounds the dragonfly traffic run (default 2 simulated s);
 //   --cap-seconds bounds the grid/hetero request-completion scenarios
 //   (default 60 simulated s — they normally finish far earlier).
 //   --json writes machine-readable results (default
 //   BENCH_grid_routing.json in the working directory; "-" disables).
+//   --trace writes the grid scenario's request-lifecycle trace: Chrome
+//   trace-event JSON (Perfetto-loadable) at PATH plus compact JSONL at
+//   PATH.jsonl. Traces are keyed by sim time only, so two same-seed
+//   runs write byte-identical files.
 
 #include <chrono>
 #include <cstdio>
@@ -42,6 +46,8 @@
 #include "common.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "qstate/backend_registry.hpp"
 #include "routing/router.hpp"
 
@@ -61,6 +67,7 @@ struct Options {
   qstate::BackendKind backend = qstate::BackendKind::kBellDiagonal;
   std::uint64_t seed = 7;
   std::string json_path = "BENCH_grid_routing.json";
+  std::string trace_path;  // empty = tracing off
 };
 
 struct Row {
@@ -80,9 +87,12 @@ struct Row {
   double mean_fidelity = 0.0;
   double mean_route_hops = 0.0;
   double mean_latency_ms = 0.0;
+  double p50_request_latency_s = 0.0;
+  double p99_request_latency_s = 0.0;
   double sim_seconds = 0.0;
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
+  std::string obs_json;  // merged obs::Snapshot of the run
 };
 
 /// The shared world of one scenario run. Heap-held parts keep
@@ -115,6 +125,8 @@ struct World {
     rc.k_candidates = 4;
     router = std::make_unique<routing::Router>(graph, *net, *swap, rc,
                                                &collector);
+    // Per-label event counts for the snapshot's engine section.
+    net->simulator().set_telemetry(true);
   }
 
   Row finish(const char* scenario, std::string topology,
@@ -137,9 +149,18 @@ struct World {
     row.mean_fidelity = nl.fidelity.mean();
     row.mean_route_hops = collector.route_length().mean();
     row.mean_latency_ms = nl.pair_latency_s.mean() * 1e3;
+    row.p50_request_latency_s = collector.request_latency_hist().p50();
+    row.p99_request_latency_s = collector.request_latency_hist().p99();
     row.sim_seconds = sim::to_seconds(net->simulator().now());
     row.wall_seconds = wall_seconds;
     row.events = net->simulator().events_processed();
+    obs::Snapshot snap;
+    snap.collector = &collector;
+    snap.router = &router->stats();
+    snap.swap = &swap->stats();
+    snap.backend = &net->registry().backend().stats();
+    snap.simulator = &net->simulator();
+    row.obs_json = snap.json();
     return row;
   }
 };
@@ -158,6 +179,12 @@ Row run_grid(const Options& opt) {
           routing::CostModel::kHopCount, nullptr);
   const double menu[] = {0.7};
   w.router->annotate_from_network(menu);
+
+  obs::Tracer tracer;
+  if (!opt.trace_path.empty()) {
+    w.router->set_tracer(&tracer);
+    w.swap->set_tracer(&tracer);
+  }
 
   w.router->set_deliver_handler(
       [&w](const netlayer::E2eOk& ok) { w.swap->release(ok); });
@@ -187,6 +214,25 @@ Row run_grid(const Options& opt) {
   while (stats.completed + stats.failed < corridors &&
          sim::to_seconds(w.net->simulator().now()) < opt.cap_seconds) {
     w.net->run_for(sim::duration::milliseconds(10));
+  }
+
+  if (!opt.trace_path.empty()) {
+    std::FILE* f = std::fopen(opt.trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   opt.trace_path.c_str());
+    } else {
+      tracer.write_chrome_json(f);
+      std::fclose(f);
+      const std::string jsonl_path = opt.trace_path + ".jsonl";
+      f = std::fopen(jsonl_path.c_str(), "w");
+      if (f != nullptr) {
+        tracer.write_jsonl(f);
+        std::fclose(f);
+      }
+      std::printf("wrote %s (+ .jsonl), %zu events\n",
+                  opt.trace_path.c_str(), tracer.num_events());
+    }
   }
   return w.finish("grid",
                   std::to_string(opt.rows) + "x" + std::to_string(opt.cols),
@@ -296,8 +342,10 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         "%zu, \"blocked\": %llu, \"completed\": %llu, \"failed\": %llu, "
         "\"delivered\": %llu, \"mean_fidelity\": %.6f, "
         "\"mean_route_hops\": %.3f, \"mean_latency_ms\": %.3f, "
+        "\"p50_request_latency_s\": %.6f, "
+        "\"p99_request_latency_s\": %.6f, "
         "\"sim_seconds\": %.3f, \"wall_seconds\": %.4f, \"events\": "
-        "%llu, \"events_per_sec\": %.1f}%s\n",
+        "%llu, \"events_per_sec\": %.1f, \"obs\": %s}%s\n",
         r.scenario.c_str(), r.topology.c_str(), r.cost, r.backend,
         r.nodes, r.links, static_cast<unsigned long long>(r.submitted),
         static_cast<unsigned long long>(r.admitted), r.max_concurrent,
@@ -305,10 +353,12 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         static_cast<unsigned long long>(r.completed),
         static_cast<unsigned long long>(r.failed),
         static_cast<unsigned long long>(r.delivered), r.mean_fidelity,
-        r.mean_route_hops, r.mean_latency_ms, r.sim_seconds,
+        r.mean_route_hops, r.mean_latency_ms, r.p50_request_latency_s,
+        r.p99_request_latency_s, r.sim_seconds,
         r.wall_seconds,
         static_cast<unsigned long long>(r.events),
         static_cast<double>(r.events) / r.wall_seconds,
+        r.obs_json.c_str(),
         i + 1 < rows.size() ? "," : "");
   }
   // null, not a fabricated 0.0, when the hetero comparison did not run.
@@ -327,7 +377,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
                "usage: %s [--scenario all|grid|dragonfly|hetero] "
                "[--rows R] [--cols C] [--requests N] [--pairs P] "
                "[--seconds S] [--cap-seconds S] [--backend dense|bell] "
-               "[--seed K] [--json PATH|-]\n",
+               "[--seed K] [--json PATH|-] [--trace PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -365,6 +415,8 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--json") {
       opt.json_path = next();
+    } else if (arg == "--trace") {
+      opt.trace_path = next();
     } else {
       usage(argv[0]);
     }

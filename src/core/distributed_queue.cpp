@@ -93,7 +93,8 @@ void DistributedQueue::arm_retransmit(std::uint32_t cseq) {
   auto it = pending_.find(cseq);
   if (it == pending_.end()) return;
   it->second.timer =
-      schedule_in(retransmit_timeout_, [this, cseq] { on_timeout(cseq); });
+      schedule_in(retransmit_timeout_, [this, cseq] { on_timeout(cseq); },
+                  "dqp.retransmit");
 }
 
 void DistributedQueue::on_timeout(std::uint32_t cseq) {

@@ -85,7 +85,7 @@ std::uint32_t Egp::create(const CreateRequest& request) {
   if (!advice.feasible) {
     schedule_in(0, [this, create_id] {
       emit_err({create_id, EgpError::kUnsupported, config_.node_id, 0, 0});
-    });
+    }, "egp.reject");
     return create_id;
   }
   if (request.max_time > 0 &&
@@ -94,14 +94,14 @@ std::uint32_t Egp::create(const CreateRequest& request) {
           request.max_time) {
     schedule_in(0, [this, create_id] {
       emit_err({create_id, EgpError::kUnsupported, config_.node_id, 0, 0});
-    });
+    }, "egp.reject");
     return create_id;
   }
   if (request.atomic && type == RequestType::kCreateKeep &&
       request.num_pairs > qmm_.total_memory_slots()) {
     schedule_in(0, [this, create_id] {
       emit_err({create_id, EgpError::kMemExceeded, config_.node_id, 0, 0});
-    });
+    }, "egp.reject");
     return create_id;
   }
 
@@ -588,7 +588,8 @@ void Egp::send_expire(ExpirePacket pkt) {
                        net::seal(PacketType::kExpire, pkt.encode()));
   PendingExpire pending{pkt, 0, 0};
   pending.timer = schedule_in(config_.expire_retransmit,
-                              [this, key] { retransmit_expire(key); });
+                              [this, key] { retransmit_expire(key); },
+                              "egp.expire_retransmit");
   pending_expires_[key] = pending;
 }
 
@@ -604,7 +605,8 @@ void Egp::retransmit_expire(std::uint64_t key) {
   peer_link_.send_from(peer_endpoint_,
                        net::seal(PacketType::kExpire, p.pkt.encode()));
   p.timer = schedule_in(config_.expire_retransmit,
-                        [this, key] { retransmit_expire(key); });
+                        [this, key] { retransmit_expire(key); },
+                        "egp.expire_retransmit");
 }
 
 void Egp::handle_expire(const ExpirePacket& pkt) {

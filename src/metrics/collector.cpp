@@ -1,5 +1,8 @@
 #include "metrics/collector.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace qlink::metrics {
 
 using core::OkMessage;
@@ -24,6 +27,7 @@ void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
   if (fidelity) {
     km.fidelity.add(*fidelity);
     om.fidelity.add(*fidelity);
+    fidelity_hist_.record(*fidelity);
   }
 
   const auto it = open_.find({ok.origin_node, ok.create_id});
@@ -32,11 +36,13 @@ void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
   const double pair_latency = sim::to_seconds(t - req.created);
   km.pair_latency_s.add(pair_latency);
   om.pair_latency_s.add(pair_latency);
+  pair_latency_hist_.record(pair_latency);
 
   if (ok.pair_index + 1 == ok.total_pairs) {
     const double request_latency = sim::to_seconds(t - req.created);
     km.request_latency_s.add(request_latency);
     om.request_latency_s.add(request_latency);
+    request_latency_hist_.record(request_latency);
     const double scaled =
         request_latency / static_cast<double>(std::max<std::uint16_t>(
                               req.num_pairs, 1));
@@ -89,6 +95,16 @@ void Collector::record_correlation(Basis basis, int outcome_a, int outcome_b,
   auto& [errors, total] = qber_counts_[static_cast<std::size_t>(basis)];
   if (error) ++errors;
   ++total;
+}
+
+const Collector::KindMetrics& Collector::by_origin(std::uint32_t node) const {
+  const auto it = origin_metrics_.find(node);
+  if (it == origin_metrics_.end()) {
+    throw std::out_of_range("Collector::by_origin: node " +
+                            std::to_string(node) +
+                            " has no recorded deliveries");
+  }
+  return it->second;
 }
 
 double Collector::total_throughput() const {

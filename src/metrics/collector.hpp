@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "core/requests.hpp"
+#include "metrics/histogram.hpp"
 #include "metrics/stats.hpp"
 #include "quantum/bell.hpp"
 #include "sim/time.hpp"
@@ -84,6 +85,7 @@ class Collector {
   /// original submission).
   void record_admission_wait(double seconds) {
     admission_wait_s_.add(seconds);
+    admission_wait_hist_.record(seconds);
   }
   /// A deferred-admission booking and its booked wait (the gap between
   /// the deferral and the booked window start).
@@ -136,12 +138,29 @@ class Collector {
   std::uint64_t requests_blocked() const { return requests_blocked_; }
 
   /// Fairness: per-origin pair counts and mean latencies (Section 6.2).
-  const KindMetrics& by_origin(std::uint32_t node) const {
-    return origin_metrics_.at(node);
+  /// Throws std::out_of_range naming the node when it never delivered a
+  /// pair; use find_origin / has_origin for an exception-free probe.
+  const KindMetrics& by_origin(std::uint32_t node) const;
+  /// Null when the node has no recorded deliveries.
+  const KindMetrics* find_origin(std::uint32_t node) const {
+    const auto it = origin_metrics_.find(node);
+    return it == origin_metrics_.end() ? nullptr : &it->second;
   }
   bool has_origin(std::uint32_t node) const {
     return origin_metrics_.count(node) > 0;
   }
+
+  // -- Streaming distributions (ISSUE 6) ---------------------------------
+  // Log-scale fixed-bin histograms over the same samples the
+  // RunningStats see: O(1) record, mergeable, percentile-capable.
+  const Histogram& request_latency_hist() const {
+    return request_latency_hist_;
+  }
+  const Histogram& pair_latency_hist() const { return pair_latency_hist_; }
+  const Histogram& admission_wait_hist() const {
+    return admission_wait_hist_;
+  }
+  const Histogram& fidelity_hist() const { return fidelity_hist_; }
 
  private:
   struct OpenRequest {
@@ -158,6 +177,10 @@ class Collector {
   std::map<std::pair<std::uint32_t, std::uint32_t>, OpenRequest> open_;
   std::map<core::EgpError, std::uint64_t> error_counts_;
   std::array<std::pair<std::uint64_t, std::uint64_t>, 3> qber_counts_{};
+  Histogram request_latency_hist_;
+  Histogram pair_latency_hist_;
+  Histogram admission_wait_hist_;
+  Histogram fidelity_hist_;
   RunningStat queue_length_;
   RunningStat route_length_;
   RunningStat admission_wait_s_;

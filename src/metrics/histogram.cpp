@@ -1,0 +1,39 @@
+#include "metrics/histogram.hpp"
+
+namespace qlink::metrics {
+
+double Histogram::percentile(double pct) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = pct < 0.0 ? 0.0 : (pct > 100.0 ? 100.0 : pct);
+  // Target rank in [1, count]: the smallest cumulative count covering
+  // pct of the samples.
+  const double target = clamped / 100.0 * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return kMinValue;
+  for (int i = 0; i < kBins; ++i) {
+    const double in_bin = static_cast<double>(bins_[static_cast<std::size_t>(i)]);
+    if (in_bin == 0.0) continue;
+    if (target <= cum + in_bin) {
+      const double frac = (target - cum) / in_bin;
+      const double lo = bin_lower(i);
+      const double hi = bin_lower(i + 1);
+      return lo + frac * (hi - lo);
+    }
+    cum += in_bin;
+  }
+  return kMaxValue;  // landed in the overflow bin
+}
+
+Histogram& Histogram::operator+=(const Histogram& other) {
+  for (int i = 0; i < kBins; ++i) {
+    bins_[static_cast<std::size_t>(i)] +=
+        other.bins_[static_cast<std::size_t>(i)];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return *this;
+}
+
+}  // namespace qlink::metrics

@@ -21,7 +21,7 @@ void ClassicalChannel::send_from(int end, std::vector<std::uint8_t> frame) {
     if (!h) return;  // unconnected endpoint: frame silently discarded
     ++delivered_;
     h(std::move(data));
-  });
+  }, "net.channel");
 }
 
 }  // namespace qlink::net

@@ -111,6 +111,17 @@ std::uint32_t SwapService::request(const E2eRequest& request,
     hs.hop = hop;
     const std::uint32_t entry = net_.hop_entry(hop);
     hs.create_id = net_.egp_at(hop.link, entry).create(cr);
+    if (tracer_) {
+      // Hops of one request overlap in time, so they are async spans
+      // (matched by cat + id), not lane spans.
+      hs.span_id = tracer_->async_begin(
+          request.trace_id, "hop", "hop", now(),
+          {obs::Tracer::num_arg("link",
+                                static_cast<std::uint64_t>(hop.link)),
+           obs::Tracer::num_arg("from", static_cast<std::uint64_t>(entry)),
+           obs::Tracer::num_arg(
+               "to", static_cast<std::uint64_t>(net_.hop_exit(hop)))});
+    }
     by_create_[{hop.link, entry, hs.create_id}] = {rs.id, rs.hops.size()};
     rs.hops.push_back(std::move(hs));
   }
@@ -160,6 +171,12 @@ void SwapService::on_ok(std::size_t link, std::uint32_t node,
 
   hs.ready.push_back(MatchedPair{link, *partial.a, *partial.b});
   hs.partial.erase(ok.ent_id.seq_mhp);
+  if (tracer_) {
+    tracer_->async_instant(
+        hs.span_id, rs.req.trace_id, "hop", "pair_matched", now(),
+        {obs::Tracer::num_arg(
+            "seq", static_cast<std::uint64_t>(ok.ent_id.seq_mhp))});
+  }
   try_launch(rs);
 }
 
@@ -186,9 +203,12 @@ void SwapService::try_launch(RequestState& rs) {
     // Run the cascade from a fresh event: OK handlers fire in the
     // middle of EGP processing, and the swap mutates device memory.
     const std::uint32_t id = rs.id;
-    schedule_in(0, [this, id, moved = std::move(pairs)]() mutable {
-      run_cascade(id, std::move(moved));
-    });
+    schedule_in(
+        0,
+        [this, id, moved = std::move(pairs)]() mutable {
+          run_cascade(id, std::move(moved));
+        },
+        "swap.cascade");
   }
 }
 
@@ -317,6 +337,15 @@ void SwapService::run_cascade(std::uint32_t request_id,
       collector_->record_ok(record, Priority::kNetworkLayer, now(),
                             ok.fidelity);
     }
+    if (tracer_) {
+      tracer_->instant(
+          state.req.trace_id, "request", "deliver", now(),
+          {obs::Tracer::num_arg("pair",
+                                static_cast<std::uint64_t>(ok.pair_index)),
+           obs::Tracer::num_arg("fidelity", ok.fidelity),
+           obs::Tracer::num_arg("swaps",
+                                static_cast<std::uint64_t>(ok.swaps))});
+    }
     const bool done = state.delivered >= state.req.num_pairs;
     if (on_deliver_) {
       on_deliver_(ok);
@@ -326,7 +355,7 @@ void SwapService::run_cascade(std::uint32_t request_id,
       release(ok);
     }
     if (done) erase_request(ok.request_id);
-  });
+  }, "swap.deliver");
 }
 
 void SwapService::on_err(std::size_t link, std::uint32_t node,
@@ -348,6 +377,16 @@ void SwapService::on_err(std::size_t link, std::uint32_t node,
     // the link queue, so the end-to-end request can never complete.
     if (err.seq_low == 0 && err.seq_high == 0) {
       const auto it = find_create();
+      if (tracer_) {
+        // Attribute to the owning request's lane; orphan ERRs go to
+        // the global lane (trace 0).
+        tracer_->instant(
+            it != by_create_.end()
+                ? requests_.at(it->second.first).req.trace_id
+                : obs::TraceId{0},
+            "egp", "expired", now(),
+            {obs::Tracer::num_arg("link", static_cast<std::uint64_t>(link))});
+      }
       if (it != by_create_.end()) {
         fail_request(requests_.at(it->second.first), link,
                      core::EgpError::kExpired);
@@ -368,6 +407,11 @@ void SwapService::on_err(std::size_t link, std::uint32_t node,
       const auto rit = requests_.find(id);
       if (rit == requests_.end()) continue;
       if (drop_revoked(rit->second, link, err.seq_low, err.seq_high) > 0) {
+        if (tracer_) {
+          tracer_->instant(rit->second.req.trace_id, "egp", "revoked", now(),
+                           {obs::Tracer::num_arg(
+                               "link", static_cast<std::uint64_t>(link))});
+        }
         fail_request(rit->second, link, core::EgpError::kExpired);
       }
     }
@@ -375,13 +419,27 @@ void SwapService::on_err(std::size_t link, std::uint32_t node,
   }
 
   const auto it = find_create();
-  if (it == by_create_.end()) return;
+  if (it == by_create_.end()) {
+    if (tracer_) {
+      tracer_->instant(
+          0, "egp", "error", now(),
+          {obs::Tracer::str_arg("error", core::egp_error_name(err.error)),
+           obs::Tracer::num_arg("link", static_cast<std::uint64_t>(link))});
+    }
+    return;
+  }
   RequestState& rs = requests_.at(it->second.first);
   if (collector_) {
     core::ErrMessage e2e = err;
     e2e.create_id = rs.id;
     e2e.origin_node = rs.req.src;
     collector_->record_err(e2e);
+  }
+  if (tracer_) {
+    tracer_->instant(
+        rs.req.trace_id, "egp", "error", now(),
+        {obs::Tracer::str_arg("error", core::egp_error_name(err.error)),
+         obs::Tracer::num_arg("link", static_cast<std::uint64_t>(link))});
   }
   fail_request(rs, link, err.error);
 }
@@ -454,6 +512,10 @@ void SwapService::erase_request(std::uint32_t id) {
   for (const HopState& hs : it->second.hops) {
     by_create_.erase(
         {hs.hop.link, net_.hop_entry(hs.hop), hs.create_id});
+    if (tracer_ && hs.span_id != 0) {
+      tracer_->async_end(hs.span_id, it->second.req.trace_id, "hop", "hop",
+                         now());
+    }
   }
   requests_.erase(it);
 }

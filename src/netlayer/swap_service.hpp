@@ -12,6 +12,7 @@
 #include "core/requests.hpp"
 #include "metrics/collector.hpp"
 #include "netlayer/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/entity.hpp"
 
 /// \file swap_service.hpp
@@ -62,6 +63,10 @@ struct E2eRequest {
   /// latency entry to the new id instead of counting a fresh request.
   /// 0 = a fresh request.
   std::uint32_t resubmission_of = 0;
+  /// Request-lifecycle trace lane (obs::Tracer::new_trace), stamped by
+  /// whoever first sees the request and carried through resubmissions
+  /// so a rerouted request stays one trace. 0 = untraced.
+  obs::TraceId trace_id = 0;
 };
 
 /// End-to-end delivery, the network-layer analogue of core::OkMessage.
@@ -141,6 +146,11 @@ class SwapService : public sim::Entity {
   /// The higher layer is done with a delivered end-to-end pair.
   void release(const E2eOk& ok);
 
+  /// Attach a lifecycle tracer (null to detach). The tracer only
+  /// records — it never schedules events or consumes randomness — so
+  /// attaching one cannot perturb the trajectory.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   const Stats& stats() const noexcept { return stats_; }
   std::size_t open_requests() const noexcept { return requests_.size(); }
 
@@ -159,6 +169,7 @@ class SwapService : public sim::Entity {
   struct HopState {
     Hop hop;
     std::uint32_t create_id = 0;
+    std::uint64_t span_id = 0;  // open async CREATE->done trace span
     std::map<std::uint32_t, PartialPair> partial;  // by ent_id.seq_mhp
     std::deque<MatchedPair> ready;
   };
@@ -205,6 +216,7 @@ class SwapService : public sim::Entity {
            std::pair<std::uint32_t, std::size_t>>
       by_create_;
   std::uint32_t next_request_id_ = 1;
+  obs::Tracer* tracer_ = nullptr;
   DeliverFn on_deliver_;
   ErrorFn on_error_;
   UnclaimedFn on_unclaimed_;

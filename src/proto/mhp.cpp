@@ -23,7 +23,7 @@ NodeMhp::NodeMhp(sim::Simulator& simulator, std::string name,
       link_(station_link),
       endpoint_(link_endpoint),
       cycle_period_(cycle_period),
-      timer_(simulator, cycle_period, [this] { on_cycle(); }) {
+      timer_(simulator, cycle_period, [this] { on_cycle(); }, "mhp.cycle") {
   link_.set_receiver(endpoint_,
                      [this](std::vector<std::uint8_t> b) { on_frame(std::move(b)); });
 }
@@ -162,7 +162,8 @@ void MidpointStation::on_frame(bool from_a, std::vector<std::uint8_t> bytes) {
     // If the partner GEN never shows up, report NO_MESSAGE_OTHER.
     pending.timeout_event = schedule_in(
         static_cast<sim::SimTime>(match_window_) * cycle_period_,
-        [this, cycle = gen.cycle] { expire_pending(cycle); });
+        [this, cycle = gen.cycle] { expire_pending(cycle); },
+        "mhp.timeout");
     pending_.emplace(gen.cycle, std::move(pending));
     return;
   }

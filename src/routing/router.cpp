@@ -202,6 +202,12 @@ std::uint32_t Router::try_admit(FlightState& flight) {
             sim::to_seconds(now - flight.request.submitted_at));
       }
     }
+    if (tracer_ && flight.request.resubmission_of == 0 &&
+        flight.request.submitted_at >= 0 &&
+        now > flight.request.submitted_at) {
+      tracer_->complete(flight.request.trace_id, "router", "admission_wait",
+                        flight.request.submitted_at, now);
+    }
     in_flight_.emplace(id, std::move(flight));
     schedule_expiry_wakeup();
     sync_contention_metrics();
@@ -240,6 +246,12 @@ bool Router::try_defer(FlightState& flight) {
   if (collector_) {
     collector_->record_deferral(sim::to_seconds(best_start - now));
   }
+  if (tracer_) {
+    // The booked window is known now, so the span can be emitted
+    // eagerly even though it ends in the (simulated) future.
+    tracer_->complete(flight.request.trace_id, "router", "deferral_window",
+                      now, best_start);
+  }
   // The booked path must survive until the window opens; candidates
   // live in the flight, so remember it by value in the closure. The
   // closure learns its own event id through the shared holder so it can
@@ -251,7 +263,8 @@ bool Router::try_defer(FlightState& flight) {
       [this, id_holder, flight = std::move(flight), path = *best]() mutable {
         deferred_events_.erase(*id_holder);
         submit_deferred(std::move(flight), path);
-      });
+      },
+      "router.deferred");
   *id_holder = id;
   deferred_events_.insert(id);
   return true;
@@ -274,6 +287,12 @@ void Router::submit_deferred(FlightState flight, const Path& path) {
       collector_->record_admission_wait(sim::to_seconds(
           net_.simulator().now() - flight.request.submitted_at));
     }
+  }
+  if (tracer_ && flight.request.resubmission_of == 0 &&
+      flight.request.submitted_at >= 0 &&
+      net_.simulator().now() > flight.request.submitted_at) {
+    tracer_->complete(flight.request.trace_id, "router", "admission_wait",
+                      flight.request.submitted_at, net_.simulator().now());
   }
   in_flight_.emplace(id, std::move(flight));
   schedule_expiry_wakeup();
@@ -335,6 +354,21 @@ std::uint32_t Router::submit_flight(FlightState flight) {
   if (flight.request.submitted_at < 0) {
     flight.request.submitted_at = net_.simulator().now();
   }
+  if (tracer_) {
+    if (flight.request.trace_id == 0) {
+      flight.request.trace_id = tracer_->new_trace();
+    }
+    tracer_->instant(
+        flight.request.trace_id, "router", "submit",
+        net_.simulator().now(),
+        {obs::Tracer::num_arg(
+             "src", static_cast<std::uint64_t>(flight.request.src)),
+         obs::Tracer::num_arg(
+             "dst", static_cast<std::uint64_t>(flight.request.dst)),
+         obs::Tracer::num_arg(
+             "pairs",
+             static_cast<std::uint64_t>(flight.request.num_pairs))});
+  }
   // try_admit may throw on a malformed pinned path; count the request
   // only once it is known to be admitted, deferred, queued, or
   // rejected, so submitted == admitted-first-try + deferred-first-try
@@ -393,6 +427,20 @@ void Router::sync_contention_metrics() {
   }
 }
 
+void Router::trace_terminal(const FlightState& flight, const char* outcome) {
+  if (tracer_ == nullptr || flight.request.submitted_at < 0) return;
+  tracer_->complete(
+      flight.request.trace_id, "request", "request",
+      flight.request.submitted_at, net_.simulator().now(),
+      {obs::Tracer::str_arg("outcome", outcome),
+       obs::Tracer::num_arg(
+           "src", static_cast<std::uint64_t>(flight.request.src)),
+       obs::Tracer::num_arg(
+           "dst", static_cast<std::uint64_t>(flight.request.dst)),
+       obs::Tracer::num_arg(
+           "reroutes", static_cast<std::uint64_t>(flight.reroutes_used))});
+}
+
 void Router::queue_or_drop_reroute(FlightState flight,
                                    const netlayer::E2eErr& err) {
   if (try_admit(flight) != 0) return;
@@ -409,6 +457,11 @@ void Router::queue_or_drop_reroute(FlightState flight,
   ++stats_.failed;
   ++stats_.abandoned;
   if (collector_) collector_->record_abandon();
+  if (tracer_) {
+    tracer_->instant(flight.request.trace_id, "router", "abandon",
+                     net_.simulator().now());
+    trace_terminal(flight, "abandoned");
+  }
   if (on_error_) on_error_(err);
 }
 
@@ -424,14 +477,17 @@ void Router::schedule_expiry_wakeup() {
   if (expiry_event_ && expiry_at_ <= at) return;
   if (expiry_event_) net_.simulator().cancel(*expiry_event_);
   expiry_at_ = at;
-  expiry_event_ = net_.simulator().schedule_at(at, [this] {
-    expiry_event_.reset();
-    // Prunes every lease lapsed by now and retries the blocked queue;
-    // anything still blocked gets the next wakeup.
-    reservations_.expire_until(net_.simulator().now());
-    sync_contention_metrics();
-    schedule_expiry_wakeup();
-  });
+  expiry_event_ = net_.simulator().schedule_at(
+      at,
+      [this] {
+        expiry_event_.reset();
+        // Prunes every lease lapsed by now and retries the blocked
+        // queue; anything still blocked gets the next wakeup.
+        reservations_.expire_until(net_.simulator().now());
+        sync_contention_metrics();
+        schedule_expiry_wakeup();
+      },
+      "router.expiry");
 }
 
 void Router::on_deliver(const netlayer::E2eOk& ok) {
@@ -449,6 +505,7 @@ void Router::on_deliver(const netlayer::E2eOk& ok) {
     ++stats_.completed;
     const auto it = in_flight_.find(ok.request_id);
     if (it != in_flight_.end()) {
+      trace_terminal(it->second, "completed");
       const ReservationTable::Ticket ticket = it->second.ticket;
       in_flight_.erase(it);
       // May reentrantly admit blocked requests (fresh SwapService
@@ -507,15 +564,34 @@ void Router::on_error(const netlayer::E2eErr& err) {
       flight.request.num_pairs = static_cast<std::uint16_t>(
           flight.request.num_pairs - flight.delivered);
       flight.delivered = 0;
+      if (tracer_) {
+        tracer_->instant(
+            flight.request.trace_id, "router", "reroute", now,
+            {obs::Tracer::num_arg("failed_link",
+                                  static_cast<std::uint64_t>(err.link)),
+             obs::Tracer::num_arg(
+                 "attempt",
+                 static_cast<std::uint64_t>(flight.reroutes_used))});
+      }
       queue_or_drop_reroute(std::move(flight), err);
       return;
     }
   }
 
   ++stats_.failed;
-  if (flight.reroutable && config_.max_reroutes > 0) {
+  const bool abandoned = flight.reroutable && config_.max_reroutes > 0;
+  if (abandoned) {
     ++stats_.abandoned;
     if (collector_) collector_->record_abandon();
+  }
+  if (tracer_) {
+    tracer_->instant(
+        flight.request.trace_id, "router",
+        abandoned ? "abandon" : "failed", net_.simulator().now(),
+        {obs::Tracer::str_arg("error", core::egp_error_name(err.error)),
+         obs::Tracer::num_arg("link",
+                              static_cast<std::uint64_t>(err.link))});
+    trace_terminal(flight, abandoned ? "abandoned" : "failed");
   }
   if (on_error_) on_error_(err);
 }

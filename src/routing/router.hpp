@@ -10,6 +10,7 @@
 #include "metrics/collector.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
+#include "obs/trace.hpp"
 #include "routing/graph.hpp"
 #include "routing/path_selector.hpp"
 #include "routing/reservation.hpp"
@@ -193,6 +194,15 @@ class Router {
   std::uint32_t submit_on(const netlayer::E2eRequest& request,
                           const Path& path);
 
+  /// Attach a lifecycle tracer (null to detach). The Router stamps
+  /// E2eRequest::trace_id at submission (kept across re-routing
+  /// resubmissions) and emits the request-lane spans: the request
+  /// envelope, its admission wait, its deferral windows, and
+  /// submit / reroute / abandon / failure instants. Recording only —
+  /// attaching a tracer cannot perturb the trajectory. Attach the same
+  /// tracer to the SwapService for the per-hop spans.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   void set_deliver_handler(netlayer::SwapService::DeliverFn fn) {
     on_deliver_ = std::move(fn);
   }
@@ -279,6 +289,9 @@ class Router {
   /// Forward the reservation table's contention counters (steals /
   /// per-edge-FIFO holds) to the collector as they grow.
   void sync_contention_metrics();
+  /// Close the request's trace lane with its envelope span
+  /// (submitted_at -> now, outcome in the args).
+  void trace_terminal(const FlightState& flight, const char* outcome);
   void queue_or_drop_reroute(FlightState flight,
                              const netlayer::E2eErr& err);
   void on_deliver(const netlayer::E2eOk& ok);
@@ -293,6 +306,7 @@ class Router {
   netlayer::SwapService& swap_;
   RouterConfig config_;
   metrics::Collector* collector_;
+  obs::Tracer* tracer_ = nullptr;
   PathSelector selector_;
   ReservationTable reservations_;
   /// SwapService request id -> its flight (reservation + reroute

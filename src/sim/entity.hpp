@@ -31,11 +31,13 @@ class Entity {
   SimTime now() const noexcept { return simulator_.now(); }
 
  protected:
-  EventId schedule_in(SimTime delay, std::function<void()> fn) {
-    return simulator_.schedule_in(delay, std::move(fn));
+  EventId schedule_in(SimTime delay, std::function<void()> fn,
+                      const char* label = nullptr) {
+    return simulator_.schedule_in(delay, std::move(fn), label);
   }
-  EventId schedule_at(SimTime at, std::function<void()> fn) {
-    return simulator_.schedule_at(at, std::move(fn));
+  EventId schedule_at(SimTime at, std::function<void()> fn,
+                      const char* label = nullptr) {
+    return simulator_.schedule_at(at, std::move(fn), label);
   }
 
  private:
@@ -48,9 +50,12 @@ class Entity {
 /// memory advertisements).
 class PeriodicTimer {
  public:
+  /// \p label (a string literal, or nullptr) tags every tick for the
+  /// simulator's per-label telemetry.
   PeriodicTimer(Simulator& simulator, SimTime period,
-                std::function<void()> fn)
-      : simulator_(simulator), period_(period), fn_(std::move(fn)) {}
+                std::function<void()> fn, const char* label = nullptr)
+      : simulator_(simulator), period_(period), fn_(std::move(fn)),
+        label_(label) {}
 
   ~PeriodicTimer() { stop(); }
 
@@ -75,17 +80,21 @@ class PeriodicTimer {
 
  private:
   void arm(SimTime delay) {
-    pending_ = simulator_.schedule_in(delay, [this] {
-      if (!running_) return;
-      // Re-arm before invoking so the callback may stop() the timer.
-      arm(period_);
-      fn_();
-    });
+    pending_ = simulator_.schedule_in(
+        delay,
+        [this] {
+          if (!running_) return;
+          // Re-arm before invoking so the callback may stop() the timer.
+          arm(period_);
+          fn_();
+        },
+        label_);
   }
 
   Simulator& simulator_;
   SimTime period_;
   std::function<void()> fn_;
+  const char* label_ = nullptr;
   bool running_ = false;
   EventId pending_ = 0;
 };

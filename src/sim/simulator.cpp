@@ -1,15 +1,20 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <map>
 #include <stdexcept>
 
 namespace qlink::sim {
 
-EventId Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+EventId Simulator::schedule_at(SimTime at, std::function<void()> fn,
+                               const char* label) {
   if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
   if (!fn) throw std::invalid_argument("schedule_at: empty function");
   EventId id = next_id_++;
-  queue_.push(Scheduled{at, next_seq_++, id, std::move(fn)});
+  queue_.push(Scheduled{at, next_seq_++, id, label, std::move(fn)});
   live_.insert(id);
+  if (queue_.size() > heap_high_water_) heap_high_water_ = queue_.size();
   return id;
 }
 
@@ -33,6 +38,18 @@ bool Simulator::step() {
   live_.erase(ev.id);
   now_ = ev.time;
   ++processed_;
+  if (telemetry_ || profiler_) {
+    LabelTally& tally = tallies_[ev.label];
+    ++tally.count;
+    if (profiler_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ev.fn();
+      tally.wall_seconds += std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+      return true;
+    }
+  }
   ev.fn();
   return true;
 }
@@ -49,6 +66,37 @@ void Simulator::run_until(SimTime t) {
 void Simulator::run_all() {
   while (step()) {
   }
+}
+
+std::vector<Simulator::LabelStat> Simulator::label_stats() const {
+  // Merge by label *text*: one label literal can have several pointer
+  // identities across translation units.
+  std::map<std::string, LabelTally> merged;
+  for (const auto& [label, tally] : tallies_) {
+    LabelTally& m = merged[label == nullptr ? "(unlabeled)" : label];
+    m.count += tally.count;
+    m.wall_seconds += tally.wall_seconds;
+  }
+  std::vector<LabelStat> out;
+  out.reserve(merged.size());
+  for (auto& [label, tally] : merged) {
+    out.push_back(LabelStat{label, tally.count, tally.wall_seconds});
+  }
+  return out;
+}
+
+std::vector<Simulator::LabelStat> Simulator::hottest(std::size_t k) const {
+  std::vector<LabelStat> all = label_stats();
+  std::sort(all.begin(), all.end(),
+            [](const LabelStat& a, const LabelStat& b) {
+              if (a.wall_seconds != b.wall_seconds) {
+                return a.wall_seconds > b.wall_seconds;
+              }
+              if (a.count != b.count) return a.count > b.count;
+              return a.label < b.label;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
 }
 
 }  // namespace qlink::sim

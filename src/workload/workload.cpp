@@ -50,7 +50,7 @@ WorkloadDriver::WorkloadDriver(core::Link& link, const WorkloadConfig& config,
       collector_(collector),
       random_(config.seed),
       timer_(link.simulator(), link.scenario().mhp_cycle,
-             [this] { on_cycle(); }) {
+             [this] { on_cycle(); }, "workload.cycle") {
   for (std::uint32_t node : {link.node_id_a(), link.node_id_b()}) {
     core::Egp& egp = link_->egp(node);
     egp.set_ok_handler(
@@ -71,7 +71,7 @@ WorkloadDriver::WorkloadDriver(netlayer::QuantumNetwork& network,
       collector_(collector),
       random_(config.seed),
       timer_(network.simulator(), network.link(0).scenario().mhp_cycle,
-             [this] { on_cycle(); }) {
+             [this] { on_cycle(); }, "workload.cycle") {
   // The SwapService owns the EGP OK/ERR streams; we only consume its
   // end-to-end deliveries.
   swap_->set_deliver_handler([this](const netlayer::E2eOk& ok) {
@@ -92,7 +92,7 @@ WorkloadDriver::WorkloadDriver(routing::Router& router,
       random_(config.seed),
       timer_(router.network().simulator(),
              router.network().link(0).scenario().mhp_cycle,
-             [this] { on_cycle(); }) {
+             [this] { on_cycle(); }, "workload.cycle") {
   // The Router owns the SwapService's handlers; we consume the routed
   // deliveries it forwards.
   router_->set_deliver_handler([this](const netlayer::E2eOk& ok) {

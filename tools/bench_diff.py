@@ -21,6 +21,11 @@ informational:
             by more than the --perf-tol factor fails. CI machines vary
             wildly, so this is a catastrophic-regression backstop, not
             a microbenchmark.
+  latency   p50_/p90_/p99_ percentile keys containing "latency" or
+            "wait" (ISSUE 6 histogram scalars): deterministic per seed
+            like quality keys, so *higher*-than-baseline beyond
+            --quality-tol (absolute, in seconds) fails. Gated both in
+            rows and among top-level summary scalars.
 
 Top-level summary scalars (e.g. hetero_fidelity_gain,
 adaptive_completion_gain) can be asserted directly:
@@ -68,6 +73,14 @@ def is_quality_key(key):
     return "fidelity" in key or "completion" in key
 
 
+def is_latency_percentile_key(key):
+    """Streaming-histogram percentile scalars (p50_request_latency_s,
+    p99_admission_wait_s, ...): deterministic per seed, higher is worse."""
+    if not key.startswith(("p50_", "p90_", "p99_")):
+        return False
+    return "latency" in key or "wait" in key
+
+
 def row_identity(row):
     return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
 
@@ -95,7 +108,8 @@ class Gate:
         for key, bval in base.items():
             if not isinstance(bval, (int, float)) or isinstance(bval, bool):
                 continue
-            gated = (is_quality_key(key) or key in COUNT_KEYS
+            gated = (is_quality_key(key) or is_latency_percentile_key(key)
+                     or key in COUNT_KEYS
                      or key in PERF_HIGHER_IS_WORSE
                      or key in PERF_LOWER_IS_WORSE)
             cval = cur.get(key)
@@ -114,6 +128,11 @@ class Gate:
                     cval >= bval - self.args.quality_tol,
                     f"[{where}] {key}: {cval:.6g} vs baseline {bval:.6g} "
                     f"(quality tolerance {self.args.quality_tol})")
+            elif is_latency_percentile_key(key):
+                self.check(
+                    cval <= bval + self.args.quality_tol,
+                    f"[{where}] {key}: {cval:.6g} vs baseline {bval:.6g} "
+                    f"(latency tolerance {self.args.quality_tol})")
             elif key in COUNT_KEYS:
                 floor = bval * (1.0 - self.args.count_tol)
                 self.check(
@@ -300,6 +319,20 @@ def main():
     for identity in cur_rows:
         if identity not in base_rows:
             print(f"note  new row (no baseline): {fmt_identity(identity)}")
+
+    for key, bval in summary_scalars(base).items():
+        if not is_latency_percentile_key(key):
+            continue
+        cval = cur.get(key)
+        if not isinstance(cval, (int, float)) or isinstance(cval, bool):
+            gate.check(False,
+                       f"[top-level] {key}: gated metric missing from "
+                       f"current run (baseline {bval:.6g})")
+            continue
+        gate.check(
+            cval <= bval + args.quality_tol,
+            f"[top-level] {key}: {cval:.6g} vs baseline {bval:.6g} "
+            f"(latency tolerance {args.quality_tol})")
 
     ops = {">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
            "<": lambda a, b: a < b, "<=": lambda a, b: a <= b}

@@ -39,8 +39,11 @@ BASE = {
         "scenario": "grid", "mode": "a",
         "mean_fidelity": 0.80, "completed": 100, "delivered": 400,
         "wall_seconds": 2.0, "events_per_sec": 1e6, "note_metric": 7.0,
+        "p99_request_latency_s": 0.30,
+        "obs": {"engine": {"events_processed": 12345}},
     }],
     "demo_gain": 0.5,
+    "p50_admission_wait_s": 0.10,
 }
 
 
@@ -102,6 +105,41 @@ class BenchDiffTest(unittest.TestCase):
 
     def test_informational_key_change_is_noted_not_gated(self):
         code, _ = self.compare(self.current(note_metric=0.0))
+        self.assertEqual(code, 0)
+
+    # --- latency percentile class (ISSUE 6) --------------------------
+
+    def test_latency_percentile_regression_fails(self):
+        code, out = self.compare(self.current(p99_request_latency_s=0.40))
+        self.assertEqual(code, 1)
+        self.assertIn("p99_request_latency_s", out)
+
+    def test_latency_percentile_within_tolerance_passes(self):
+        code, _ = self.compare(self.current(p99_request_latency_s=0.34))
+        self.assertEqual(code, 0)
+
+    def test_latency_percentile_improvement_passes(self):
+        code, _ = self.compare(self.current(p99_request_latency_s=0.05))
+        self.assertEqual(code, 0)
+
+    def test_top_level_latency_percentile_gated(self):
+        doc = self.current()
+        doc["p50_admission_wait_s"] = 0.50
+        code, out = self.compare(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("[top-level] p50_admission_wait_s", out)
+
+    def test_missing_top_level_latency_percentile_fails(self):
+        doc = self.current()
+        del doc["p50_admission_wait_s"]
+        code, out = self.compare(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("gated metric missing", out)
+
+    def test_nested_obs_dict_is_ignored(self):
+        doc = self.current()
+        doc["rows"][0]["obs"] = {"engine": {"events_processed": 999}}
+        code, _ = self.compare(doc)
         self.assertEqual(code, 0)
 
     # --- missing keys / rows -----------------------------------------

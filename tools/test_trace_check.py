@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Self-test for tools/trace_check.py (ISSUE 6), runnable standalone
+(`python3 tools/test_trace_check.py`) or under pytest. Exercises the
+schema, async-balance, and sync-nesting checks against hand-built
+traces shaped like obs::Tracer output.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import trace_check  # noqa: E402
+
+
+def X(name, ts, dur, tid=1, cat="request"):
+    return {"name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+            "pid": 1, "tid": tid}
+
+
+def I(name, ts, tid=1, cat="router"):  # noqa: E743
+    return {"name": name, "cat": cat, "ph": "i", "ts": ts, "s": "t",
+            "pid": 1, "tid": tid}
+
+
+def A(ph, name, ts, aid, tid=1, cat="hop"):
+    return {"name": name, "cat": cat, "ph": ph, "ts": ts,
+            "id": f"0x{aid:x}", "pid": 1, "tid": tid}
+
+
+META = {"name": "process_name", "ph": "M", "pid": 1,
+        "args": {"name": "requests"}}
+
+
+def valid_trace():
+    """The shape a routed run produces: an envelope X span containing
+    an admission_wait X span and instants, plus balanced async hops."""
+    return {"traceEvents": [
+        META,
+        X("request", 0.0, 100.0),
+        X("admission_wait", 0.0, 10.0),
+        I("submit", 0.0),
+        A("b", "hop", 12.0, 1),
+        A("b", "hop", 12.0, 2),          # overlapping hops are async
+        A("n", "pair_matched", 20.0, 1),
+        A("e", "hop", 30.0, 1),
+        A("e", "hop", 40.0, 2),
+        I("deliver", 99.0, cat="request"),
+    ]}
+
+
+class TraceCheckTest(unittest.TestCase):
+    def check(self, doc):
+        return trace_check.check_events(doc["traceEvents"])
+
+    # --- happy path ---------------------------------------------------
+
+    def test_valid_trace_passes(self):
+        self.assertEqual(self.check(valid_trace()), [])
+
+    def test_identical_intervals_count_as_nested(self):
+        # deferral_window booked at submit time can exactly coincide
+        # with admission_wait; that is containment, not overlap.
+        doc = {"traceEvents": [X("request", 0.0, 50.0),
+                               X("admission_wait", 0.0, 50.0)]}
+        self.assertEqual(self.check(doc), [])
+
+    def test_disjoint_lanes_do_not_interact(self):
+        doc = {"traceEvents": [X("request", 0.0, 50.0, tid=1),
+                               X("request", 10.0, 50.0, tid=2)]}
+        self.assertEqual(self.check(doc), [])
+
+    # --- schema violations -------------------------------------------
+
+    def test_missing_name_fails(self):
+        doc = {"traceEvents": [{"cat": "x", "ph": "i", "ts": 0, "s": "t"}]}
+        self.assertTrue(any("name" in e for e in self.check(doc)))
+
+    def test_unknown_phase_fails(self):
+        doc = {"traceEvents": [{"name": "a", "cat": "x", "ph": "Z",
+                                "ts": 0}]}
+        self.assertTrue(any("unknown phase" in e for e in self.check(doc)))
+
+    def test_x_without_dur_fails(self):
+        ev = X("request", 0.0, 1.0)
+        del ev["dur"]
+        self.assertTrue(any("dur" in e
+                            for e in self.check({"traceEvents": [ev]})))
+
+    def test_instant_without_scope_fails(self):
+        ev = I("submit", 0.0)
+        del ev["s"]
+        self.assertTrue(any("scope" in e
+                            for e in self.check({"traceEvents": [ev]})))
+
+    def test_async_without_id_fails(self):
+        ev = A("b", "hop", 0.0, 1)
+        del ev["id"]
+        self.assertTrue(any("id" in e
+                            for e in self.check({"traceEvents": [ev]})))
+
+    # --- async balance ------------------------------------------------
+
+    def test_unbalanced_async_begin_fails(self):
+        doc = {"traceEvents": [A("b", "hop", 0.0, 7)]}
+        self.assertTrue(any("never ended" in e for e in self.check(doc)))
+
+    def test_async_end_without_begin_fails(self):
+        doc = {"traceEvents": [A("e", "hop", 5.0, 7)]}
+        self.assertTrue(any("without matching begin" in e
+                            for e in self.check(doc)))
+
+    def test_async_instant_for_unknown_id_fails(self):
+        doc = {"traceEvents": [A("b", "hop", 0.0, 1),
+                               A("n", "pair_matched", 1.0, 9),
+                               A("e", "hop", 2.0, 1)]}
+        self.assertTrue(any("never-begun" in e for e in self.check(doc)))
+
+    def test_async_ids_matched_by_cat(self):
+        # Same id under different cats are distinct streams.
+        doc = {"traceEvents": [A("b", "hop", 0.0, 1, cat="hop"),
+                               A("e", "hop", 1.0, 1, cat="other")]}
+        errors = self.check(doc)
+        self.assertTrue(any("without matching begin" in e for e in errors))
+        self.assertTrue(any("never ended" in e for e in errors))
+
+    # --- sync nesting -------------------------------------------------
+
+    def test_partial_overlap_fails(self):
+        doc = {"traceEvents": [X("request", 0.0, 50.0),
+                               X("admission_wait", 40.0, 30.0)]}
+        self.assertTrue(any("partially overlaps" in e
+                            for e in self.check(doc)))
+
+    def test_sequential_spans_pass(self):
+        doc = {"traceEvents": [X("a", 0.0, 10.0), X("b", 10.0, 10.0)]}
+        self.assertEqual(self.check(doc), [])
+
+    # --- file-level entry point --------------------------------------
+
+    def run_file(self, payload):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write(payload)
+            path = f.name
+        self.addCleanup(os.unlink, path)
+        return trace_check.check_file(path)
+
+    def test_check_file_valid(self):
+        errors, n = self.run_file(json.dumps(valid_trace()))
+        self.assertEqual(errors, [])
+        self.assertEqual(n, len(valid_trace()["traceEvents"]))
+
+    def test_check_file_malformed_json(self):
+        errors, _ = self.run_file("{not json")
+        self.assertTrue(any("cannot parse" in e for e in errors))
+
+    def test_check_file_missing_trace_events(self):
+        errors, _ = self.run_file(json.dumps({"other": []}))
+        self.assertTrue(any("traceEvents" in e for e in errors))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Schema + structure validator for obs::Tracer Chrome trace JSON
+(ISSUE 6). Run in CI against the trace produced by
+`bench_grid_routing --trace` so a refactor of src/obs/ cannot silently
+emit Perfetto-unloadable output.
+
+Checks, in order:
+
+  schema    the file is a JSON object with a "traceEvents" array; every
+            event is an object with string "name"/"cat"/"ph" and
+            integer-or-float "ts" >= 0 where applicable; "X" events
+            carry a non-negative "dur"; "i" events carry a scope "s";
+            async events ("b"/"n"/"e") carry an "id".
+  async     every async begin ("b") has exactly one matching end ("e")
+            with the same (cat, id), ends never precede their begin in
+            file order or in timestamp, and async instants ("n")
+            reference a (cat, id) that was begun at some point
+            (obs::Tracer appends in emission order, which is sim-time
+            order per id, so file order is the invariant to check).
+  nesting   per (pid, tid) lane, sync "X" spans must nest: sorted by
+            ts ascending / dur descending, each span is either disjoint
+            from or fully contained in the enclosing open span. The
+            tracer guarantees this by construction (envelope spans
+            cover admission_wait / deferral_window); partial overlap
+            means a tracer bug.
+
+Exit 0 and a one-line summary on success; exit 1 with every violation
+on failure. Usage:
+
+    trace_check.py FILE.json
+"""
+
+import json
+import sys
+
+SYNC_PHASES = {"X"}
+INSTANT_PHASES = {"i"}
+ASYNC_BEGIN = "b"
+ASYNC_INSTANT = "n"
+ASYNC_END = "e"
+METADATA_PHASES = {"M"}
+KNOWN_PHASES = (SYNC_PHASES | INSTANT_PHASES | METADATA_PHASES
+                | {ASYNC_BEGIN, ASYNC_INSTANT, ASYNC_END})
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_events(events):
+    """Validate a traceEvents list; returns a list of violation strings
+    (empty = valid)."""
+    errors = []
+
+    def err(i, ev, message):
+        label = ev.get("name", "?") if isinstance(ev, dict) else "?"
+        errors.append(f"event {i} ({label}): {message}")
+
+    # --- per-event schema --------------------------------------------
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            err(i, ev, "not a JSON object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            err(i, ev, "missing/non-string \"ph\"")
+            continue
+        if ph not in KNOWN_PHASES:
+            err(i, ev, f"unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            err(i, ev, "missing/non-string \"name\"")
+        if ph in METADATA_PHASES:
+            continue  # metadata has no cat/ts requirements
+        if not isinstance(ev.get("cat"), str) or not ev["cat"]:
+            err(i, ev, "missing/non-string \"cat\"")
+        if not is_number(ev.get("ts")) or ev["ts"] < 0:
+            err(i, ev, "missing/negative \"ts\"")
+        if ph in SYNC_PHASES:
+            if not is_number(ev.get("dur")) or ev["dur"] < 0:
+                err(i, ev, "\"X\" event missing/negative \"dur\"")
+        if ph in INSTANT_PHASES:
+            if not isinstance(ev.get("s"), str):
+                err(i, ev, "\"i\" event missing scope \"s\"")
+        if ph in (ASYNC_BEGIN, ASYNC_INSTANT, ASYNC_END):
+            if "id" not in ev:
+                err(i, ev, f"async \"{ph}\" event missing \"id\"")
+    if errors:
+        return errors  # structural checks below assume schema holds
+
+    # --- async begin/end balance -------------------------------------
+    open_ids = {}     # (cat, id) -> begin event index
+    ever_opened = set()
+    for i, ev in enumerate(events):
+        ph = ev["ph"]
+        if ph not in (ASYNC_BEGIN, ASYNC_INSTANT, ASYNC_END):
+            continue
+        key = (ev["cat"], str(ev["id"]))
+        if ph == ASYNC_BEGIN:
+            if key in open_ids:
+                err(i, ev, f"async id {key} begun twice without an end")
+            open_ids[key] = i
+            ever_opened.add(key)
+        elif ph == ASYNC_INSTANT:
+            if key not in ever_opened:
+                err(i, ev, f"async instant for never-begun id {key}")
+        elif ph == ASYNC_END:
+            if key not in open_ids:
+                err(i, ev, f"async end without matching begin for {key}")
+            else:
+                begin = events[open_ids.pop(key)]
+                if ev["ts"] < begin["ts"]:
+                    err(i, ev, f"async end at ts {ev['ts']} precedes its "
+                               f"begin at ts {begin['ts']}")
+    for key, i in sorted(open_ids.items()):
+        err(i, events[i], f"async begin never ended for id {key}")
+
+    # --- sync span nesting per lane ----------------------------------
+    lanes = {}
+    for i, ev in enumerate(events):
+        if ev["ph"] in SYNC_PHASES:
+            lane = (ev.get("pid", 0), ev.get("tid", 0))
+            lanes.setdefault(lane, []).append((ev["ts"], -ev["dur"], i))
+    for lane, spans in sorted(lanes.items()):
+        spans.sort()
+        stack = []  # (start, end, index) of currently-open spans
+        for ts, neg_dur, i in spans:
+            end = ts - neg_dur
+            while stack and ts >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                outer = events[stack[-1][2]]
+                err(i, events[i],
+                    f"span [{ts}, {end}] partially overlaps "
+                    f"\"{outer['name']}\" [{stack[-1][0]}, {stack[-1][1]}] "
+                    f"in lane pid={lane[0]} tid={lane[1]}")
+                continue
+            stack.append((ts, end, i))
+    return errors
+
+
+def check_file(path):
+    """Returns (errors, num_events)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"cannot parse {path}: {e}"], 0
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"], 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing \"traceEvents\" array"], 0
+    return check_events(events), len(events)
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1].startswith("-"):
+        print(__doc__.strip().splitlines()[-1].strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    errors, num_events = check_file(path)
+    for e in errors:
+        print(f"FAIL  {e}")
+    if errors:
+        print(f"{path}: {len(errors)} violations in {num_events} events")
+        return 1
+    print(f"{path}: ok ({num_events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
