@@ -36,8 +36,16 @@
 //
 // Usage: bench_admission [--scenario grid|dragonfly|all]
 //          [--lease-slack S] [--cap-seconds S] [--backend dense|bell]
-//          [--seed K] [--json PATH|-]
+//          [--seed K] [--json PATH|-] [--monitor PATH]
+//   --monitor writes every run's interval telemetry (obs::Monitor,
+//   ISSUE 7) as one JSONL file; records carry a "scenario/mode" run
+//   label (e.g. "grid/pr4") so tools/monitor_check.py validates each
+//   of the four runs separately. Monitors are always attached (they
+//   cannot perturb the trajectory); per-run stalled_intervals and
+//   peak_backlog land in the JSON rows and as summed/max'd top-level
+//   scalars for the CI gate.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +56,7 @@
 #include "common.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
+#include "obs/monitor.hpp"
 #include "qstate/backend_registry.hpp"
 #include "routing/router.hpp"
 
@@ -69,6 +78,7 @@ struct Options {
   qstate::BackendKind backend = qstate::BackendKind::kBellDiagonal;
   std::uint64_t seed = 7;
   std::string json_path = "BENCH_admission.json";
+  std::string monitor_path;  // empty = keep records in memory only
 };
 
 struct Row {
@@ -99,6 +109,10 @@ struct Row {
   double sim_seconds = 0.0;
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
+  // Interval telemetry (ISSUE 7); every admission run is monitored.
+  std::uint64_t stalled_intervals = 0;
+  std::uint64_t peak_backlog = 0;
+  std::string monitor_jsonl;
 };
 
 double wall_since(std::chrono::steady_clock::time_point start) {
@@ -236,12 +250,20 @@ Row run_mode(const Options& opt, const char* scenario, const char* mode,
     }
   }
 
+  obs::MonitorConfig mc;
+  mc.run = std::string(scenario) + "/" + mode;
+  mc.target_requests = expected;
+  obs::Monitor monitor(net->simulator(), collector, std::move(mc));
+  monitor.attach_router(&router);
+
   const auto start = std::chrono::steady_clock::now();
   const auto& stats = router.stats();
   while (stats.completed + stats.failed < expected &&
          sim::to_seconds(net->simulator().now()) < opt.cap_seconds) {
     net->run_for(sim::duration::milliseconds(10));
+    monitor.poll();
   }
+  monitor.finish();
 
   Row row;
   row.scenario = scenario;
@@ -272,6 +294,9 @@ Row run_mode(const Options& opt, const char* scenario, const char* mode,
   row.sim_seconds = sim::to_seconds(net->simulator().now());
   row.wall_seconds = wall_since(start);
   row.events = net->simulator().events_processed();
+  row.stalled_intervals = monitor.stalled_intervals();
+  row.peak_backlog = monitor.peak_backlog();
+  row.monitor_jsonl = monitor.jsonl();
   return row;
 }
 
@@ -304,7 +329,8 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
       "\"p99_admission_wait_s\": %.6f, \"p99_request_latency_s\": %.6f, "
       "\"completion_rate\": %.6f, "
       "\"sim_seconds\": %.3f, \"wall_seconds\": %.4f, \"events\": %llu, "
-      "\"events_per_sec\": %.1f}%s\n",
+      "\"events_per_sec\": %.1f, \"stalled_intervals\": %llu, "
+      "\"peak_backlog\": %llu}%s\n",
       r.scenario, r.mode, r.backend, r.nodes, r.links, r.corridors,
       static_cast<unsigned long long>(r.submitted),
       static_cast<unsigned long long>(r.admitted),
@@ -325,6 +351,8 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
       r.wall_seconds > 0.0
           ? static_cast<double>(r.events) / r.wall_seconds
           : 0.0,
+      static_cast<unsigned long long>(r.stalled_intervals),
+      static_cast<unsigned long long>(r.peak_backlog),
       tail);
 }
 
@@ -332,7 +360,8 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
   std::fprintf(stderr,
                "usage: %s [--scenario grid|dragonfly|all] "
                "[--lease-slack S] [--cap-seconds S] "
-               "[--backend dense|bell] [--seed K] [--json PATH|-]\n",
+               "[--backend dense|bell] [--seed K] [--json PATH|-] "
+               "[--monitor PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -365,6 +394,8 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--json") {
       opt.json_path = next();
+    } else if (arg == "--monitor") {
+      opt.monitor_path = next();
     } else {
       usage(argv[0]);
     }
@@ -421,6 +452,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(steals_sched),
               hol_reduction);
 
+  std::uint64_t stalled_total = 0;
+  std::uint64_t peak_backlog = 0;
+  for (const Row& r : rows) {
+    stalled_total += r.stalled_intervals;
+    peak_backlog = std::max(peak_backlog, r.peak_backlog);
+  }
+
   if (opt.json_path != "-") {
     std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
     if (f == nullptr) {
@@ -432,11 +470,29 @@ int main(int argc, char** argv) {
         write_row(f, rows[i], i + 1 < rows.size() ? "," : "");
       }
       std::fprintf(f,
-                   "  ],\n  \"mean_admission_wait_gain\": %.6f,\n"
+                   "  ],\n  \"stalled_intervals\": %llu,\n"
+                   "  \"peak_backlog\": %llu,\n"
+                   "  \"mean_admission_wait_gain\": %.6f,\n"
                    "  \"hol_blocking_reduction\": %.6f\n}\n",
+                   static_cast<unsigned long long>(stalled_total),
+                   static_cast<unsigned long long>(peak_backlog),
                    wait_gain, hol_reduction);
       std::fclose(f);
       std::printf("wrote %s\n", opt.json_path.c_str());
+    }
+  }
+
+  if (!opt.monitor_path.empty()) {
+    std::FILE* f = std::fopen(opt.monitor_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   opt.monitor_path.c_str());
+    } else {
+      for (const Row& r : rows) {
+        std::fwrite(r.monitor_jsonl.data(), 1, r.monitor_jsonl.size(), f);
+      }
+      std::fclose(f);
+      std::printf("wrote %s\n", opt.monitor_path.c_str());
     }
   }
 

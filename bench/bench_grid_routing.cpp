@@ -25,7 +25,7 @@
 // Usage: bench_grid_routing [--scenario all|grid|dragonfly|hetero]
 //          [--rows R] [--cols C] [--requests N] [--pairs P]
 //          [--seconds S] [--cap-seconds S] [--backend dense|bell]
-//          [--seed K] [--json PATH|-] [--trace PATH]
+//          [--seed K] [--json PATH|-] [--trace PATH] [--monitor PATH]
 //   --seconds bounds the dragonfly traffic run (default 2 simulated s);
 //   --cap-seconds bounds the grid/hetero request-completion scenarios
 //   (default 60 simulated s — they normally finish far earlier).
@@ -35,7 +35,13 @@
 //   trace-event JSON (Perfetto-loadable) at PATH plus compact JSONL at
 //   PATH.jsonl. Traces are keyed by sim time only, so two same-seed
 //   runs write byte-identical files.
+//   --monitor writes the grid + dragonfly scenarios' interval telemetry
+//   (obs::Monitor, ISSUE 7) as JSONL at PATH, one "run"-labelled record
+//   per 100 ms of sim time — validated in CI by tools/monitor_check.py.
+//   The monitors run regardless (they cannot perturb the trajectory);
+//   their stalled_intervals / peak_backlog land in the JSON scalars.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +52,7 @@
 #include "common.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
+#include "obs/monitor.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "qstate/backend_registry.hpp"
@@ -67,7 +74,8 @@ struct Options {
   qstate::BackendKind backend = qstate::BackendKind::kBellDiagonal;
   std::uint64_t seed = 7;
   std::string json_path = "BENCH_grid_routing.json";
-  std::string trace_path;  // empty = tracing off
+  std::string trace_path;    // empty = tracing off
+  std::string monitor_path;  // empty = keep records in memory only
 };
 
 struct Row {
@@ -93,6 +101,11 @@ struct Row {
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
   std::string obs_json;  // merged obs::Snapshot of the run
+  // Interval telemetry (ISSUE 7); monitored only on grid + dragonfly.
+  bool monitored = false;
+  std::uint64_t stalled_intervals = 0;
+  std::uint64_t peak_backlog = 0;
+  std::string monitor_jsonl;
 };
 
 /// The shared world of one scenario run. Heap-held parts keep
@@ -186,6 +199,13 @@ Row run_grid(const Options& opt) {
     w.swap->set_tracer(&tracer);
   }
 
+  obs::MonitorConfig mc;
+  mc.run = "grid";
+  mc.target_requests = corridors;
+  if (!opt.trace_path.empty()) mc.tracer = &tracer;
+  obs::Monitor monitor(w.net->simulator(), w.collector, std::move(mc));
+  monitor.attach_router(w.router.get());
+
   w.router->set_deliver_handler(
       [&w](const netlayer::E2eOk& ok) { w.swap->release(ok); });
 
@@ -214,7 +234,9 @@ Row run_grid(const Options& opt) {
   while (stats.completed + stats.failed < corridors &&
          sim::to_seconds(w.net->simulator().now()) < opt.cap_seconds) {
     w.net->run_for(sim::duration::milliseconds(10));
+    monitor.poll();
   }
+  monitor.finish();
 
   if (!opt.trace_path.empty()) {
     std::FILE* f = std::fopen(opt.trace_path.c_str(), "w");
@@ -234,9 +256,14 @@ Row run_grid(const Options& opt) {
                   opt.trace_path.c_str(), tracer.num_events());
     }
   }
-  return w.finish("grid",
-                  std::to_string(opt.rows) + "x" + std::to_string(opt.cols),
-                  wall_since(start));
+  Row row = w.finish(
+      "grid", std::to_string(opt.rows) + "x" + std::to_string(opt.cols),
+      wall_since(start));
+  row.monitored = true;
+  row.stalled_intervals = monitor.stalled_intervals();
+  row.peak_backlog = monitor.peak_backlog();
+  row.monitor_jsonl = monitor.jsonl();
+  return row;
 }
 
 /// Dragonfly scenario: random multi-pair routed traffic for a fixed
@@ -254,12 +281,27 @@ Row run_dragonfly(const Options& opt) {
   wl.seed = opt.seed;
   workload::WorkloadDriver driver(*w.router, wl, w.collector);
 
+  obs::MonitorConfig mc;
+  mc.run = "dragonfly";
+  // Random traffic legitimately has quiet 100 ms intervals with a
+  // blocked request in the queue; only a sustained run is a stall.
+  mc.stall_consecutive = 3;
+  obs::Monitor monitor(w.net->simulator(), w.collector, std::move(mc));
+  monitor.attach_router(w.router.get());
+  driver.set_monitor(&monitor);
+
   const auto start = std::chrono::steady_clock::now();
   w.net->start();
   driver.start();
   w.net->run_for(sim::duration::seconds(opt.seconds));
   driver.stop();
-  return w.finish("dragonfly", "dragonfly4x4", wall_since(start));
+  monitor.finish();
+  Row row = w.finish("dragonfly", "dragonfly4x4", wall_since(start));
+  row.monitored = true;
+  row.stalled_intervals = monitor.stalled_intervals();
+  row.peak_backlog = monitor.peak_backlog();
+  row.monitor_jsonl = monitor.jsonl();
+  return row;
 }
 
 /// Heterogeneous scenario: corner-to-corner multi-pair request on a
@@ -332,8 +374,22 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"grid_routing\",\n  \"rows\": [\n");
+  std::uint64_t stalled_total = 0;
+  std::uint64_t peak_backlog = 0;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
+    // Interval-telemetry scalars only on monitored rows (grid and
+    // dragonfly); hetero rows have no monitor and omit them.
+    char mon_fields[96] = "";
+    if (r.monitored) {
+      stalled_total += r.stalled_intervals;
+      peak_backlog = std::max(peak_backlog, r.peak_backlog);
+      std::snprintf(mon_fields, sizeof(mon_fields),
+                    "\"stalled_intervals\": %llu, \"peak_backlog\": "
+                    "%llu, ",
+                    static_cast<unsigned long long>(r.stalled_intervals),
+                    static_cast<unsigned long long>(r.peak_backlog));
+    }
     std::fprintf(
         f,
         "    {\"scenario\": \"%s\", \"topology\": \"%s\", \"cost\": "
@@ -345,7 +401,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         "\"p50_request_latency_s\": %.6f, "
         "\"p99_request_latency_s\": %.6f, "
         "\"sim_seconds\": %.3f, \"wall_seconds\": %.4f, \"events\": "
-        "%llu, \"events_per_sec\": %.1f, \"obs\": %s}%s\n",
+        "%llu, \"events_per_sec\": %.1f, %s\"obs\": %s}%s\n",
         r.scenario.c_str(), r.topology.c_str(), r.cost, r.backend,
         r.nodes, r.links, static_cast<unsigned long long>(r.submitted),
         static_cast<unsigned long long>(r.admitted), r.max_concurrent,
@@ -358,18 +414,43 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         r.wall_seconds,
         static_cast<unsigned long long>(r.events),
         static_cast<double>(r.events) / r.wall_seconds,
+        mon_fields,
         r.obs_json.c_str(),
         i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(f,
+               "  ],\n  \"stalled_intervals\": %llu,\n"
+               "  \"peak_backlog\": %llu,\n",
+               static_cast<unsigned long long>(stalled_total),
+               static_cast<unsigned long long>(peak_backlog));
   // null, not a fabricated 0.0, when the hetero comparison did not run.
   if (hetero_ran) {
-    std::fprintf(f, "  ],\n  \"hetero_fidelity_gain\": %.6f\n}\n",
+    std::fprintf(f, "  \"hetero_fidelity_gain\": %.6f\n}\n",
                  fidelity_gain);
   } else {
-    std::fprintf(f, "  ],\n  \"hetero_fidelity_gain\": null\n}\n");
+    std::fprintf(f, "  \"hetero_fidelity_gain\": null\n}\n");
   }
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// Concatenate every monitored run's interval records into one JSONL
+/// file; the "run" label keys each record back to its scenario.
+void write_monitor(const std::string& path, const std::vector<Row>& rows) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::size_t records = 0;
+  for (const Row& r : rows) {
+    if (!r.monitored) continue;
+    std::fwrite(r.monitor_jsonl.data(), 1, r.monitor_jsonl.size(), f);
+    for (const char c : r.monitor_jsonl) records += c == '\n';
+  }
+  std::fclose(f);
+  std::printf("wrote %s, %zu records\n", path.c_str(), records);
 }
 
 [[noreturn]] void usage(const char* argv0) {
@@ -377,7 +458,8 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
                "usage: %s [--scenario all|grid|dragonfly|hetero] "
                "[--rows R] [--cols C] [--requests N] [--pairs P] "
                "[--seconds S] [--cap-seconds S] [--backend dense|bell] "
-               "[--seed K] [--json PATH|-] [--trace PATH]\n",
+               "[--seed K] [--json PATH|-] [--trace PATH] "
+               "[--monitor PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -417,6 +499,8 @@ int main(int argc, char** argv) {
       opt.json_path = next();
     } else if (arg == "--trace") {
       opt.trace_path = next();
+    } else if (arg == "--monitor") {
+      opt.monitor_path = next();
     } else {
       usage(argv[0]);
     }
@@ -473,5 +557,6 @@ int main(int argc, char** argv) {
   }
   write_json(opt.json_path, rows, hetero_ran,
              hetero_fid_fidelity - hetero_hops_fidelity);
+  write_monitor(opt.monitor_path, rows);
   return 0;
 }

@@ -12,6 +12,17 @@
 /// WorkloadDriver, run it for a span of simulated time, and hand back the
 /// collector. Each bench binary regenerates one table/figure of the
 /// paper (see DESIGN.md's experiment index).
+///
+/// Live telemetry (`--monitor PATH`, ISSUE 7): the routing benches
+/// (bench_grid_routing, bench_admission) attach an obs::Monitor to each
+/// run and stream one JSONL record per 100 ms of *simulated* time —
+/// counter deltas, rates, backlog, histogram deltas, stall-watchdog
+/// flags. The monitor is polled from the run loop and never touches the
+/// event heap or RNG, so records are byte-identical across same-seed
+/// runs and attaching one cannot change any bench number. `--monitor`
+/// only selects where the records are written; the derived scalars
+/// (`stalled_intervals`, `peak_backlog`) always land in the bench JSON,
+/// and tools/monitor_check.py validates the stream's invariants in CI.
 
 namespace qlink::bench {
 

@@ -1,5 +1,6 @@
 #include "metrics/collector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -28,6 +29,7 @@ void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
     km.fidelity.add(*fidelity);
     om.fidelity.add(*fidelity);
     fidelity_hist_.record(*fidelity);
+    fidelity_res_.add(*fidelity);
   }
 
   const auto it = open_.find({ok.origin_node, ok.create_id});
@@ -43,6 +45,7 @@ void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
     km.request_latency_s.add(request_latency);
     om.request_latency_s.add(request_latency);
     request_latency_hist_.record(request_latency);
+    request_latency_res_.add(request_latency);
     const double scaled =
         request_latency / static_cast<double>(std::max<std::uint16_t>(
                               req.num_pairs, 1));
@@ -110,9 +113,83 @@ const Collector::KindMetrics& Collector::by_origin(std::uint32_t node) const {
 double Collector::total_throughput() const {
   const double dt = elapsed_seconds();
   if (dt <= 0.0) return 0.0;
+  return static_cast<double>(total_pairs_delivered()) / dt;
+}
+
+std::uint64_t Collector::total_pairs_delivered() const {
   std::uint64_t pairs = 0;
   for (const auto& km : kinds_) pairs += km.pairs_delivered;
-  return static_cast<double>(pairs) / dt;
+  return pairs;
+}
+
+std::optional<sim::SimTime> Collector::oldest_open_created() const {
+  std::optional<sim::SimTime> oldest;
+  for (const auto& [key, req] : open_) {
+    if (!oldest || req.created < *oldest) oldest = req.created;
+  }
+  return oldest;
+}
+
+namespace {
+
+void merge_kind(Collector::KindMetrics& into,
+                const Collector::KindMetrics& from) {
+  into.request_latency_s.merge(from.request_latency_s);
+  into.pair_latency_s.merge(from.pair_latency_s);
+  into.scaled_latency_s.merge(from.scaled_latency_s);
+  into.fidelity.merge(from.fidelity);
+  into.goodness.merge(from.goodness);
+  into.pairs_delivered += from.pairs_delivered;
+  into.requests_submitted += from.requests_submitted;
+  into.requests_completed += from.requests_completed;
+}
+
+}  // namespace
+
+void Collector::merge(const Collector& other) {
+  // Widen the measurement window; an untouched side (begin() never
+  // called, both stamps 0) contributes nothing.
+  if (other.start_time_ != 0 || other.end_time_ != 0) {
+    if (start_time_ == 0 && end_time_ == 0) {
+      start_time_ = other.start_time_;
+      end_time_ = other.end_time_;
+    } else {
+      start_time_ = std::min(start_time_, other.start_time_);
+      end_time_ = std::max(end_time_, other.end_time_);
+    }
+  }
+  for (std::size_t k = 0; k < kinds_.size(); ++k) {
+    merge_kind(kinds_[k], other.kinds_[k]);
+  }
+  for (const auto& [node, km] : other.origin_metrics_) {
+    merge_kind(origin_metrics_[node], km);
+  }
+  // insert() keeps the existing entry on a key collision — across real
+  // shards (origin, create_id) keys are disjoint; on overlap the
+  // earlier-merged view wins.
+  open_.insert(other.open_.begin(), other.open_.end());
+  for (const auto& [err, n] : other.error_counts_) error_counts_[err] += n;
+  for (std::size_t b = 0; b < qber_counts_.size(); ++b) {
+    qber_counts_[b].first += other.qber_counts_[b].first;
+    qber_counts_[b].second += other.qber_counts_[b].second;
+  }
+  request_latency_hist_ += other.request_latency_hist_;
+  pair_latency_hist_ += other.pair_latency_hist_;
+  admission_wait_hist_ += other.admission_wait_hist_;
+  fidelity_hist_ += other.fidelity_hist_;
+  request_latency_res_.merge(other.request_latency_res_);
+  fidelity_res_.merge(other.fidelity_res_);
+  queue_length_.merge(other.queue_length_);
+  route_length_.merge(other.route_length_);
+  admission_wait_s_.merge(other.admission_wait_s_);
+  deferred_wait_s_.merge(other.deferred_wait_s_);
+  sched_backlog_.merge(other.sched_backlog_);
+  requests_blocked_ += other.requests_blocked_;
+  reroutes_ += other.reroutes_;
+  requests_abandoned_ += other.requests_abandoned_;
+  deferrals_ += other.deferrals_;
+  admission_steals_ += other.admission_steals_;
+  hol_holds_ += other.hol_holds_;
 }
 
 std::optional<double> Collector::qber(Basis basis) const {

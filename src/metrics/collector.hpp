@@ -7,6 +7,7 @@
 
 #include "core/requests.hpp"
 #include "metrics/histogram.hpp"
+#include "metrics/reservoir.hpp"
 #include "metrics/stats.hpp"
 #include "quantum/bell.hpp"
 #include "sim/time.hpp"
@@ -123,6 +124,8 @@ class Collector {
                      : static_cast<double>(kind(p).pairs_delivered) / dt;
   }
   double total_throughput() const;
+  /// Pairs delivered across every kind (the monitor's delivery counter).
+  std::uint64_t total_pairs_delivered() const;
 
   std::optional<double> qber(quantum::gates::Basis basis) const;
   /// Fidelity reconstructed from QBER (how the paper extracts MD
@@ -162,6 +165,34 @@ class Collector {
   }
   const Histogram& fidelity_hist() const { return fidelity_hist_; }
 
+  // -- Exact-sample quantiles (ISSUE 7) -----------------------------------
+  // Deterministic seeded reservoirs over the same request-latency /
+  // fidelity streams: O(capacity) memory at million-request scale, exact
+  // sample values where the Histogram has ~7% bin width. Their private
+  // RNG never touches the simulation's, so recording cannot perturb a
+  // seeded trajectory.
+  const Reservoir& request_latency_reservoir() const {
+    return request_latency_res_;
+  }
+  const Reservoir& fidelity_reservoir() const { return fidelity_res_; }
+
+  // -- In-flight state (ISSUE 7) ------------------------------------------
+  // The open_ map grows silently when a layer leaks a request (a CREATE
+  // that never sees its last OK or a terminal ERR). Surface it so the
+  // monitor's watchdog can report leak age instead of hiding it.
+  std::size_t open_requests() const noexcept { return open_.size(); }
+  /// Creation time of the oldest still-open request (nullopt when none).
+  std::optional<sim::SimTime> oldest_open_created() const;
+
+  /// Shard merge (ISSUE 7): fold another collector's records in, as if
+  /// both streams had been recorded here. Histograms and counters merge
+  /// exactly and commutatively; RunningStats via parallel Welford (~1e-12
+  /// relative reassociation error); reservoirs via Reservoir::merge
+  /// (order-sensitive byte-wise when overflowing — see reservoir.hpp);
+  /// open_ entries union (colliding (origin, create_id) keys keep the
+  /// earlier entry); start/end times widen to cover both windows.
+  void merge(const Collector& other);
+
  private:
   struct OpenRequest {
     core::Priority kind;
@@ -181,6 +212,10 @@ class Collector {
   Histogram pair_latency_hist_;
   Histogram admission_wait_hist_;
   Histogram fidelity_hist_;
+  // Distinct fixed seeds: deterministic per construction, independent
+  // streams per metric.
+  Reservoir request_latency_res_{1024, 0x716c4c61747265ULL};
+  Reservoir fidelity_res_{1024, 0x716c4669646c74ULL};
   RunningStat queue_length_;
   RunningStat route_length_;
   RunningStat admission_wait_s_;

@@ -36,4 +36,20 @@ Histogram& Histogram::operator+=(const Histogram& other) {
   return *this;
 }
 
+Histogram Histogram::delta_since(const Histogram& earlier) const {
+  const auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : 0;
+  };
+  Histogram out;
+  for (int i = 0; i < kBins; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    out.bins_[idx] = sub(bins_[idx], earlier.bins_[idx]);
+  }
+  out.underflow_ = sub(underflow_, earlier.underflow_);
+  out.overflow_ = sub(overflow_, earlier.overflow_);
+  out.count_ = sub(count_, earlier.count_);
+  out.sum_ = sum_ - earlier.sum_;
+  return out;
+}
+
 }  // namespace qlink::metrics

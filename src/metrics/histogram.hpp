@@ -72,6 +72,14 @@ class Histogram {
   /// compile-time layout, so merging is always well-defined.
   Histogram& operator+=(const Histogram& other);
 
+  /// Interval delta (ISSUE 7): the samples recorded into *this but not
+  /// yet into `earlier`, where `earlier` is a past snapshot of the same
+  /// recorder (every counter of *this >= its counterpart — bins are
+  /// monotone, so element-wise subtraction is exact). The monitor uses
+  /// this to report per-interval percentiles; counts are clamped at 0
+  /// so a mismatched pair degrades rather than wraps.
+  Histogram delta_since(const Histogram& earlier) const;
+
   /// Lower edge of bin i (for reporting / tests).
   static double bin_lower(int i) {
     return kMinValue * std::pow(10.0, static_cast<double>(i) /

@@ -1,0 +1,93 @@
+#include "metrics/reservoir.hpp"
+
+#include "metrics/stats.hpp"
+
+namespace qlink::metrics {
+
+Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
+    : cap_(capacity == 0 ? 1 : capacity), state_(seed) {
+  samples_.reserve(cap_);
+}
+
+std::uint64_t Reservoir::next_u64() {
+  // splitmix64 (Steele/Lea/Flood): tiny state, full 64-bit output,
+  // identical on every platform — unlike std::uniform_int_distribution.
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Reservoir::uniform_below(std::uint64_t n) {
+  // 128-bit multiply-high range reduction (Lemire): deterministic, and
+  // the bias (< n / 2^64) is far below the sampling error it feeds.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+}
+
+double Reservoir::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void Reservoir::add(double x) {
+  ++seen_;
+  if (samples_.size() < cap_) {
+    samples_.push_back(x);
+    return;
+  }
+  const std::uint64_t j = uniform_below(seen_);
+  if (j < cap_) samples_[static_cast<std::size_t>(j)] = x;
+}
+
+double Reservoir::quantile(double pct) const {
+  if (samples_.empty()) return 0.0;
+  return percentile(samples_, pct);
+}
+
+void Reservoir::merge(const Reservoir& other) {
+  if (other.seen_ == 0) return;
+  if (seen_ == 0) {
+    samples_ = other.samples_;
+    seen_ = other.seen_;
+    return;
+  }
+  if (samples_.size() + other.samples_.size() <= cap_) {
+    // Both streams were fully kept: the union is the exact combined
+    // sample set (no randomness consumed).
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    seen_ += other.seen_;
+    return;
+  }
+  // Overflowing merge: fill up to cap_ slots, drawing each from pool A
+  // or B with probability proportional to the remaining represented
+  // stream weight (each kept sample stands for seen/size stream
+  // elements). Uniform over the union in expectation; deterministic
+  // given this reservoir's RNG state.
+  const std::vector<double> mine = std::move(samples_);
+  samples_.clear();
+  const double per_a =
+      static_cast<double>(seen_) / static_cast<double>(mine.size());
+  const double per_b = static_cast<double>(other.seen_) /
+                       static_cast<double>(other.samples_.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double wa = static_cast<double>(seen_);
+  double wb = static_cast<double>(other.seen_);
+  while (samples_.size() < cap_ &&
+         (ia < mine.size() || ib < other.samples_.size())) {
+    const bool take_a =
+        ib >= other.samples_.size() ||
+        (ia < mine.size() && uniform_double() * (wa + wb) < wa);
+    if (take_a) {
+      samples_.push_back(mine[ia++]);
+      wa -= per_a;
+    } else {
+      samples_.push_back(other.samples_[ib++]);
+      wb -= per_b;
+    }
+  }
+  seen_ += other.seen_;
+}
+
+}  // namespace qlink::metrics

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file reservoir.hpp
+/// Deterministic reservoir sampling (ISSUE 7): exact-sample quantiles
+/// in O(capacity) memory at million-request scale.
+///
+/// The fixed-bin Histogram answers percentile queries to ~7% bin width;
+/// the Reservoir complements it with *exact sample values* — a uniform
+/// random subset of the stream — at the cost of sampling error instead
+/// of binning error. Algorithm R: the i-th value replaces a random slot
+/// with probability capacity/i, so every stream element is kept with
+/// equal probability and add() stays O(1).
+///
+/// Determinism is the hard requirement (same contract as the rest of
+/// the observability layer): the reservoir draws from its own private
+/// splitmix64 stream seeded at construction — never from the
+/// simulation's sim::Random — so attaching one cannot perturb a seeded
+/// trajectory, and the kept sample set is a pure function of
+/// (seed, stream). The std::uniform_* distributions are
+/// implementation-defined across standard libraries, so the draw is
+/// fully specified here (splitmix64 + 128-bit multiply-high range
+/// reduction) and identical across gcc/clang/libc++.
+///
+/// merge() folds another shard's reservoir in. When both kept sets fit
+/// in one capacity the merge is the exact union (and commutes up to
+/// sample order); when they overflow, slots are drawn from either pool
+/// with probability proportional to the represented stream weights —
+/// statistically uniform but, unlike Histogram::operator+= and
+/// RunningStat::merge, *order-sensitive* byte-wise (a.merge(b) and
+/// b.merge(a) keep different — equally valid — subsets). See
+/// DESIGN.md's merge-commutativity rules.
+
+namespace qlink::metrics {
+
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity = 1024,
+                     std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// O(1): keep the value in a random slot with probability cap/seen.
+  void add(double x);
+
+  /// Stream size seen (>= size(): values past capacity were sampled).
+  std::uint64_t count() const noexcept { return seen_; }
+  /// Kept sample count (<= capacity()).
+  std::size_t size() const noexcept { return samples_.size(); }
+  std::size_t capacity() const noexcept { return cap_; }
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// Percentile (0..100) over the kept samples, linearly interpolated
+  /// (exact values, sampling error ~1/sqrt(capacity)). 0 when empty.
+  double quantile(double pct) const;
+
+  /// Fold another shard's reservoir in (see file comment for the
+  /// exact-union vs weighted-draw regimes and commutativity caveat).
+  void merge(const Reservoir& other);
+
+ private:
+  std::uint64_t next_u64();
+  std::uint64_t uniform_below(std::uint64_t n);
+  double uniform_double();  // [0, 1)
+
+  std::size_t cap_;
+  std::uint64_t state_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace qlink::metrics

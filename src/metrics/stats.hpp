@@ -23,6 +23,28 @@ class RunningStat {
     max_ = std::max(max_, x);
   }
 
+  /// Shard merge (parallel Welford / Chan et al.): combines two
+  /// independently recorded streams into the moments the union stream
+  /// would have produced, to floating-point reassociation error. Counter
+  /// and min/max merges commute exactly; mean/m2 commute up to ~1e-12
+  /// relative (the Scalable Commutativity Rule test the per-shard
+  /// collectors rely on — see Collector::merge).
+  void merge(const RunningStat& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   std::uint64_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
   double variance() const noexcept {

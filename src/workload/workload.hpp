@@ -15,6 +15,10 @@ class QuantumNetwork;
 class SwapService;
 }  // namespace qlink::netlayer
 
+namespace qlink::obs {
+class Monitor;
+}  // namespace qlink::obs
+
 namespace qlink::routing {
 class Router;
 }  // namespace qlink::routing
@@ -118,6 +122,12 @@ class WorkloadDriver : public sim::Entity {
   void start();
   void stop();
 
+  /// Attach a live-run monitor (ISSUE 7): the driver polls it once per
+  /// MHP cycle — an event that exists with or without the monitor — so
+  /// interval records stream without perturbing the trajectory. The
+  /// caller still owns the monitor and calls finish() after stop().
+  void set_monitor(obs::Monitor* monitor) { monitor_ = monitor; }
+
   const WorkloadConfig& config() const { return config_; }
   std::uint64_t requests_issued() const { return issued_; }
   std::uint64_t pairs_matched() const { return matched_; }
@@ -159,6 +169,7 @@ class WorkloadDriver : public sim::Entity {
   netlayer::QuantumNetwork* net_ = nullptr;  // end-to-end mode
   netlayer::SwapService* swap_ = nullptr;
   routing::Router* router_ = nullptr;        // routed mode
+  obs::Monitor* monitor_ = nullptr;          // polled each cycle
   WorkloadConfig config_;
   metrics::Collector& collector_;
   sim::Random random_;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "metrics/collector.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/reservoir.hpp"
 #include "metrics/stats.hpp"
 
 namespace qlink::metrics {
@@ -187,6 +189,263 @@ TEST(Collector, QueueLengthSampling) {
   c.sample_queue_length(2);
   c.sample_queue_length(4);
   EXPECT_NEAR(c.queue_length().mean(), 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-mergeable statistics (ISSUE 7)
+
+TEST(RunningStat, MergeMatchesSingleStream) {
+  RunningStat a, b, whole;
+  for (int i = 1; i <= 1000; ++i) {
+    const double x = 0.001 * i * i;  // non-uniform: exercises m2
+    (i <= 400 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9 * whole.variance());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptyEitherWay) {
+  RunningStat filled, empty;
+  filled.add(1.0);
+  filled.add(3.0);
+  RunningStat lhs = filled;
+  lhs.merge(empty);
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_NEAR(lhs.mean(), 2.0, 1e-12);
+  RunningStat rhs;
+  rhs.merge(filled);
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_NEAR(rhs.mean(), 2.0, 1e-12);
+  EXPECT_EQ(rhs.min(), 1.0);
+  EXPECT_EQ(rhs.max(), 3.0);
+}
+
+TEST(Histogram, DeltaSinceIsolatesTheNewSamples) {
+  Histogram earlier, only_new;
+  for (int i = 1; i <= 100; ++i) earlier.record(1e-3 * i);
+  Histogram later = earlier;
+  for (int i = 1; i <= 50; ++i) {
+    later.record(0.5 + 1e-3 * i);
+    only_new.record(0.5 + 1e-3 * i);
+  }
+  const Histogram delta = later.delta_since(earlier);
+  EXPECT_EQ(delta.count(), only_new.count());
+  EXPECT_NEAR(delta.sum(), only_new.sum(), 1e-9);
+  EXPECT_DOUBLE_EQ(delta.p50(), only_new.p50());
+  EXPECT_DOUBLE_EQ(delta.p99(), only_new.p99());
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    ASSERT_EQ(delta.bin_count(i), only_new.bin_count(i)) << "bin " << i;
+  }
+  // Self-delta is empty.
+  EXPECT_EQ(later.delta_since(later).count(), 0u);
+}
+
+TEST(Reservoir, KeepsEverySampleUnderCapacity) {
+  Reservoir r(8);
+  for (int i = 1; i <= 5; ++i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.count(), 5u);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.quantile(50.0), 3.0);  // exact, not binned
+  EXPECT_DOUBLE_EQ(r.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.quantile(100.0), 5.0);
+}
+
+TEST(Reservoir, EmptyIsSafe) {
+  Reservoir r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.quantile(50.0), 0.0);
+}
+
+TEST(Reservoir, DeterministicPerSeed) {
+  Reservoir a(64, 42), b(64, 42), c(64, 43);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = 1e-4 * i;
+    a.add(x);
+    b.add(x);
+    c.add(x);
+  }
+  EXPECT_EQ(a.count(), 10000u);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(a.samples(), b.samples());  // same seed -> byte-identical
+  EXPECT_NE(a.samples(), c.samples());  // different seed -> different draw
+}
+
+TEST(Reservoir, QuantilesTrackTheStreamAndTheHistogram) {
+  // 100k near-uniform samples on (0, 1]: the 4096-sample reservoir's
+  // quantiles must sit close to the exact ones and agree with the
+  // binned Histogram estimate well within its ~8% bin width.
+  Reservoir r(4096, 7);
+  Histogram h;
+  for (int i = 0; i < 100000; ++i) {
+    // Weyl sequence: equidistributed, deterministic, order-scrambled.
+    const double x =
+        static_cast<double>((i * 2654435761ULL) % 100000u + 1) * 1e-5;
+    r.add(x);
+    h.record(x);
+  }
+  EXPECT_EQ(r.count(), 100000u);
+  EXPECT_EQ(r.size(), 4096u);
+  EXPECT_NEAR(r.quantile(50.0), 0.5, 0.05);
+  EXPECT_NEAR(r.quantile(99.0), 0.99, 0.05);
+  EXPECT_NEAR(r.quantile(50.0), h.p50(), 0.15 * h.p50());
+  EXPECT_NEAR(r.quantile(99.0), h.p99(), 0.15 * h.p99());
+}
+
+TEST(Reservoir, MergeIsExactUnionUnderCapacity) {
+  Reservoir a(16), b(16);
+  for (double x : {1.0, 2.0, 3.0}) a.add(x);
+  for (double x : {10.0, 20.0}) b.add(x);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a.quantile(100.0), 20.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);
+}
+
+TEST(Reservoir, MergeIsDeterministicAndWeightBounded) {
+  Reservoir a1(32, 1), a2(32, 1), b1(32, 2), b2(32, 2);
+  for (int i = 0; i < 5000; ++i) {
+    a1.add(1e-4 * i);
+    a2.add(1e-4 * i);
+    b1.add(5.0 + 1e-4 * i);
+    b2.add(5.0 + 1e-4 * i);
+  }
+  a1.merge(b1);
+  a2.merge(b2);
+  EXPECT_EQ(a1.count(), 10000u);
+  EXPECT_EQ(a1.size(), 32u);  // stays at capacity
+  EXPECT_EQ(a1.samples(), a2.samples());  // same states -> same draw
+  // Both halves survive the weighted draw (each holds half the mass).
+  std::size_t low = 0, high = 0;
+  for (const double x : a1.samples()) (x < 5.0 ? low : high)++;
+  EXPECT_GT(low, 0u);
+  EXPECT_GT(high, 0u);
+}
+
+TEST(Collector, OpenRequestTrackingSurfacesInFlightState) {
+  Collector c;
+  EXPECT_EQ(c.open_requests(), 0u);
+  EXPECT_FALSE(c.oldest_open_created().has_value());
+  c.record_create(0, 1, Priority::kNetworkLayer, 2,
+                  sim::duration::seconds(1));
+  c.record_create(0, 2, Priority::kNetworkLayer, 1,
+                  sim::duration::seconds(3));
+  EXPECT_EQ(c.open_requests(), 2u);
+  ASSERT_TRUE(c.oldest_open_created().has_value());
+  EXPECT_EQ(*c.oldest_open_created(), sim::duration::seconds(1));
+  // Completing the older request leaves the younger as the oldest.
+  c.record_ok(make_ok(0, 1, 0, 2), Priority::kNetworkLayer,
+              sim::duration::seconds(4), std::nullopt);
+  c.record_ok(make_ok(0, 1, 1, 2), Priority::kNetworkLayer,
+              sim::duration::seconds(5), std::nullopt);
+  EXPECT_EQ(c.open_requests(), 1u);
+  EXPECT_EQ(*c.oldest_open_created(), sim::duration::seconds(3));
+}
+
+TEST(Collector, MergeMatchesSingleStream) {
+  // The same record stream fed whole into one collector and split
+  // across two shards must yield identical outputs after merge().
+  Collector whole, a, b;
+  whole.begin(0);
+  a.begin(0);
+  b.begin(sim::duration::seconds(2));
+
+  const auto feed = [](Collector& c1, Collector& c2, std::uint32_t origin,
+                       std::uint32_t id, double fid, sim::SimTime created,
+                       sim::SimTime done) {
+    for (Collector* c : {&c1, &c2}) {
+      c->record_create(origin, id, Priority::kNetworkLayer, 1, created);
+      c->record_ok(make_ok(origin, id, 0, 1), Priority::kNetworkLayer,
+                   done, fid);
+    }
+  };
+  feed(whole, a, 0, 1, 0.9, 0, sim::duration::seconds(1));
+  feed(whole, a, 1, 2, 0.7, sim::duration::seconds(1),
+       sim::duration::seconds(2));
+  feed(whole, b, 0, 3, 0.8, sim::duration::seconds(2),
+       sim::duration::seconds(4));
+  for (Collector* c : {&whole, &a}) {
+    c->record_admission_wait(0.25);
+    c->record_err({9, EgpError::kTimeout, 0, 0, 0});
+    c->record_correlation(Basis::kX, 1, 1, 1);
+    c->sample_queue_length(3);
+  }
+  for (Collector* c : {&whole, &b}) {
+    c->record_admission_wait(0.75);
+    c->record_err({8, EgpError::kExpired, 0, 0, 0});
+    c->record_correlation(Basis::kX, 0, 1, 1);
+    c->sample_queue_length(5);
+  }
+  a.end(sim::duration::seconds(2));
+  b.end(sim::duration::seconds(4));
+  whole.end(sim::duration::seconds(4));
+
+  a.merge(b);
+
+  const auto& ka = a.kind(Priority::kNetworkLayer);
+  const auto& kw = whole.kind(Priority::kNetworkLayer);
+  EXPECT_EQ(ka.pairs_delivered, kw.pairs_delivered);
+  EXPECT_EQ(ka.requests_completed, kw.requests_completed);
+  EXPECT_EQ(ka.requests_submitted, kw.requests_submitted);
+  EXPECT_NEAR(ka.request_latency_s.mean(), kw.request_latency_s.mean(),
+              1e-9);
+  EXPECT_NEAR(ka.request_latency_s.variance(),
+              kw.request_latency_s.variance(), 1e-9);
+  EXPECT_NEAR(ka.fidelity.mean(), kw.fidelity.mean(), 1e-9);
+  EXPECT_EQ(a.total_pairs_delivered(), whole.total_pairs_delivered());
+  EXPECT_NEAR(a.total_throughput(), whole.total_throughput(), 1e-9);
+
+  // Origin union: 0 saw two requests, 1 saw one.
+  ASSERT_TRUE(a.has_origin(0));
+  ASSERT_TRUE(a.has_origin(1));
+  EXPECT_EQ(a.by_origin(0).pairs_delivered,
+            whole.by_origin(0).pairs_delivered);
+  EXPECT_EQ(a.by_origin(1).pairs_delivered,
+            whole.by_origin(1).pairs_delivered);
+
+  // Counters, errors, correlations, sampled stats.
+  EXPECT_EQ(a.errors(EgpError::kTimeout), 1u);
+  EXPECT_EQ(a.errors(EgpError::kExpired), 1u);
+  EXPECT_NEAR(*a.qber(Basis::kX), *whole.qber(Basis::kX), 1e-12);
+  EXPECT_NEAR(a.queue_length().mean(), whole.queue_length().mean(), 1e-9);
+  EXPECT_NEAR(a.admission_wait().mean(), whole.admission_wait().mean(),
+              1e-9);
+
+  // Histograms merge bin-exactly; reservoirs keep every sample while
+  // under capacity, so their quantiles match the whole stream too.
+  EXPECT_EQ(a.request_latency_hist().count(),
+            whole.request_latency_hist().count());
+  EXPECT_DOUBLE_EQ(a.request_latency_hist().p99(),
+                   whole.request_latency_hist().p99());
+  EXPECT_EQ(a.admission_wait_hist().count(),
+            whole.admission_wait_hist().count());
+  EXPECT_EQ(a.request_latency_reservoir().count(),
+            whole.request_latency_reservoir().count());
+  EXPECT_DOUBLE_EQ(a.request_latency_reservoir().quantile(50.0),
+                   whole.request_latency_reservoir().quantile(50.0));
+  EXPECT_EQ(a.fidelity_reservoir().count(),
+            whole.fidelity_reservoir().count());
+
+  // All requests completed: no open state survives the merge.
+  EXPECT_EQ(a.open_requests(), whole.open_requests());
+  EXPECT_EQ(a.open_requests(), 0u);
+}
+
+TEST(Collector, MergeKeepsOpenRequestsFromBothShards) {
+  Collector a, b;
+  a.record_create(0, 1, Priority::kNetworkLayer, 1,
+                  sim::duration::seconds(5));
+  b.record_create(1, 2, Priority::kNetworkLayer, 1,
+                  sim::duration::seconds(3));
+  a.merge(b);
+  EXPECT_EQ(a.open_requests(), 2u);
+  ASSERT_TRUE(a.oldest_open_created().has_value());
+  EXPECT_EQ(*a.oldest_open_created(), sim::duration::seconds(3));
 }
 
 }  // namespace

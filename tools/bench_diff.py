@@ -32,6 +32,11 @@ adaptive_completion_gain) can be asserted directly:
 
     --require adaptive_completion_gain>0 --require hetero_fidelity_gain>0.05
 
+Comparators: > >= < <= == . The exact ones gate counters that must hit
+a precise value, e.g. the ISSUE 7 stall watchdog on a clean run:
+
+    --require "stalled_intervals==0"
+
 Besides the compare mode, three maintenance modes (ISSUE 5):
 
     # Rewrite bench/baselines/ from freshly produced JSON (previously an
@@ -152,12 +157,13 @@ class Gate:
 
 
 def parse_require(spec):
-    for op in (">=", "<=", ">", "<"):
+    for op in (">=", "<=", "==", ">", "<"):
         if op in spec:
             key, value = spec.split(op, 1)
             return key.strip(), op, float(value)
     raise argparse.ArgumentTypeError(
-        f"--require needs KEY>VALUE / KEY>=VALUE / KEY<VALUE: {spec!r}")
+        f"--require needs KEY>VALUE / KEY>=VALUE / KEY<VALUE / "
+        f"KEY==VALUE: {spec!r}")
 
 
 def summary_scalars(doc):
@@ -335,7 +341,8 @@ def main():
             f"(latency tolerance {args.quality_tol})")
 
     ops = {">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
-           "<": lambda a, b: a < b, "<=": lambda a, b: a <= b}
+           "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+           "==": lambda a, b: a == b}
     for key, op, value in args.require:
         actual = cur.get(key)
         gate.check(

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Structure + consistency validator for obs::Monitor JSONL streams
+(ISSUE 7). Run in CI against the telemetry produced by
+`bench_grid_routing --monitor` / `bench_admission --monitor` so a
+refactor of src/obs/ cannot silently break the interval invariants the
+monitor promises.
+
+Records are grouped by their optional "run" label (several monitored
+runs may share one file); each group must be one complete monitor
+stream. Checks per group, in order:
+
+  schema    every line is a JSON object; interval records carry the
+            numeric fields i/t/dt/deliveries/events and a boolean
+            "stalled"; exactly one "final": true summary record exists
+            and it is the group's last line.
+  timeline  interval indices "i" are contiguous from 0; "t" is strictly
+            increasing with dt > 0 and t[k] - dt[k] == t[k-1] (records
+            tile sim time with no gap or overlap); the final record's
+            "t" equals the last interval's.
+  totals    the final record's deliveries/events equal the sum of the
+            per-interval deltas, its "intervals" equals the record
+            count, its "stalled_intervals" equals the number of records
+            flagged "stalled": true, and its "peak_backlog" equals the
+            max sampled "backlog" (0 when no record carries one).
+
+Exit 0 and a one-line summary on success; exit 1 with every violation
+on failure. Usage:
+
+    monitor_check.py FILE.jsonl
+"""
+
+import json
+import sys
+
+REQUIRED_NUMBERS = ("i", "t", "dt", "deliveries", "events")
+FINAL_NUMBERS = ("t", "intervals", "stalled_intervals", "peak_backlog",
+                 "deliveries", "events")
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_group(run, records):
+    """Validate one run label's record list ((line_no, record) pairs);
+    returns a list of violation strings (empty = valid)."""
+    errors = []
+    label = f"run {run!r}" if run else "unlabelled run"
+
+    def err(line_no, message):
+        errors.append(f"{label}, line {line_no}: {message}")
+
+    # --- schema ------------------------------------------------------
+    intervals = []
+    finals = []
+    for line_no, rec in records:
+        if rec.get("final") is True:
+            for key in FINAL_NUMBERS:
+                if not is_number(rec.get(key)):
+                    err(line_no, f"final record missing numeric {key!r}")
+            finals.append((line_no, rec))
+            continue
+        for key in REQUIRED_NUMBERS:
+            if not is_number(rec.get(key)):
+                err(line_no, f"interval record missing numeric {key!r}")
+        if not isinstance(rec.get("stalled"), bool):
+            err(line_no, "interval record missing boolean \"stalled\"")
+        intervals.append((line_no, rec))
+    if len(finals) != 1:
+        errors.append(f"{label}: expected exactly one \"final\" record, "
+                      f"got {len(finals)}")
+    elif records[-1][1] is not finals[0][1]:
+        err(finals[0][0], "final record is not the group's last line")
+    if errors:
+        return errors  # the arithmetic below assumes schema holds
+
+    # --- timeline ----------------------------------------------------
+    prev_t = None
+    for k, (line_no, rec) in enumerate(intervals):
+        if rec["i"] != k:
+            err(line_no, f"interval index {rec['i']} (expected {k})")
+        if rec["dt"] <= 0:
+            err(line_no, f"non-positive dt {rec['dt']}")
+        if prev_t is not None:
+            if rec["t"] <= prev_t:
+                err(line_no, f"t {rec['t']} not increasing (previous "
+                             f"{prev_t})")
+            if rec["t"] - rec["dt"] != prev_t:
+                err(line_no, f"t - dt = {rec['t'] - rec['dt']} leaves a "
+                             f"gap/overlap against previous t {prev_t}")
+        prev_t = rec["t"]
+
+    # --- totals vs the final summary ---------------------------------
+    line_no, final = finals[0]
+    if intervals and final["t"] != intervals[-1][1]["t"]:
+        err(line_no, f"final t {final['t']} != last interval t "
+                     f"{intervals[-1][1]['t']}")
+    if final["intervals"] != len(intervals):
+        err(line_no, f"final intervals {final['intervals']} != record "
+                     f"count {len(intervals)}")
+    for key in ("deliveries", "events"):
+        total = sum(rec[key] for _, rec in intervals)
+        if final[key] != total:
+            err(line_no, f"final {key} {final[key]} != per-interval sum "
+                         f"{total}")
+    stalled = sum(1 for _, rec in intervals if rec["stalled"])
+    if final["stalled_intervals"] != stalled:
+        err(line_no, f"final stalled_intervals "
+                     f"{final['stalled_intervals']} != flagged record "
+                     f"count {stalled}")
+    peak = max((rec.get("backlog", 0) for _, rec in intervals), default=0)
+    if final["peak_backlog"] != peak:
+        err(line_no, f"final peak_backlog {final['peak_backlog']} != max "
+                     f"sampled backlog {peak}")
+    return errors
+
+
+def check_file(path):
+    """Returns (errors, num_records)."""
+    errors = []
+    groups = {}  # run label -> [(line_no, record)], insertion-ordered
+    num_records = 0
+    try:
+        with open(path) as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError as e:
+                    errors.append(f"line {line_no}: not JSON: {e}")
+                    continue
+                if not isinstance(rec, dict):
+                    errors.append(f"line {line_no}: not a JSON object")
+                    continue
+                num_records += 1
+                groups.setdefault(rec.get("run"), []).append((line_no, rec))
+    except OSError as e:
+        return [f"cannot read {path}: {e}"], 0
+    if not errors and not groups:
+        errors.append("no records")
+    for run, records in groups.items():
+        errors.extend(check_group(run, records))
+    return errors, num_records
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1].startswith("-"):
+        print(__doc__.strip().splitlines()[-1].strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    errors, num_records = check_file(path)
+    for e in errors:
+        print(f"FAIL  {e}")
+    if errors:
+        print(f"{path}: {len(errors)} violations in {num_records} records")
+        return 1
+    print(f"{path}: ok ({num_records} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -175,6 +175,29 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("require demo_gain > 0.6", out)
 
+    def test_require_exact_equality(self):
+        # ISSUE 7: the stall-watchdog gate wants a precise counter value
+        # ("stalled_intervals==0"), not just a bound.
+        doc = self.current()
+        doc["stalled_intervals"] = 0
+        code, _ = self.compare(doc,
+                               extra=["--require", "stalled_intervals==0"])
+        self.assertEqual(code, 0)
+        doc["stalled_intervals"] = 2
+        code, out = self.compare(doc,
+                                 extra=["--require", "stalled_intervals==0"])
+        self.assertEqual(code, 1)
+        self.assertIn("require stalled_intervals == 0", out)
+
+    def test_require_less_or_equal(self):
+        doc = self.current()
+        doc["peak_backlog"] = 4
+        code, _ = self.compare(doc, extra=["--require", "peak_backlog<=4"])
+        self.assertEqual(code, 0)
+        code, out = self.compare(doc, extra=["--require", "peak_backlog<=3"])
+        self.assertEqual(code, 1)
+        self.assertIn("require peak_backlog <= 3", out)
+
     def test_require_missing_or_non_numeric_scalar_fails(self):
         code, out = self.compare(self.current(),
                                  extra=["--require", "absent_gain>0"])

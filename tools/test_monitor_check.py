@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Self-test for tools/monitor_check.py (ISSUE 7), runnable standalone
+(`python3 tools/test_monitor_check.py`) or under pytest. Covers the
+schema, timeline, and totals checks plus run-label grouping, each with
+a passing and a violating stream.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import monitor_check  # noqa: E402
+
+
+def interval(i, t, dt, deliveries=1, events=100, run=None, stalled=False,
+             **extra):
+    rec = {"i": i, "t": t, "dt": dt, "deliveries": deliveries,
+           "events": events, "stalled": stalled}
+    if run is not None:
+        rec["run"] = run
+    rec.update(extra)
+    return rec
+
+
+def final(t, intervals, deliveries, events, stalled=0, peak=0, run=None,
+          **extra):
+    rec = {"final": True, "t": t, "intervals": intervals,
+           "stalled_intervals": stalled, "peak_backlog": peak,
+           "deliveries": deliveries, "events": events}
+    if run is not None:
+        rec["run"] = run
+    rec.update(extra)
+    return rec
+
+
+def valid_stream(run=None):
+    return [
+        interval(0, 100, 100, deliveries=2, events=50, run=run),
+        interval(1, 200, 100, deliveries=3, events=60, run=run),
+        interval(2, 260, 60, deliveries=1, events=10, run=run),
+        final(260, 3, 6, 120, run=run),
+    ]
+
+
+class MonitorCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def check(self, records, raw_lines=()):
+        path = os.path.join(self.dir.name, "monitor.jsonl")
+        with open(path, "w") as f:
+            for rec in records:
+                f.write(json.dumps(rec) + "\n")
+            for line in raw_lines:
+                f.write(line + "\n")
+        return monitor_check.check_file(path)
+
+    def assert_fails(self, records, fragment, raw_lines=()):
+        errors, _ = self.check(records, raw_lines)
+        self.assertTrue(errors, "expected violations, got none")
+        self.assertTrue(any(fragment in e for e in errors),
+                        f"{fragment!r} not in {errors}")
+
+    # --- valid streams -----------------------------------------------
+
+    def test_valid_single_group(self):
+        errors, count = self.check(valid_stream())
+        self.assertEqual(errors, [])
+        self.assertEqual(count, 4)
+
+    def test_valid_multiple_run_labels_interleave_independently(self):
+        # Concatenated runs in one file: each label validates alone.
+        errors, count = self.check(valid_stream("grid")
+                                   + valid_stream("dragonfly"))
+        self.assertEqual(errors, [])
+        self.assertEqual(count, 8)
+
+    def test_valid_stalled_accounting(self):
+        records = [
+            interval(0, 100, 100, deliveries=0, run="g", stalled=True,
+                     backlog=2),
+            interval(1, 200, 100, deliveries=4, run="g", backlog=1),
+            final(200, 2, 4, 200, stalled=1, peak=2, run="g"),
+        ]
+        errors, _ = self.check(records)
+        self.assertEqual(errors, [])
+
+    # --- schema ------------------------------------------------------
+
+    def test_non_json_line_fails(self):
+        self.assert_fails(valid_stream(), "not JSON", raw_lines=["{oops"])
+
+    def test_missing_interval_field_fails(self):
+        records = valid_stream()
+        del records[1]["dt"]
+        self.assert_fails(records, "missing numeric 'dt'")
+
+    def test_missing_stalled_flag_fails(self):
+        records = valid_stream()
+        del records[0]["stalled"]
+        self.assert_fails(records, "missing boolean \"stalled\"")
+
+    def test_missing_final_record_fails(self):
+        self.assert_fails(valid_stream()[:-1], "exactly one \"final\"")
+
+    def test_duplicate_final_record_fails(self):
+        records = valid_stream() + [final(260, 3, 6, 120)]
+        self.assert_fails(records, "exactly one \"final\"")
+
+    def test_final_not_last_fails(self):
+        records = valid_stream()
+        records[2], records[3] = records[3], records[2]
+        self.assert_fails(records, "not the group's last line")
+
+    def test_empty_file_fails(self):
+        self.assert_fails([], "no records")
+
+    # --- timeline ----------------------------------------------------
+
+    def test_non_contiguous_index_fails(self):
+        records = valid_stream()
+        records[2]["i"] = 5
+        self.assert_fails(records, "interval index 5 (expected 2)")
+
+    def test_non_increasing_t_fails(self):
+        records = valid_stream()
+        records[2]["t"] = 150
+        self.assert_fails(records, "not increasing")
+
+    def test_gap_between_records_fails(self):
+        records = valid_stream()
+        records[2]["t"] = 400  # dt 60 leaves (200, 340) uncovered
+        self.assert_fails(records, "gap/overlap")
+
+    def test_final_t_mismatch_fails(self):
+        records = valid_stream()
+        records[-1]["t"] = 300
+        self.assert_fails(records, "final t 300 != last interval t 260")
+
+    # --- totals ------------------------------------------------------
+
+    def test_delta_sum_mismatch_fails(self):
+        records = valid_stream()
+        records[-1]["deliveries"] = 7
+        self.assert_fails(records, "final deliveries 7 != per-interval "
+                                   "sum 6")
+
+    def test_interval_count_mismatch_fails(self):
+        records = valid_stream()
+        records[-1]["intervals"] = 2
+        self.assert_fails(records, "record count 3")
+
+    def test_stalled_count_mismatch_fails(self):
+        records = valid_stream()
+        records[0]["stalled"] = True
+        self.assert_fails(records, "flagged record count 1")
+
+    def test_peak_backlog_mismatch_fails(self):
+        records = valid_stream()
+        records[1]["backlog"] = 9
+        self.assert_fails(records, "max sampled backlog 9")
+
+    def test_violation_names_its_run_label(self):
+        records = valid_stream("grid")
+        records[-1]["events"] = 1
+        errors, _ = self.check(records)
+        self.assertTrue(any("run 'grid'" in e for e in errors), errors)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
