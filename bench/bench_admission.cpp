@@ -37,6 +37,7 @@
 // Usage: bench_admission [--scenario grid|dragonfly|all]
 //          [--lease-slack S] [--cap-seconds S] [--backend dense|bell]
 //          [--seed K] [--json PATH|-] [--monitor PATH]
+//          [--netstate PATH] [--report PATH]
 //   --monitor writes every run's interval telemetry (obs::Monitor,
 //   ISSUE 7) as one JSONL file; records carry a "scenario/mode" run
 //   label (e.g. "grid/pr4") so tools/monitor_check.py validates each
@@ -44,6 +45,12 @@
 //   cannot perturb the trajectory); per-run stalled_intervals and
 //   peak_backlog land in the JSON rows and as summed/max'd top-level
 //   scalars for the CI gate.
+//   --netstate writes every run's per-edge network-state stream
+//   (obs::NetState, ISSUE 8) as "scenario/mode"-labelled JSONL,
+//   validated in CI by tools/netstate_check.py; the run-wide max
+//   per-edge utilization lands in the hot_edge_max_utilization scalar.
+//   --report writes a Markdown run report (obs::report) with summary
+//   counters, hot edges, contention, and latency phase decomposition.
 
 #include <algorithm>
 #include <chrono>
@@ -54,9 +61,12 @@
 #include <vector>
 
 #include "common.hpp"
+#include "metrics/edge_stats.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
 #include "obs/monitor.hpp"
+#include "obs/netstate.hpp"
+#include "obs/report.hpp"
 #include "qstate/backend_registry.hpp"
 #include "routing/router.hpp"
 
@@ -79,6 +89,8 @@ struct Options {
   std::uint64_t seed = 7;
   std::string json_path = "BENCH_admission.json";
   std::string monitor_path;  // empty = keep records in memory only
+  std::string netstate_path;  // empty = keep records in memory only
+  std::string report_path;    // empty = no Markdown report
 };
 
 struct Row {
@@ -113,6 +125,10 @@ struct Row {
   std::uint64_t stalled_intervals = 0;
   std::uint64_t peak_backlog = 0;
   std::string monitor_jsonl;
+  // Per-edge network state (ISSUE 8); sampled on every run.
+  double max_utilization = 0.0;
+  std::string netstate_jsonl;
+  std::string report_md;
 };
 
 double wall_since(std::chrono::steady_clock::time_point start) {
@@ -190,6 +206,8 @@ Row run_mode(const Options& opt, const char* scenario, const char* mode,
   rc.defer_admission = scheduler;
   rc.batch_admission = scheduler;
   routing::Router router(graph, *net, *swap, rc, &collector);
+  metrics::EdgeStats edge_stats(graph.num_edges(), graph.num_nodes());
+  router.set_edge_stats(&edge_stats);
   const double menu[] = {0.7};
   router.annotate_from_network(menu);
 
@@ -214,6 +232,15 @@ Row run_mode(const Options& opt, const char* scenario, const char* mode,
     (void)opt;
     return req;
   };
+
+  // Construct the sampler before any submission: its baseline snapshot
+  // must predate the first lease so the per-interval deltas sum to the
+  // final cumulative table (netstate_check.py reconciles exactly that).
+  obs::NetStateConfig nsc;
+  nsc.run = std::string(scenario) + "/" + mode;
+  obs::NetState netstate(net->simulator(), edge_stats, std::move(nsc));
+  netstate.attach_collector(&collector);
+  netstate.attach_graph(&graph);
 
   net->start();
   std::uint64_t expected = 0;
@@ -262,8 +289,10 @@ Row run_mode(const Options& opt, const char* scenario, const char* mode,
          sim::to_seconds(net->simulator().now()) < opt.cap_seconds) {
     net->run_for(sim::duration::milliseconds(10));
     monitor.poll();
+    netstate.poll();
   }
   monitor.finish();
+  netstate.finish();
 
   Row row;
   row.scenario = scenario;
@@ -297,6 +326,13 @@ Row run_mode(const Options& opt, const char* scenario, const char* mode,
   row.stalled_intervals = monitor.stalled_intervals();
   row.peak_backlog = monitor.peak_backlog();
   row.monitor_jsonl = monitor.jsonl();
+  row.max_utilization = netstate.max_utilization();
+  row.netstate_jsonl = netstate.jsonl();
+  obs::RunReportOptions ro;
+  ro.title = std::string(scenario) + "/" + mode + " (" +
+             (scheduler ? "scheduler admission" : "queue-blind") + ")";
+  row.report_md = obs::render_run_report(net->simulator(), edge_stats,
+                                         collector, &graph, ro);
   return row;
 }
 
@@ -327,7 +363,7 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
       "\"deferred_wait_total_s\": %.6f, \"mean_admission_wait_s\": %.6f, "
       "\"max_admission_wait_s\": %.6f, \"p50_admission_wait_s\": %.6f, "
       "\"p99_admission_wait_s\": %.6f, \"p99_request_latency_s\": %.6f, "
-      "\"completion_rate\": %.6f, "
+      "\"completion_rate\": %.6f, \"max_utilization\": %.6f, "
       "\"sim_seconds\": %.3f, \"wall_seconds\": %.4f, \"events\": %llu, "
       "\"events_per_sec\": %.1f, \"stalled_intervals\": %llu, "
       "\"peak_backlog\": %llu}%s\n",
@@ -346,7 +382,7 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
       r.deferred_wait_total_s, r.mean_admission_wait_s,
       r.max_admission_wait_s, r.p50_admission_wait_s,
       r.p99_admission_wait_s, r.p99_request_latency_s,
-      r.completion_rate, r.sim_seconds,
+      r.completion_rate, r.max_utilization, r.sim_seconds,
       r.wall_seconds, static_cast<unsigned long long>(r.events),
       r.wall_seconds > 0.0
           ? static_cast<double>(r.events) / r.wall_seconds
@@ -361,7 +397,7 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
                "usage: %s [--scenario grid|dragonfly|all] "
                "[--lease-slack S] [--cap-seconds S] "
                "[--backend dense|bell] [--seed K] [--json PATH|-] "
-               "[--monitor PATH]\n",
+               "[--monitor PATH] [--netstate PATH] [--report PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -396,6 +432,10 @@ int main(int argc, char** argv) {
       opt.json_path = next();
     } else if (arg == "--monitor") {
       opt.monitor_path = next();
+    } else if (arg == "--netstate") {
+      opt.netstate_path = next();
+    } else if (arg == "--report") {
+      opt.report_path = next();
     } else {
       usage(argv[0]);
     }
@@ -454,9 +494,11 @@ int main(int argc, char** argv) {
 
   std::uint64_t stalled_total = 0;
   std::uint64_t peak_backlog = 0;
+  double hot_edge_max_util = 0.0;
   for (const Row& r : rows) {
     stalled_total += r.stalled_intervals;
     peak_backlog = std::max(peak_backlog, r.peak_backlog);
+    hot_edge_max_util = std::max(hot_edge_max_util, r.max_utilization);
   }
 
   if (opt.json_path != "-") {
@@ -472,11 +514,12 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "  ],\n  \"stalled_intervals\": %llu,\n"
                    "  \"peak_backlog\": %llu,\n"
+                   "  \"hot_edge_max_utilization\": %.6f,\n"
                    "  \"mean_admission_wait_gain\": %.6f,\n"
                    "  \"hol_blocking_reduction\": %.6f\n}\n",
                    static_cast<unsigned long long>(stalled_total),
                    static_cast<unsigned long long>(peak_backlog),
-                   wait_gain, hol_reduction);
+                   hot_edge_max_util, wait_gain, hol_reduction);
       std::fclose(f);
       std::printf("wrote %s\n", opt.json_path.c_str());
     }
@@ -493,6 +536,37 @@ int main(int argc, char** argv) {
       }
       std::fclose(f);
       std::printf("wrote %s\n", opt.monitor_path.c_str());
+    }
+  }
+
+  if (!opt.netstate_path.empty()) {
+    std::FILE* f = std::fopen(opt.netstate_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   opt.netstate_path.c_str());
+    } else {
+      for (const Row& r : rows) {
+        std::fwrite(r.netstate_jsonl.data(), 1, r.netstate_jsonl.size(),
+                    f);
+      }
+      std::fclose(f);
+      std::printf("wrote %s\n", opt.netstate_path.c_str());
+    }
+  }
+
+  if (!opt.report_path.empty()) {
+    std::FILE* f = std::fopen(opt.report_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   opt.report_path.c_str());
+    } else {
+      std::fprintf(f, "# Admission control run report\n\n");
+      for (const Row& r : rows) {
+        std::fwrite(r.report_md.data(), 1, r.report_md.size(), f);
+        std::fputc('\n', f);
+      }
+      std::fclose(f);
+      std::printf("wrote %s\n", opt.report_path.c_str());
     }
   }
 

@@ -26,6 +26,7 @@
 //          [--rows R] [--cols C] [--requests N] [--pairs P]
 //          [--seconds S] [--cap-seconds S] [--backend dense|bell]
 //          [--seed K] [--json PATH|-] [--trace PATH] [--monitor PATH]
+//          [--netstate PATH] [--report PATH]
 //   --seconds bounds the dragonfly traffic run (default 2 simulated s);
 //   --cap-seconds bounds the grid/hetero request-completion scenarios
 //   (default 60 simulated s — they normally finish far earlier).
@@ -40,6 +41,15 @@
 //   per 100 ms of sim time — validated in CI by tools/monitor_check.py.
 //   The monitors run regardless (they cannot perturb the trajectory);
 //   their stalled_intervals / peak_backlog land in the JSON scalars.
+//   --netstate writes every scenario's per-edge network-state stream
+//   (obs::NetState, ISSUE 8) as "run"-labelled JSONL at PATH —
+//   utilization, contention, and hot-edge records validated in CI by
+//   tools/netstate_check.py. Like the monitors, the samplers run
+//   regardless; the run-wide max per-edge utilization lands in the
+//   hot_edge_max_utilization JSON scalar (<= 1 by construction).
+//   --report writes a human-readable Markdown run report at PATH: per
+//   scenario, the summary counters, hottest edges, contention
+//   analysis, and the latency phase decomposition (obs::report).
 
 #include <algorithm>
 #include <chrono>
@@ -50,9 +60,12 @@
 #include <vector>
 
 #include "common.hpp"
+#include "metrics/edge_stats.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
 #include "obs/monitor.hpp"
+#include "obs/netstate.hpp"
+#include "obs/report.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "qstate/backend_registry.hpp"
@@ -76,6 +89,8 @@ struct Options {
   std::string json_path = "BENCH_grid_routing.json";
   std::string trace_path;    // empty = tracing off
   std::string monitor_path;  // empty = keep records in memory only
+  std::string netstate_path;  // empty = keep records in memory only
+  std::string report_path;    // empty = no Markdown report
 };
 
 struct Row {
@@ -106,6 +121,10 @@ struct Row {
   std::uint64_t stalled_intervals = 0;
   std::uint64_t peak_backlog = 0;
   std::string monitor_jsonl;
+  // Per-edge network state (ISSUE 8); sampled on every scenario.
+  double max_utilization = 0.0;
+  std::string netstate_jsonl;
+  std::string report_md;
 };
 
 /// The shared world of one scenario run. Heap-held parts keep
@@ -116,6 +135,7 @@ struct World {
   metrics::Collector collector;
   std::unique_ptr<netlayer::SwapService> swap;
   std::unique_ptr<routing::Router> router;
+  std::unique_ptr<metrics::EdgeStats> edge_stats;
 
   World(routing::Graph g, const Options& opt, routing::CostModel cost,
         std::function<void(std::size_t, core::LinkConfig&)> configure)
@@ -138,8 +158,21 @@ struct World {
     rc.k_candidates = 4;
     router = std::make_unique<routing::Router>(graph, *net, *swap, rc,
                                                &collector);
+    edge_stats = std::make_unique<metrics::EdgeStats>(graph.num_edges(),
+                                                      graph.num_nodes());
+    router->set_edge_stats(edge_stats.get());
     // Per-label event counts for the snapshot's engine section.
     net->simulator().set_telemetry(true);
+  }
+
+  /// A per-run NetState over this world's substrate, labelled `run`.
+  obs::NetState make_netstate(std::string run) const {
+    obs::NetStateConfig nc;
+    nc.run = std::move(run);
+    obs::NetState ns(net->simulator(), *edge_stats, std::move(nc));
+    ns.attach_collector(&collector);
+    ns.attach_graph(&graph);
+    return ns;
   }
 
   Row finish(const char* scenario, std::string topology,
@@ -174,6 +207,11 @@ struct World {
     snap.backend = &net->registry().backend().stats();
     snap.simulator = &net->simulator();
     row.obs_json = snap.json();
+    obs::RunReportOptions ro;
+    ro.title = std::string(scenario) + " (" + row.topology + ", " +
+               row.cost + " cost)";
+    row.report_md = obs::render_run_report(net->simulator(), *edge_stats,
+                                           collector, &graph, ro);
     return row;
   }
 };
@@ -205,6 +243,7 @@ Row run_grid(const Options& opt) {
   if (!opt.trace_path.empty()) mc.tracer = &tracer;
   obs::Monitor monitor(w.net->simulator(), w.collector, std::move(mc));
   monitor.attach_router(w.router.get());
+  obs::NetState netstate = w.make_netstate("grid");
 
   w.router->set_deliver_handler(
       [&w](const netlayer::E2eOk& ok) { w.swap->release(ok); });
@@ -235,8 +274,10 @@ Row run_grid(const Options& opt) {
          sim::to_seconds(w.net->simulator().now()) < opt.cap_seconds) {
     w.net->run_for(sim::duration::milliseconds(10));
     monitor.poll();
+    netstate.poll();
   }
   monitor.finish();
+  netstate.finish();
 
   if (!opt.trace_path.empty()) {
     std::FILE* f = std::fopen(opt.trace_path.c_str(), "w");
@@ -263,6 +304,8 @@ Row run_grid(const Options& opt) {
   row.stalled_intervals = monitor.stalled_intervals();
   row.peak_backlog = monitor.peak_backlog();
   row.monitor_jsonl = monitor.jsonl();
+  row.max_utilization = netstate.max_utilization();
+  row.netstate_jsonl = netstate.jsonl();
   return row;
 }
 
@@ -289,6 +332,8 @@ Row run_dragonfly(const Options& opt) {
   obs::Monitor monitor(w.net->simulator(), w.collector, std::move(mc));
   monitor.attach_router(w.router.get());
   driver.set_monitor(&monitor);
+  obs::NetState netstate = w.make_netstate("dragonfly");
+  driver.set_netstate(&netstate);
 
   const auto start = std::chrono::steady_clock::now();
   w.net->start();
@@ -296,11 +341,14 @@ Row run_dragonfly(const Options& opt) {
   w.net->run_for(sim::duration::seconds(opt.seconds));
   driver.stop();
   monitor.finish();
+  netstate.finish();
   Row row = w.finish("dragonfly", "dragonfly4x4", wall_since(start));
   row.monitored = true;
   row.stalled_intervals = monitor.stalled_intervals();
   row.peak_backlog = monitor.peak_backlog();
   row.monitor_jsonl = monitor.jsonl();
+  row.max_utilization = netstate.max_utilization();
+  row.netstate_jsonl = netstate.jsonl();
   return row;
 }
 
@@ -334,6 +382,10 @@ Row run_hetero(const Options& opt, routing::CostModel cost) {
   w.router->set_deliver_handler(
       [&w](const netlayer::E2eOk& ok) { w.swap->release(ok); });
 
+  obs::NetState netstate = w.make_netstate(
+      cost == routing::CostModel::kHopCount ? "hetero-hops"
+                                            : "hetero-fidelity");
+
   netlayer::E2eRequest req;
   req.src = 0;
   req.dst = 8;
@@ -347,9 +399,14 @@ Row run_hetero(const Options& opt, routing::CostModel cost) {
   while (stats.completed + stats.failed < 1 &&
          sim::to_seconds(w.net->simulator().now()) < opt.cap_seconds) {
     w.net->run_for(sim::duration::milliseconds(10));
+    netstate.poll();
   }
-  return w.finish("hetero", "grid3x3-degraded-staircase",
-                  wall_since(start));
+  netstate.finish();
+  Row row = w.finish("hetero", "grid3x3-degraded-staircase",
+                     wall_since(start));
+  row.max_utilization = netstate.max_utilization();
+  row.netstate_jsonl = netstate.jsonl();
+  return row;
 }
 
 void print_row(const Row& r) {
@@ -400,6 +457,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         "\"mean_route_hops\": %.3f, \"mean_latency_ms\": %.3f, "
         "\"p50_request_latency_s\": %.6f, "
         "\"p99_request_latency_s\": %.6f, "
+        "\"max_utilization\": %.6f, "
         "\"sim_seconds\": %.3f, \"wall_seconds\": %.4f, \"events\": "
         "%llu, \"events_per_sec\": %.1f, %s\"obs\": %s}%s\n",
         r.scenario.c_str(), r.topology.c_str(), r.cost, r.backend,
@@ -410,7 +468,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         static_cast<unsigned long long>(r.failed),
         static_cast<unsigned long long>(r.delivered), r.mean_fidelity,
         r.mean_route_hops, r.mean_latency_ms, r.p50_request_latency_s,
-        r.p99_request_latency_s, r.sim_seconds,
+        r.p99_request_latency_s, r.max_utilization, r.sim_seconds,
         r.wall_seconds,
         static_cast<unsigned long long>(r.events),
         static_cast<double>(r.events) / r.wall_seconds,
@@ -418,11 +476,17 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         r.obs_json.c_str(),
         i + 1 < rows.size() ? "," : "");
   }
+  double hot_edge_max_util = 0.0;
+  for (const Row& r : rows) {
+    hot_edge_max_util = std::max(hot_edge_max_util, r.max_utilization);
+  }
   std::fprintf(f,
                "  ],\n  \"stalled_intervals\": %llu,\n"
-               "  \"peak_backlog\": %llu,\n",
+               "  \"peak_backlog\": %llu,\n"
+               "  \"hot_edge_max_utilization\": %.6f,\n",
                static_cast<unsigned long long>(stalled_total),
-               static_cast<unsigned long long>(peak_backlog));
+               static_cast<unsigned long long>(peak_backlog),
+               hot_edge_max_util);
   // null, not a fabricated 0.0, when the hetero comparison did not run.
   if (hetero_ran) {
     std::fprintf(f, "  \"hetero_fidelity_gain\": %.6f\n}\n",
@@ -453,13 +517,50 @@ void write_monitor(const std::string& path, const std::vector<Row>& rows) {
   std::printf("wrote %s, %zu records\n", path.c_str(), records);
 }
 
+/// Concatenate every run's per-edge network-state records into one
+/// JSONL file ("run"-labelled, like write_monitor).
+void write_netstate(const std::string& path,
+                    const std::vector<Row>& rows) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::size_t records = 0;
+  for (const Row& r : rows) {
+    std::fwrite(r.netstate_jsonl.data(), 1, r.netstate_jsonl.size(), f);
+    for (const char c : r.netstate_jsonl) records += c == '\n';
+  }
+  std::fclose(f);
+  std::printf("wrote %s, %zu records\n", path.c_str(), records);
+}
+
+/// One Markdown report: a header, then each scenario's rendered
+/// section (obs::render_run_report) in run order.
+void write_report(const std::string& path, const std::vector<Row>& rows) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "# Grid routing run report\n\n");
+  for (const Row& r : rows) {
+    std::fwrite(r.report_md.data(), 1, r.report_md.size(), f);
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scenario all|grid|dragonfly|hetero] "
                "[--rows R] [--cols C] [--requests N] [--pairs P] "
                "[--seconds S] [--cap-seconds S] [--backend dense|bell] "
                "[--seed K] [--json PATH|-] [--trace PATH] "
-               "[--monitor PATH]\n",
+               "[--monitor PATH] [--netstate PATH] [--report PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -501,6 +602,10 @@ int main(int argc, char** argv) {
       opt.trace_path = next();
     } else if (arg == "--monitor") {
       opt.monitor_path = next();
+    } else if (arg == "--netstate") {
+      opt.netstate_path = next();
+    } else if (arg == "--report") {
+      opt.report_path = next();
     } else {
       usage(argv[0]);
     }
@@ -558,5 +663,7 @@ int main(int argc, char** argv) {
   write_json(opt.json_path, rows, hetero_ran,
              hetero_fid_fidelity - hetero_hops_fidelity);
   write_monitor(opt.monitor_path, rows);
+  write_netstate(opt.netstate_path, rows);
+  write_report(opt.report_path, rows);
   return 0;
 }

@@ -10,6 +10,17 @@ using core::OkMessage;
 using core::Priority;
 using quantum::gates::Basis;
 
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kAdmissionWait: return "admission_wait";
+    case Phase::kDeferral: return "deferral";
+    case Phase::kGeneration: return "generation";
+    case Phase::kSwapCascade: return "swap_cascade";
+    case Phase::kDelivery: return "delivery";
+  }
+  return "unknown";
+}
+
 void Collector::record_create(std::uint32_t origin_node,
                               std::uint32_t create_id, Priority kind,
                               std::uint16_t num_pairs, sim::SimTime t) {
@@ -53,8 +64,64 @@ void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
     om.scaled_latency_s.add(scaled);
     km.requests_completed += 1;
     om.requests_completed += 1;
+    note_slow_request(ok.create_id, req, request_latency);
     open_.erase(it);
   }
+}
+
+void Collector::record_admission_wait(double seconds, std::uint32_t origin,
+                                      std::uint32_t id) {
+  record_admission_wait(seconds);
+  const auto it = open_.find({origin, id});
+  if (it != open_.end()) it->second.admission_wait_s += seconds;
+}
+
+void Collector::attribute_deferral(std::uint32_t origin, std::uint32_t id,
+                                   double booked_wait_s) {
+  const auto it = open_.find({origin, id});
+  if (it != open_.end()) it->second.deferral_s += booked_wait_s;
+}
+
+void Collector::record_pair_phases(std::uint32_t origin, std::uint32_t id,
+                                   double generation_s, double swap_s,
+                                   double delivery_s) {
+  phase_hists_[static_cast<std::size_t>(Phase::kGeneration)].record(
+      generation_s);
+  phase_hists_[static_cast<std::size_t>(Phase::kSwapCascade)].record(swap_s);
+  phase_hists_[static_cast<std::size_t>(Phase::kDelivery)].record(delivery_s);
+  const auto it = open_.find({origin, id});
+  if (it != open_.end()) {
+    it->second.generation_s = generation_s;
+    it->second.swap_s = swap_s;
+    it->second.delivery_s = delivery_s;
+  }
+}
+
+void Collector::note_slow_request(std::uint32_t id, const OpenRequest& req,
+                                  double total_s) {
+  SlowRequest slow;
+  slow.total_s = total_s;
+  slow.phase_s[static_cast<std::size_t>(Phase::kAdmissionWait)] =
+      req.admission_wait_s;
+  slow.phase_s[static_cast<std::size_t>(Phase::kDeferral)] = req.deferral_s;
+  slow.phase_s[static_cast<std::size_t>(Phase::kGeneration)] =
+      req.generation_s;
+  slow.phase_s[static_cast<std::size_t>(Phase::kSwapCascade)] = req.swap_s;
+  slow.phase_s[static_cast<std::size_t>(Phase::kDelivery)] = req.delivery_s;
+  slow.origin = req.origin;
+  slow.id = id;
+  slowest_.push_back(slow);
+  sort_and_trim_slowest(slowest_);
+}
+
+void Collector::sort_and_trim_slowest(std::vector<SlowRequest>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const SlowRequest& a, const SlowRequest& b) {
+              if (a.total_s != b.total_s) return a.total_s > b.total_s;
+              if (a.origin != b.origin) return a.origin < b.origin;
+              return a.id < b.id;
+            });
+  if (v.size() > kSlowestCapacity) v.resize(kSlowestCapacity);
 }
 
 void Collector::record_resubmit(std::uint32_t origin, std::uint32_t old_id,
@@ -164,10 +231,17 @@ void Collector::merge(const Collector& other) {
   for (const auto& [node, km] : other.origin_metrics_) {
     merge_kind(origin_metrics_[node], km);
   }
-  // insert() keeps the existing entry on a key collision — across real
-  // shards (origin, create_id) keys are disjoint; on overlap the
-  // earlier-merged view wins.
-  open_.insert(other.open_.begin(), other.open_.end());
+  // Open-request union: across real shards (origin, create_id) keys
+  // are disjoint; when both shards hold the same open key, the entry
+  // with the earlier `created` wins (ISSUE 8) — it anchors latency at
+  // the first submission either shard saw, and the rule is symmetric
+  // so merge order cannot change the result.
+  for (const auto& [key, req] : other.open_) {
+    const auto [it, inserted] = open_.try_emplace(key, req);
+    if (!inserted && req.created < it->second.created) {
+      it->second = req;
+    }
+  }
   for (const auto& [err, n] : other.error_counts_) error_counts_[err] += n;
   for (std::size_t b = 0; b < qber_counts_.size(); ++b) {
     qber_counts_[b].first += other.qber_counts_[b].first;
@@ -177,6 +251,12 @@ void Collector::merge(const Collector& other) {
   pair_latency_hist_ += other.pair_latency_hist_;
   admission_wait_hist_ += other.admission_wait_hist_;
   fidelity_hist_ += other.fidelity_hist_;
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    phase_hists_[p] += other.phase_hists_[p];
+  }
+  slowest_.insert(slowest_.end(), other.slowest_.begin(),
+                  other.slowest_.end());
+  sort_and_trim_slowest(slowest_);
   request_latency_res_.merge(other.request_latency_res_);
   fidelity_res_.merge(other.fidelity_res_);
   queue_length_.merge(other.queue_length_);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "core/requests.hpp"
 #include "metrics/histogram.hpp"
@@ -18,6 +19,22 @@
 /// fairness splits by requesting node.
 
 namespace qlink::metrics {
+
+/// Latency phase taxonomy (ISSUE 8): where a request's life goes.
+/// kAdmissionWait covers submit -> first admission (kDeferral is the
+/// booked-window slice of it, reported separately); per delivered pair,
+/// kGeneration covers admission -> all hops matched (cascade launch),
+/// kSwapCascade launch -> the swap cascade's execution, and kDelivery
+/// the cascade -> delivery classical-correction flight.
+enum class Phase : std::size_t {
+  kAdmissionWait = 0,
+  kDeferral,
+  kGeneration,
+  kSwapCascade,
+  kDelivery,
+};
+inline constexpr std::size_t kNumPhases = 5;
+const char* phase_name(Phase p);
 
 class Collector {
  public:
@@ -87,13 +104,26 @@ class Collector {
   void record_admission_wait(double seconds) {
     admission_wait_s_.add(seconds);
     admission_wait_hist_.record(seconds);
+    phase_hists_[static_cast<std::size_t>(Phase::kAdmissionWait)].record(
+        seconds);
   }
+  /// As above, also attributing the wait to the open request
+  /// (origin, id) so its phase vector carries it at completion.
+  void record_admission_wait(double seconds, std::uint32_t origin,
+                             std::uint32_t id);
   /// A deferred-admission booking and its booked wait (the gap between
   /// the deferral and the booked window start).
   void record_deferral(double booked_wait_s) {
     ++deferrals_;
     deferred_wait_s_.add(booked_wait_s);
+    phase_hists_[static_cast<std::size_t>(Phase::kDeferral)].record(
+        booked_wait_s);
   }
+  /// Attach an earlier-booked deferral wait to the open request's phase
+  /// vector (the Router learns the request id only when the booked
+  /// window opens, after record_deferral already counted the booking).
+  void attribute_deferral(std::uint32_t origin, std::uint32_t id,
+                          double booked_wait_s);
   /// Head-of-line accounting: an admission that jumped an older blocked
   /// request on a shared edge (greedy drain) ...
   void record_steal() { ++admission_steals_; }
@@ -176,6 +206,37 @@ class Collector {
   }
   const Reservoir& fidelity_reservoir() const { return fidelity_res_; }
 
+  // -- Latency phase decomposition (ISSUE 8) ------------------------------
+  // "Why was p99 slow": per-phase Histograms over the same control
+  // points the existing counters use, plus a bounded keeper of the
+  // slowest completed requests with their phase vectors.
+  struct SlowRequest {
+    double total_s = 0.0;
+    /// Seconds per Phase, indexed by static_cast<std::size_t>(Phase).
+    /// kGeneration/kSwapCascade/kDelivery are the *last* delivered
+    /// pair's values (the pair that completed the request).
+    std::array<double, kNumPhases> phase_s{};
+    std::uint32_t origin = 0;
+    std::uint32_t id = 0;
+  };
+  static constexpr std::size_t kSlowestCapacity = 16;
+
+  /// One delivered pair's generation / swap-cascade / delivery phase
+  /// measurements (SwapService). Call before record_ok for the same
+  /// pair so a completing request's phase vector is current.
+  void record_pair_phases(std::uint32_t origin, std::uint32_t id,
+                          double generation_s, double swap_s,
+                          double delivery_s);
+  const Histogram& phase_hist(Phase p) const {
+    return phase_hists_[static_cast<std::size_t>(p)];
+  }
+  /// The slowest completed requests, total latency descending (ties:
+  /// origin then id ascending — deterministic), at most
+  /// kSlowestCapacity of them.
+  const std::vector<SlowRequest>& slowest_requests() const {
+    return slowest_;
+  }
+
   // -- In-flight state (ISSUE 7) ------------------------------------------
   // The open_ map grows silently when a layer leaks a request (a CREATE
   // that never sees its last OK or a terminal ERR). Surface it so the
@@ -189,8 +250,11 @@ class Collector {
   /// exactly and commutatively; RunningStats via parallel Welford (~1e-12
   /// relative reassociation error); reservoirs via Reservoir::merge
   /// (order-sensitive byte-wise when overflowing — see reservoir.hpp);
-  /// open_ entries union (colliding (origin, create_id) keys keep the
-  /// earlier entry); start/end times widen to cover both windows.
+  /// open_ entries union — when the same (origin, create_id) key is
+  /// open in both shards, the entry with the earlier `created` wins
+  /// regardless of merge order (ISSUE 8: latency stays measured from
+  /// the first submission a shard saw); start/end times widen to cover
+  /// both windows.
   void merge(const Collector& other);
 
  private:
@@ -199,7 +263,19 @@ class Collector {
     std::uint16_t num_pairs;
     sim::SimTime created;
     std::uint32_t origin;
+    /// Phase attribution accumulated while open (seconds; the three
+    /// per-pair phases hold the most recent delivered pair's values).
+    double admission_wait_s = 0.0;
+    double deferral_s = 0.0;
+    double generation_s = 0.0;
+    double swap_s = 0.0;
+    double delivery_s = 0.0;
   };
+
+  /// Fold a completing request into the slowest-request keeper.
+  void note_slow_request(std::uint32_t id, const OpenRequest& req,
+                         double total_s);
+  static void sort_and_trim_slowest(std::vector<SlowRequest>& v);
 
   sim::SimTime start_time_ = 0;
   sim::SimTime end_time_ = 0;
@@ -212,6 +288,9 @@ class Collector {
   Histogram pair_latency_hist_;
   Histogram admission_wait_hist_;
   Histogram fidelity_hist_;
+  std::array<Histogram, kNumPhases> phase_hists_{};
+  /// Sorted (total_s desc, origin asc, id asc), <= kSlowestCapacity.
+  std::vector<SlowRequest> slowest_;
   // Distinct fixed seeds: deterministic per construction, independent
   // streams per metric.
   Reservoir request_latency_res_{1024, 0x716c4c61747265ULL};

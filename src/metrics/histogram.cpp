@@ -33,6 +33,10 @@ Histogram& Histogram::operator+=(const Histogram& other) {
   overflow_ += other.overflow_;
   count_ += other.count_;
   sum_ += other.sum_;
+  // Element-wise extremes: an empty side carries neutral sentinels, so
+  // no count guard is needed.
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
   return *this;
 }
 
@@ -49,6 +53,12 @@ Histogram Histogram::delta_since(const Histogram& earlier) const {
   out.overflow_ = sub(overflow_, earlier.overflow_);
   out.count_ = sub(count_, earlier.count_);
   out.sum_ = sum_ - earlier.sum_;
+  // Interval-local extremes are not derivable from two cumulative
+  // snapshots (the interval's min may predate `earlier`'s max); carry
+  // the stream-cumulative extremes so delta consumers still see exact
+  // bounds for everything recorded so far.
+  out.min_ = min_;
+  out.max_ = max_;
   return out;
 }
 

@@ -37,6 +37,11 @@ class Histogram {
   void record(double x) {
     ++count_;
     sum_ += x;
+    // Exact extremes survive even when the value itself clamps into
+    // the underflow/overflow bins (ISSUE 8). NaN is excluded by the
+    // comparisons, matching its exclusion from every bin's range.
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
     if (!(x >= kMinValue)) {  // also catches NaN, <= 0
       ++underflow_;
       return;
@@ -58,6 +63,12 @@ class Histogram {
   }
   std::uint64_t underflow() const noexcept { return underflow_; }
   std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Exact observed extremes — not clamped to [kMinValue, kMaxValue),
+  /// so an outlier that landed in the underflow/overflow bin is still
+  /// reported faithfully. 0 when empty (the RunningStat convention).
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
 
   /// Percentile (0..100) estimate: walk the cumulative counts to the
   /// target rank and interpolate linearly inside the landing bin.
@@ -95,6 +106,10 @@ class Histogram {
   std::uint64_t overflow_ = 0;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  // Sentinels chosen so merging an empty side is the identity
+  // (std::min/std::max absorb them) — same trick as RunningStat.
+  double min_ = 1e300;
+  double max_ = -1e300;
 };
 
 }  // namespace qlink::metrics

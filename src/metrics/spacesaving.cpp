@@ -1,0 +1,106 @@
+#include "metrics/spacesaving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qlink::metrics {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("SpaceSaving capacity must be > 0");
+  }
+}
+
+std::map<std::uint64_t, SpaceSaving::Counter>::iterator
+SpaceSaving::min_counter() {
+  auto min_it = counters_.begin();
+  for (auto it = std::next(min_it); it != counters_.end(); ++it) {
+    // Strict < keeps the smallest key on ties: map iteration is key
+    // ascending, so the first minimum seen wins.
+    if (it->second.count < min_it->second.count) {
+      min_it = it;
+    }
+  }
+  return min_it;
+}
+
+void SpaceSaving::add(std::uint64_t key, std::uint64_t weight) {
+  if (weight == 0) {
+    return;
+  }
+  total_weight_ += weight;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, Counter{weight, 0});
+    return;
+  }
+  // Full: the new key replaces the minimum counter and inherits its
+  // count as the overestimation bound.
+  auto min_it = min_counter();
+  const std::uint64_t floor = min_it->second.count;
+  counters_.erase(min_it);
+  counters_.emplace(key, Counter{floor + weight, floor});
+  ++evictions_;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t k) const {
+  std::vector<Entry> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    entries.push_back(Entry{key, counter.count, counter.error});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  if (entries.size() > k) {
+    entries.resize(k);
+  }
+  return entries;
+}
+
+std::uint64_t SpaceSaving::count_bound(std::uint64_t key) const {
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    return it->second.count;
+  }
+  std::uint64_t min_count = 0;
+  bool first = true;
+  for (const auto& [k, counter] : counters_) {
+    (void)k;
+    if (first || counter.count < min_count) {
+      min_count = counter.count;
+      first = false;
+    }
+  }
+  return first ? 0 : min_count;
+}
+
+void SpaceSaving::truncate_to_capacity() {
+  while (counters_.size() > capacity_) {
+    counters_.erase(min_counter());
+    ++evictions_;
+  }
+}
+
+void SpaceSaving::merge(const SpaceSaving& other) {
+  for (const auto& [key, counter] : other.counters_) {
+    auto it = counters_.find(key);
+    if (it != counters_.end()) {
+      it->second.count += counter.count;
+      it->second.error += counter.error;
+    } else {
+      counters_.emplace(key, counter);
+    }
+  }
+  total_weight_ += other.total_weight_;
+  evictions_ += other.evictions_;
+  truncate_to_capacity();
+}
+
+}  // namespace qlink::metrics

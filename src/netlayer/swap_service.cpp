@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "metrics/edge_stats.hpp"
 #include "quantum/bell.hpp"
 #include "quantum/gates.hpp"
 
@@ -89,6 +90,7 @@ std::uint32_t SwapService::request(const E2eRequest& request,
   rs.id = next_request_id_++;
   rs.req = request;
   rs.submitted = request.submitted_at >= 0 ? request.submitted_at : now();
+  rs.admitted = now();
 
   rs.hops.reserve(route.size());
   const double link_floor = request.effective_link_floor();
@@ -123,6 +125,7 @@ std::uint32_t SwapService::request(const E2eRequest& request,
                "to", static_cast<std::uint64_t>(net_.hop_exit(hop)))});
     }
     by_create_[{hop.link, entry, hs.create_id}] = {rs.id, rs.hops.size()};
+    if (edge_stats_) edge_stats_->on_attempt(hop.link, request.num_pairs);
     rs.hops.push_back(std::move(hs));
   }
 
@@ -203,10 +206,11 @@ void SwapService::try_launch(RequestState& rs) {
     // Run the cascade from a fresh event: OK handlers fire in the
     // middle of EGP processing, and the swap mutates device memory.
     const std::uint32_t id = rs.id;
+    const sim::SimTime launched_at = now();
     schedule_in(
         0,
-        [this, id, moved = std::move(pairs)]() mutable {
-          run_cascade(id, std::move(moved));
+        [this, id, launched_at, moved = std::move(pairs)]() mutable {
+          run_cascade(id, std::move(moved), launched_at);
         },
         "swap.cascade");
   }
@@ -223,7 +227,8 @@ sim::SimTime SwapService::correction_delay(const RequestState& rs) {
 }
 
 void SwapService::run_cascade(std::uint32_t request_id,
-                              std::vector<MatchedPair> pairs) {
+                              std::vector<MatchedPair> pairs,
+                              sim::SimTime launched_at) {
   const auto rit = requests_.find(request_id);
   if (rit == requests_.end()) {
     // The request failed between launch and this event: nothing to
@@ -287,6 +292,7 @@ void SwapService::run_cascade(std::uint32_t request_id,
 
     ++swaps;
     ++stats_.swaps;
+    if (edge_stats_) edge_stats_->on_swap(node);
   }
 
   E2eOk ok;
@@ -305,7 +311,9 @@ void SwapService::run_cascade(std::uint32_t request_id,
 
   // Deliver after the swap outcomes could classically reach dst; the
   // pair keeps decohering while the announcements are in flight.
-  schedule_in(correction_delay(rs), [this, ok]() mutable {
+  const sim::SimTime cascade_at = now();
+  schedule_in(correction_delay(rs), [this, ok, launched_at,
+                                     cascade_at]() mutable {
     const auto it = requests_.find(ok.request_id);
     if (it == requests_.end()) {
       // The request failed (and reported E2eErr) while this
@@ -324,6 +332,24 @@ void SwapService::run_cascade(std::uint32_t request_id,
 
     RequestState& state = it->second;
     ok.pair_index = state.delivered++;
+    if (collector_) {
+      // Latency phase decomposition (ISSUE 8): admission -> first
+      // full-route match (generation), match -> cascade executed
+      // (swap), cascade -> classical announcement at dst (delivery).
+      // Recorded before record_ok so a completing request's open entry
+      // carries its phases into the slowest-request keeper.
+      collector_->record_pair_phases(
+          ok.src, ok.request_id,
+          sim::to_seconds(launched_at - state.admitted),
+          sim::to_seconds(cascade_at - launched_at),
+          sim::to_seconds(now() - cascade_at));
+    }
+    if (edge_stats_) {
+      for (const HopState& hs : state.hops) {
+        edge_stats_->on_delivered_edge(hs.hop.link, ok.fidelity);
+      }
+      edge_stats_->on_delivered_pair(ok.src, ok.dst);
+    }
     if (collector_) {
       OkMessage record;
       record.create_id = ok.request_id;

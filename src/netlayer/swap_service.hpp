@@ -28,6 +28,10 @@
 /// and delivers an end-to-end pair whose fidelity is measured with
 /// simulator privilege and tracked through metrics::Collector.
 
+namespace qlink::metrics {
+class EdgeStats;
+}
+
 namespace qlink::netlayer {
 
 /// End-to-end entanglement request between two nodes of the network.
@@ -151,6 +155,13 @@ class SwapService : public sim::Entity {
   /// attaching one cannot perturb the trajectory.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach a per-edge accounting substrate (null to detach): receives
+  /// per-hop CREATE attempts, swap executions, and per-hop delivery
+  /// facts. Recording only — cannot perturb the trajectory.
+  void set_edge_stats(metrics::EdgeStats* stats) noexcept {
+    edge_stats_ = stats;
+  }
+
   const Stats& stats() const noexcept { return stats_; }
   std::size_t open_requests() const noexcept { return requests_.size(); }
 
@@ -178,6 +189,9 @@ class SwapService : public sim::Entity {
     std::uint32_t id = 0;
     E2eRequest req;
     sim::SimTime submitted = 0;
+    /// When the SwapService admitted the request (issued its CREATEs);
+    /// anchors the generation phase of the latency decomposition.
+    sim::SimTime admitted = 0;
     std::vector<HopState> hops;
     std::uint16_t launched = 0;   // cascades started
     std::uint16_t delivered = 0;  // end-to-end pairs delivered
@@ -186,7 +200,8 @@ class SwapService : public sim::Entity {
   void on_ok(std::size_t link, std::uint32_t node, const core::OkMessage& ok);
   void on_err(std::size_t link, std::uint32_t node, const core::ErrMessage&);
   void try_launch(RequestState& rs);
-  void run_cascade(std::uint32_t request_id, std::vector<MatchedPair> pairs);
+  void run_cascade(std::uint32_t request_id, std::vector<MatchedPair> pairs,
+                   sim::SimTime launched_at);
   void fail_request(RequestState& rs, std::size_t link, core::EgpError error);
   /// Returns how many pair halves/pairs were dropped.
   std::size_t drop_revoked(RequestState& rs, std::size_t link,
@@ -217,6 +232,7 @@ class SwapService : public sim::Entity {
       by_create_;
   std::uint32_t next_request_id_ = 1;
   obs::Tracer* tracer_ = nullptr;
+  metrics::EdgeStats* edge_stats_ = nullptr;
   DeliverFn on_deliver_;
   ErrorFn on_error_;
   UnclaimedFn on_unclaimed_;

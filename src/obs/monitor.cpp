@@ -47,6 +47,13 @@ void append_hist_delta(std::string& out, const char* key,
   append_field(out, "count", delta.count());
   out += ',';
   append_field(out, "p99", delta.p99());
+  out += ',';
+  // delta_since carries the stream-cumulative extremes (interval-local
+  // ones are not derivable from two snapshots) — exact even for values
+  // the bins clamped.
+  append_field(out, "min", delta.min());
+  out += ',';
+  append_field(out, "max", delta.max());
   out += '}';
 }
 

@@ -47,6 +47,10 @@ std::string histogram_json(const metrics::Histogram& h) {
   out += ',';
   append_field(out, "p99", h.p99());
   out += ',';
+  append_field(out, "min", h.min());
+  out += ',';
+  append_field(out, "max", h.max());
+  out += ',';
   append_field(out, "underflow", h.underflow());
   out += ',';
   append_field(out, "overflow", h.overflow());
@@ -137,6 +141,40 @@ std::string Snapshot::json() const {
     out += ",\"fidelity\":";
     out += histogram_json(collector->fidelity_hist());
     out += '}';
+
+    // Latency phase decomposition (ISSUE 8): per-phase distributions
+    // over the same request stream, plus the slowest requests' phase
+    // vectors (deterministic order: total desc, origin/id asc).
+    section("phases");
+    out += '{';
+    for (std::size_t p = 0; p < metrics::kNumPhases; ++p) {
+      if (p > 0) out += ',';
+      out += '"';
+      out += metrics::phase_name(static_cast<metrics::Phase>(p));
+      out += "\":";
+      out += histogram_json(
+          collector->phase_hist(static_cast<metrics::Phase>(p)));
+    }
+    out += ",\"slowest\":[";
+    bool first_slow = true;
+    for (const metrics::Collector::SlowRequest& s :
+         collector->slowest_requests()) {
+      if (!first_slow) out += ',';
+      first_slow = false;
+      out += '{';
+      append_field(out, "origin", static_cast<std::uint64_t>(s.origin));
+      out += ',';
+      append_field(out, "id", static_cast<std::uint64_t>(s.id));
+      out += ',';
+      append_field(out, "total_s", s.total_s);
+      for (std::size_t p = 0; p < metrics::kNumPhases; ++p) {
+        out += ',';
+        append_field(out, metrics::phase_name(static_cast<metrics::Phase>(p)),
+                     s.phase_s[p]);
+      }
+      out += '}';
+    }
+    out += "]}";
   }
 
   if (simulator != nullptr) {

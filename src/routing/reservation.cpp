@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "metrics/edge_stats.hpp"
+
 namespace qlink::routing {
 
 ReservationTable::ReservationTable(const Graph& graph)
@@ -92,6 +94,11 @@ std::optional<ReservationTable::Ticket> ReservationTable::reserve_window(
   active_.emplace(ticket, std::vector<std::size_t>(edges.begin(),
                                                    edges.end()));
   max_active_ = std::max(max_active_, active_.size());
+  if (edge_stats_ != nullptr) {
+    for (const std::size_t e : edges) {
+      edge_stats_->on_lease(e, ticket, start, end);
+    }
+  }
   return ticket;
 }
 
@@ -136,10 +143,15 @@ std::optional<sim::SimTime> ReservationTable::earliest_window(
   return std::nullopt;
 }
 
-void ReservationTable::release(Ticket ticket) {
+void ReservationTable::release(Ticket ticket, sim::SimTime now) {
   const auto it = active_.find(ticket);
   if (it == active_.end()) {
     throw std::invalid_argument("ReservationTable: unknown ticket");
+  }
+  if (edge_stats_ != nullptr) {
+    for (const std::size_t e : it->second) {
+      edge_stats_->on_lease_release(e, ticket, now);
+    }
   }
   for (const std::size_t e : it->second) {
     std::vector<Lease>& held = leases_[e];
@@ -190,6 +202,7 @@ std::optional<sim::SimTime> ReservationTable::next_expiry_scan() const {
 
 void ReservationTable::enqueue_blocked(RetryFn retry,
                                        std::vector<std::size_t> footprint) {
+  if (edge_stats_ != nullptr) edge_stats_->on_blocked(footprint);
   blocked_.push_back({std::move(retry), std::move(footprint)});
 }
 

@@ -56,6 +56,10 @@
 /// edge) while disjoint requests stay unordered. Under the historical
 /// kGreedy policy such jumps are allowed and counted (`steals`).
 
+namespace qlink::metrics {
+class EdgeStats;
+}
+
 namespace qlink::routing {
 
 /// How the blocked-queue drain orders conflicting retries; see the file
@@ -80,6 +84,14 @@ class ReservationTable {
 
   void set_drain_policy(DrainPolicy policy) noexcept { policy_ = policy; }
   DrainPolicy drain_policy() const noexcept { return policy_; }
+
+  /// Attach a per-edge accounting substrate (null to detach). The table
+  /// reports lease placements/releases and blocked-arrival footprints;
+  /// the substrate only records (no events, no randomness), so
+  /// attaching one cannot perturb a trajectory (ISSUE 8).
+  void set_edge_stats(metrics::EdgeStats* stats) noexcept {
+    edge_stats_ = stats;
+  }
 
   /// Whether every listed edge has spare capacity over the whole window
   /// [now, now + duration). The default duration degenerates to the
@@ -117,8 +129,11 @@ class ReservationTable {
 
   /// Release a reservation (dropping any lease entries that have not
   /// lapsed yet) and retry the blocked queue. Unknown tickets throw
-  /// std::invalid_argument (double release is a caller bug).
-  void release(Ticket ticket);
+  /// std::invalid_argument (double release is a caller bug). A
+  /// non-negative `now` lets per-edge accounting truncate the lease
+  /// windows at the actual release time (negative = time unknown, keep
+  /// the scheduled ends — the historical signature).
+  void release(Ticket ticket, sim::SimTime now = -1);
 
   /// Queue a blocked request for retry on the next release or expiry.
   /// `footprint` (optional) declares the edges the request is waiting
@@ -218,6 +233,7 @@ class ReservationTable {
   std::uint64_t batch_admits_ = 0;
   bool draining_ = false;
   bool redrain_ = false;
+  metrics::EdgeStats* edge_stats_ = nullptr;
 };
 
 }  // namespace qlink::routing

@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "metrics/edge_stats.hpp"
+
 namespace qlink::routing {
 
 netlayer::NetworkConfig make_network_config(
@@ -58,6 +60,12 @@ Router::Router(Graph graph, netlayer::QuantumNetwork& network,
       [this](const netlayer::E2eOk& ok) { on_deliver(ok); });
   swap_.set_error_handler(
       [this](const netlayer::E2eErr& err) { on_error(err); });
+}
+
+void Router::set_edge_stats(metrics::EdgeStats* stats) noexcept {
+  edge_stats_ = stats;
+  reservations_.set_edge_stats(stats);
+  swap_.set_edge_stats(stats);
 }
 
 Router::~Router() {
@@ -182,7 +190,7 @@ std::uint32_t Router::try_admit(FlightState& flight) {
     } catch (...) {
       // A malformed pinned path (submit_on checks only the endpoints)
       // must not leak its reservation and wedge the edges forever.
-      reservations_.release(*ticket);
+      reservations_.release(*ticket, now);
       throw;
     }
     flight.ticket = *ticket;
@@ -191,17 +199,19 @@ std::uint32_t Router::try_admit(FlightState& flight) {
     // reached the SwapService (record_resubmit fired inside request),
     // so Stats::rerouted and Collector::reroutes always agree.
     if (flight.request.resubmission_of != 0) ++stats_.rerouted;
-    if (collector_) {
-      collector_->record_route(path.hops());
+    if (flight.request.resubmission_of == 0 &&
+        flight.request.submitted_at >= 0) {
       // Admission wait covers submit -> first admission (0 for an
       // instant admit, the queueing time for a drained one);
       // resubmissions keep their original latency accounting instead.
-      if (flight.request.resubmission_of == 0 &&
-          flight.request.submitted_at >= 0) {
-        collector_->record_admission_wait(
-            sim::to_seconds(now - flight.request.submitted_at));
+      const double wait_s =
+          sim::to_seconds(now - flight.request.submitted_at);
+      if (collector_) {
+        collector_->record_admission_wait(wait_s, flight.request.src, id);
       }
+      if (edge_stats_) edge_stats_->on_admission_wait(path.edges, wait_s);
     }
+    if (collector_) collector_->record_route(path.hops());
     if (tracer_ && flight.request.resubmission_of == 0 &&
         flight.request.submitted_at >= 0 &&
         now > flight.request.submitted_at) {
@@ -243,6 +253,9 @@ bool Router::try_defer(FlightState& flight) {
   flight.ticket = *ticket;
   ++stats_.deferred;
   stats_.deferred_wait_total += best_start - now;
+  // The SwapService id does not exist yet; remember the booked wait so
+  // submit_deferred can attribute it to the request's deferral phase.
+  flight.booked_wait_s += sim::to_seconds(best_start - now);
   if (collector_) {
     collector_->record_deferral(sim::to_seconds(best_start - now));
   }
@@ -275,19 +288,27 @@ void Router::submit_deferred(FlightState flight, const Path& path) {
   try {
     id = swap_.request(flight.request, to_hops(path), hop_floors(path));
   } catch (...) {
-    reservations_.release(flight.ticket);
+    reservations_.release(flight.ticket, net_.simulator().now());
     throw;
   }
   ++stats_.admitted;
   if (flight.request.resubmission_of != 0) ++stats_.rerouted;
+  if (flight.request.resubmission_of == 0 &&
+      flight.request.submitted_at >= 0) {
+    const double wait_s = sim::to_seconds(net_.simulator().now() -
+                                          flight.request.submitted_at);
+    if (collector_) {
+      collector_->record_admission_wait(wait_s, flight.request.src, id);
+    }
+    if (edge_stats_) edge_stats_->on_admission_wait(path.edges, wait_s);
+  }
   if (collector_) {
     collector_->record_route(path.hops());
-    if (flight.request.resubmission_of == 0 &&
-        flight.request.submitted_at >= 0) {
-      collector_->record_admission_wait(sim::to_seconds(
-          net_.simulator().now() - flight.request.submitted_at));
-    }
+    collector_->attribute_deferral(flight.request.src, id,
+                                   flight.booked_wait_s);
   }
+  // Attributed; a later re-route that defers again must not re-count it.
+  flight.booked_wait_s = 0.0;
   if (tracer_ && flight.request.resubmission_of == 0 &&
       flight.request.submitted_at >= 0 &&
       net_.simulator().now() > flight.request.submitted_at) {
@@ -388,6 +409,7 @@ std::uint32_t Router::submit_flight(FlightState flight) {
   }
   ++stats_.blocked;
   if (collector_) collector_->record_blocked();
+  if (edge_stats_) edge_stats_->on_blocked_request();
   enqueue_flight(std::move(flight));
   return 0;
 }
@@ -510,7 +532,7 @@ void Router::on_deliver(const netlayer::E2eOk& ok) {
       in_flight_.erase(it);
       // May reentrantly admit blocked requests (fresh SwapService
       // CREATEs fire from inside this delivery).
-      reservations_.release(ticket);
+      reservations_.release(ticket, net_.simulator().now());
       sync_contention_metrics();
       schedule_expiry_wakeup();
     }
@@ -529,7 +551,7 @@ void Router::on_error(const netlayer::E2eErr& err) {
   in_flight_.erase(it);
   // May reentrantly admit blocked requests; the failed request's own
   // resubmission (below) queues behind them — it already had service.
-  reservations_.release(flight.ticket);
+  reservations_.release(flight.ticket, net_.simulator().now());
   sync_contention_metrics();
   schedule_expiry_wakeup();
 

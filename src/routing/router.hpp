@@ -203,6 +203,13 @@ class Router {
   /// tracer to the SwapService for the per-hop spans.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach a per-edge accounting substrate (null to detach): the
+  /// Router forwards it to its ReservationTable (lease windows, blocked
+  /// footprints) and SwapService (attempts, swaps, deliveries), and
+  /// reports admission waits and request-level blocks itself. Recording
+  /// only — attaching cannot perturb the trajectory.
+  void set_edge_stats(metrics::EdgeStats* stats) noexcept;
+
   void set_deliver_handler(netlayer::SwapService::DeliverFn fn) {
     on_deliver_ = std::move(fn);
   }
@@ -266,6 +273,10 @@ class Router {
     /// false for pinned submit_on requests: re-routing would betray
     /// the pin.
     bool reroutable = true;
+    /// Wait booked by a deferred admission (seconds between the
+    /// deferral and the booked window start), attributed to the
+    /// request's deferral phase once its SwapService id exists.
+    double booked_wait_s = 0.0;
   };
 
   std::uint32_t submit_flight(FlightState flight);
@@ -307,6 +318,7 @@ class Router {
   RouterConfig config_;
   metrics::Collector* collector_;
   obs::Tracer* tracer_ = nullptr;
+  metrics::EdgeStats* edge_stats_ = nullptr;
   PathSelector selector_;
   ReservationTable reservations_;
   /// SwapService request id -> its flight (reservation + reroute

@@ -17,6 +17,7 @@ class SwapService;
 
 namespace qlink::obs {
 class Monitor;
+class NetState;
 }  // namespace qlink::obs
 
 namespace qlink::routing {
@@ -128,6 +129,11 @@ class WorkloadDriver : public sim::Entity {
   /// caller still owns the monitor and calls finish() after stop().
   void set_monitor(obs::Monitor* monitor) { monitor_ = monitor; }
 
+  /// Attach a network-state sampler (ISSUE 8): polled from the same
+  /// per-cycle control point as the monitor, same contract (the caller
+  /// owns it and calls finish() after stop()).
+  void set_netstate(obs::NetState* netstate) { netstate_ = netstate; }
+
   const WorkloadConfig& config() const { return config_; }
   std::uint64_t requests_issued() const { return issued_; }
   std::uint64_t pairs_matched() const { return matched_; }
@@ -170,6 +176,7 @@ class WorkloadDriver : public sim::Entity {
   netlayer::SwapService* swap_ = nullptr;
   routing::Router* router_ = nullptr;        // routed mode
   obs::Monitor* monitor_ = nullptr;          // polled each cycle
+  obs::NetState* netstate_ = nullptr;        // polled each cycle
   WorkloadConfig config_;
   metrics::Collector& collector_;
   sim::Random random_;

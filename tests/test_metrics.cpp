@@ -245,6 +245,50 @@ TEST(Histogram, DeltaSinceIsolatesTheNewSamples) {
   EXPECT_EQ(later.delta_since(later).count(), 0u);
 }
 
+TEST(Histogram, ExactExtremesSurviveBinClamping) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0.0);  // RunningStat convention when empty
+  EXPECT_EQ(h.max(), 0.0);
+  h.record(1e-12);  // below kMinValue: underflow bin
+  h.record(0.5);
+  h.record(5e3);  // at/above kMaxValue: overflow bin
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  // The bins clamp, the extremes do not: outliers report faithfully.
+  EXPECT_DOUBLE_EQ(h.min(), 1e-12);
+  EXPECT_DOUBLE_EQ(h.max(), 5e3);
+  EXPECT_LT(h.min(), Histogram::kMinValue);
+  EXPECT_GE(h.max(), Histogram::kMaxValue);
+  // delta_since carries the stream-cumulative extremes (interval-local
+  // ones are not derivable from two cumulative snapshots).
+  const Histogram delta = h.delta_since(Histogram{});
+  EXPECT_DOUBLE_EQ(delta.min(), 1e-12);
+  EXPECT_DOUBLE_EQ(delta.max(), 5e3);
+}
+
+TEST(Histogram, MergeTakesElementwiseExtremes) {
+  Histogram a, b;
+  a.record(0.3);
+  a.record(2.0);
+  b.record(1e-10);  // an underflow outlier must survive the merge
+  b.record(0.7);
+  a += b;
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+  // An empty side is the identity in either direction (the sentinels
+  // absorb under std::min/std::max).
+  Histogram empty;
+  a += empty;
+  EXPECT_DOUBLE_EQ(a.min(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+  Histogram lhs;
+  lhs += a;
+  EXPECT_DOUBLE_EQ(lhs.min(), 1e-10);
+  EXPECT_DOUBLE_EQ(lhs.max(), 2.0);
+  EXPECT_EQ(lhs.count(), 4u);
+}
+
 TEST(Reservoir, KeepsEverySampleUnderCapacity) {
   Reservoir r(8);
   for (int i = 1; i <= 5; ++i) r.add(static_cast<double>(i));
@@ -446,6 +490,30 @@ TEST(Collector, MergeKeepsOpenRequestsFromBothShards) {
   EXPECT_EQ(a.open_requests(), 2u);
   ASSERT_TRUE(a.oldest_open_created().has_value());
   EXPECT_EQ(*a.oldest_open_created(), sim::duration::seconds(3));
+}
+
+TEST(Collector, MergeOfDuplicateOpenKeysKeepsTheEarlierCreate) {
+  // A request handed off mid-flight can be open in both shards under
+  // the same (origin, id) key. The union must keep ONE entry anchored
+  // at the earlier submission — in either merge order (ISSUE 8), so a
+  // stall watchdog reading oldest_open_created() after the merge sees
+  // the true age, not the resubmission's.
+  const auto shard = [](sim::SimTime created) {
+    Collector c;
+    c.record_create(0, 1, Priority::kNetworkLayer, 1, created);
+    return c;
+  };
+  Collector a = shard(sim::duration::seconds(5));
+  a.merge(shard(sim::duration::seconds(3)));
+  EXPECT_EQ(a.open_requests(), 1u);
+  ASSERT_TRUE(a.oldest_open_created().has_value());
+  EXPECT_EQ(*a.oldest_open_created(), sim::duration::seconds(3));
+
+  Collector b = shard(sim::duration::seconds(3));
+  b.merge(shard(sim::duration::seconds(5)));
+  EXPECT_EQ(b.open_requests(), 1u);
+  ASSERT_TRUE(b.oldest_open_created().has_value());
+  EXPECT_EQ(*b.oldest_open_created(), sim::duration::seconds(3));
 }
 
 }  // namespace

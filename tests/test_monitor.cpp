@@ -175,6 +175,11 @@ TEST(MonitoredRun, RecordStreamHoldsTheCheckerInvariants) {
   // All deliveries are accounted for in the emitted deltas.
   EXPECT_EQ(w.monitor->total_deliveries(),
             w.collector.total_pairs_delivered());
+  // Histogram deltas expose the exact observed extremes (ISSUE 8):
+  // every per-interval histogram object carries min and max.
+  EXPECT_EQ(count_of(jsonl, "\"min\":"), count_of(jsonl, "\"p99\":"));
+  EXPECT_EQ(count_of(jsonl, "\"max\":"), count_of(jsonl, "\"p99\":"));
+  EXPECT_GT(count_of(jsonl, "\"min\":"), 0u);
   // finish() is idempotent and poll() after it is a no-op.
   w.monitor->finish();
   w.monitor->poll();

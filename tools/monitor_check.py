@@ -17,6 +17,9 @@ stream. Checks per group, in order:
             increasing with dt > 0 and t[k] - dt[k] == t[k-1] (records
             tile sim time with no gap or overlap); the final record's
             "t" equals the last interval's.
+  progress  when records carry a "progress" field it is numeric and
+            non-decreasing across the run; "eta_s", when present, is
+            null or a nonnegative number.
   totals    the final record's deliveries/events equal the sum of the
             per-interval deltas, its "intervals" equals the record
             count, its "stalled_intervals" equals the number of records
@@ -89,6 +92,22 @@ def check_group(run, records):
                 err(line_no, f"t - dt = {rec['t'] - rec['dt']} leaves a "
                              f"gap/overlap against previous t {prev_t}")
         prev_t = rec["t"]
+
+    # --- progress / eta ----------------------------------------------
+    prev_progress = None
+    for line_no, rec in intervals:
+        if "progress" in rec:
+            if not is_number(rec["progress"]):
+                err(line_no, "non-numeric \"progress\"")
+            elif prev_progress is not None and rec["progress"] < prev_progress:
+                err(line_no, f"progress {rec['progress']} decreased "
+                             f"(previous {prev_progress})")
+            else:
+                prev_progress = rec["progress"]
+        if "eta_s" in rec:
+            eta = rec["eta_s"]
+            if eta is not None and (not is_number(eta) or eta < 0):
+                err(line_no, f"eta_s {eta} is not null-or-nonnegative")
 
     # --- totals vs the final summary ---------------------------------
     line_no, final = finals[0]

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Offline Markdown run-report renderer (ISSUE 8).
+
+Combines the machine-readable artifacts a bench run leaves behind —
+the `--json` results file (whose rows embed obs::Snapshot sections,
+including the latency phase decomposition), the `--monitor` interval
+telemetry, and the `--netstate` per-edge network-state stream — into
+one human-readable Markdown report: a summary table per row, the top-k
+hot edges with utilization/contention, a stall analysis, and the
+phase-decomposition percentiles.
+
+The C++ benches already render an online report via `--report`
+(obs::render_run_report); this tool is the offline companion for
+artifacts collected earlier (e.g. downloaded from CI), and renders
+from the JSON alone — no simulator state needed.
+
+Usage:
+
+    report.py BENCH.json [--monitor FILE.jsonl] [--netstate FILE.jsonl]
+              [--top-k N] [-o report.md]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_jsonl_groups(path):
+    """JSONL records grouped by their optional "run" label, insertion
+    ordered. Returns {run_label: [record, ...]}."""
+    groups = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            groups.setdefault(rec.get("run"), []).append(rec)
+    return groups
+
+
+def fmt(v, digits=4):
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return str(v).lower()
+    if isinstance(v, float):
+        return f"{v:.{digits}f}"
+    return str(v)
+
+
+def table(out, headers, rows):
+    out.append("| " + " | ".join(headers) + " |")
+    out.append("|" + "---|" * len(headers))
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    out.append("")
+
+
+def row_label(row):
+    parts = [row.get("scenario", "?")]
+    for key in ("mode", "cost", "topology"):
+        if row.get(key):
+            parts.append(str(row[key]))
+    return "/".join(parts[:2]) + (f" ({', '.join(parts[2:])})"
+                                  if parts[2:] else "")
+
+
+def render_summary(out, bench):
+    rows = bench.get("rows", [])
+    out.append("## Summary")
+    out.append("")
+    headers = ["run", "submitted", "completed", "delivered", "blocked",
+               "fidelity", "p99 latency (s)", "max util", "sim (s)"]
+    body = []
+    for r in rows:
+        body.append([
+            row_label(r), fmt(r.get("submitted")), fmt(r.get("completed")),
+            fmt(r.get("delivered")), fmt(r.get("blocked")),
+            fmt(r.get("mean_fidelity")),
+            fmt(r.get("p99_request_latency_s"), 6),
+            fmt(r.get("max_utilization")), fmt(r.get("sim_seconds"), 3),
+        ])
+    table(out, headers, body)
+    scalars = [(k, v) for k, v in bench.items()
+               if k not in ("rows", "bench") and not isinstance(v, list)]
+    if scalars:
+        out.append("Top-level scalars: "
+                   + ", ".join(f"`{k}` = {fmt(v, 6)}" for k, v in scalars)
+                   + ".")
+        out.append("")
+
+
+def render_phases(out, bench):
+    printed_header = False
+    for r in bench.get("rows", []):
+        phases = (r.get("obs") or {}).get("phases")
+        if not isinstance(phases, dict):
+            continue
+        if not printed_header:
+            out.append("## Latency phase decomposition")
+            out.append("")
+            printed_header = True
+        out.append(f"### {row_label(r)}")
+        out.append("")
+        headers = ["phase", "count", "mean", "p50", "p90", "p99", "max"]
+        body = []
+        for name, h in phases.items():
+            if name == "slowest" or not isinstance(h, dict):
+                continue
+            body.append([name, fmt(h.get("count")), fmt(h.get("mean"), 6),
+                         fmt(h.get("p50"), 6), fmt(h.get("p90"), 6),
+                         fmt(h.get("p99"), 6), fmt(h.get("max"), 6)])
+        table(out, headers, body)
+        slowest = phases.get("slowest") or []
+        if slowest:
+            phase_names = [k for k in slowest[0]
+                           if k not in ("origin", "id", "total_s")]
+            headers = ["origin", "id", "total_s"] + phase_names
+            body = [[fmt(s.get("origin")), fmt(s.get("id")),
+                     fmt(s.get("total_s"), 6)]
+                    + [fmt(s.get(p), 6) for p in phase_names]
+                    for s in slowest]
+            out.append("Slowest requests:")
+            out.append("")
+            table(out, headers, body)
+
+
+def render_netstate(out, groups, top_k):
+    out.append("## Hot edges (per-edge network state)")
+    out.append("")
+    for run, records in groups.items():
+        final = next((r for r in records if r.get("final") is True), None)
+        if final is None:
+            continue
+        out.append(f"### {run or 'unlabelled run'}")
+        out.append("")
+        edges = sorted(final.get("edges", []),
+                       key=lambda e: (-e.get("util", 0.0), e.get("edge")))
+        headers = ["edge", "link", "util", "leases", "blocked", "attempts",
+                   "deliveries", "wait_s", "fidelity"]
+        body = []
+        for e in edges[:top_k]:
+            if e.get("util", 0.0) <= 0.0 and not e.get("leases"):
+                continue
+            link = (f"{e['a']}-{e['b']}"
+                    if "a" in e and "b" in e else "-")
+            body.append([e.get("edge"), link, fmt(e.get("util")),
+                         fmt(e.get("leases")), fmt(e.get("blocked")),
+                         fmt(e.get("attempts")), fmt(e.get("deliveries")),
+                         fmt(e.get("admission_wait_s")),
+                         fmt(e.get("fidelity_mean"))])
+        table(out, headers, body)
+        totals = final.get("totals", {})
+        sketch = final.get("sketch", {})
+        out.append(f"Totals: {fmt(totals.get('leases'))} lease "
+                   f"placements, {fmt(totals.get('attempt_pairs'))} "
+                   f"attempt pairs, {fmt(totals.get('swaps'))} swaps, "
+                   f"{fmt(totals.get('deliveries'))} pairs delivered, "
+                   f"{fmt(totals.get('blocked_requests'))} requests "
+                   f"blocked; sketch "
+                   f"{'exact' if sketch.get('exact') else 'approximate'} "
+                   f"({fmt(sketch.get('evictions'))} evictions); max "
+                   f"utilization "
+                   f"{fmt(final.get('max_utilization'))}.")
+        out.append("")
+
+
+def render_stalls(out, groups):
+    out.append("## Stall analysis (interval telemetry)")
+    out.append("")
+    headers = ["run", "intervals", "stalled", "peak backlog",
+               "final progress"]
+    body = []
+    for run, records in groups.items():
+        final = next((r for r in records if r.get("final") is True), None)
+        intervals = [r for r in records if r.get("final") is not True]
+        stalled = sum(1 for r in intervals if r.get("stalled"))
+        peak = max((r.get("backlog", 0) for r in intervals), default=0)
+        progress = next((r["progress"] for r in reversed(intervals)
+                         if "progress" in r), None)
+        body.append([run or "unlabelled",
+                     fmt(final.get("intervals") if final
+                         else len(intervals)),
+                     fmt(stalled), fmt(peak), fmt(progress, 3)])
+    table(out, headers, body)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("bench_json", help="bench --json results file")
+    ap.add_argument("--monitor", help="bench --monitor JSONL stream")
+    ap.add_argument("--netstate", help="bench --netstate JSONL stream")
+    ap.add_argument("--top-k", type=int, default=8,
+                    help="hot edges per run (default 8)")
+    ap.add_argument("-o", "--output",
+                    help="write the report here (default stdout)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.bench_json) as f:
+            bench = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot read {args.bench_json}: {e}", file=sys.stderr)
+        return 1
+
+    out = [f"# Run report: {bench.get('bench', args.bench_json)}", ""]
+    render_summary(out, bench)
+    render_phases(out, bench)
+    if args.netstate:
+        try:
+            render_netstate(out, load_jsonl_groups(args.netstate),
+                            args.top_k)
+        except (OSError, ValueError) as e:
+            print(f"cannot read {args.netstate}: {e}", file=sys.stderr)
+            return 1
+    if args.monitor:
+        try:
+            render_stalls(out, load_jsonl_groups(args.monitor))
+        except (OSError, ValueError) as e:
+            print(f"cannot read {args.monitor}: {e}", file=sys.stderr)
+            return 1
+
+    text = "\n".join(out).rstrip() + "\n"
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Self-test for tools/monitor_check.py (ISSUE 7), runnable standalone
 (`python3 tools/test_monitor_check.py`) or under pytest. Covers the
-schema, timeline, and totals checks plus run-label grouping, each with
-a passing and a violating stream.
+schema, timeline, progress/eta (ISSUE 8), and totals checks plus
+run-label grouping, each with a passing and a violating stream.
 """
 
 import json
@@ -140,6 +140,44 @@ class MonitorCheckTest(unittest.TestCase):
         records = valid_stream()
         records[-1]["t"] = 300
         self.assert_fails(records, "final t 300 != last interval t 260")
+
+    # --- progress / eta ----------------------------------------------
+
+    def test_valid_progress_and_eta(self):
+        records = valid_stream()
+        records[0].update(progress=0.25, eta_s=None)
+        records[1].update(progress=0.5, eta_s=10.0)
+        records[2].update(progress=1.0, eta_s=0.0)
+        errors, _ = self.check(records)
+        self.assertEqual(errors, [])
+
+    def test_progress_decrease_fails(self):
+        records = valid_stream()
+        records[0]["progress"] = 0.5
+        records[1]["progress"] = 0.25
+        self.assert_fails(records, "progress 0.25 decreased")
+
+    def test_non_numeric_progress_fails(self):
+        records = valid_stream()
+        records[0]["progress"] = "half"
+        self.assert_fails(records, "non-numeric \"progress\"")
+
+    def test_progress_sparse_records_still_checked(self):
+        # A record without the field does not reset the baseline.
+        records = valid_stream()
+        records[0]["progress"] = 0.75
+        records[2]["progress"] = 0.5
+        self.assert_fails(records, "progress 0.5 decreased")
+
+    def test_negative_eta_fails(self):
+        records = valid_stream()
+        records[1]["eta_s"] = -3.5
+        self.assert_fails(records, "eta_s -3.5 is not null-or-nonnegative")
+
+    def test_non_numeric_eta_fails(self):
+        records = valid_stream()
+        records[1]["eta_s"] = "soon"
+        self.assert_fails(records, "not null-or-nonnegative")
 
     # --- totals ------------------------------------------------------
 
