@@ -396,9 +396,8 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
   std::fprintf(stderr,
                "usage: %s [--scenario grid|dragonfly|all] "
                "[--lease-slack S] [--cap-seconds S] "
-               "[--backend dense|bell] [--seed K] [--json PATH|-] "
-               "[--monitor PATH] [--netstate PATH] [--report PATH]\n",
-               argv0);
+               "[--backend dense|bell] %s\n",
+               argv0, qlink::bench::Args::kUsage);
   std::exit(2);
 }
 
@@ -406,7 +405,11 @@ void write_row(std::FILE* f, const Row& r, const char* tail) {
 
 int main(int argc, char** argv) {
   Options opt;
+  bench::Args shared;
+  shared.seed = opt.seed;
+  shared.json_path = opt.json_path;
   for (int i = 1; i < argc; ++i) {
+    if (shared.consume(argc, argv, i, [&] { usage(argv[0]); })) continue;
     const auto arg = std::string(argv[i]);
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage(argv[0]);
@@ -426,20 +429,15 @@ int main(int argc, char** argv) {
       const auto kind = qstate::parse_backend_kind(next());
       if (!kind) usage(argv[0]);
       opt.backend = *kind;
-    } else if (arg == "--seed") {
-      opt.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--json") {
-      opt.json_path = next();
-    } else if (arg == "--monitor") {
-      opt.monitor_path = next();
-    } else if (arg == "--netstate") {
-      opt.netstate_path = next();
-    } else if (arg == "--report") {
-      opt.report_path = next();
     } else {
       usage(argv[0]);
     }
   }
+  opt.seed = shared.seed;
+  opt.json_path = shared.json_path;
+  opt.monitor_path = shared.monitor_path;
+  opt.netstate_path = shared.netstate_path;
+  opt.report_path = shared.report_path;
   if (opt.lease_slack <= 0.0 || opt.cap_seconds <= 0.0) {
     std::fprintf(stderr,
                  "need positive lease-slack (finite windows) and "

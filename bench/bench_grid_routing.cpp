@@ -559,9 +559,8 @@ void write_report(const std::string& path, const std::vector<Row>& rows) {
                "usage: %s [--scenario all|grid|dragonfly|hetero] "
                "[--rows R] [--cols C] [--requests N] [--pairs P] "
                "[--seconds S] [--cap-seconds S] [--backend dense|bell] "
-               "[--seed K] [--json PATH|-] [--trace PATH] "
-               "[--monitor PATH] [--netstate PATH] [--report PATH]\n",
-               argv0);
+               "%s\n",
+               argv0, qlink::bench::Args::kUsage);
   std::exit(2);
 }
 
@@ -569,7 +568,11 @@ void write_report(const std::string& path, const std::vector<Row>& rows) {
 
 int main(int argc, char** argv) {
   Options opt;
+  bench::Args shared;
+  shared.seed = opt.seed;
+  shared.json_path = opt.json_path;
   for (int i = 1; i < argc; ++i) {
+    if (shared.consume(argc, argv, i, [&] { usage(argv[0]); })) continue;
     const auto arg = std::string(argv[i]);
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage(argv[0]);
@@ -594,22 +597,16 @@ int main(int argc, char** argv) {
       const auto kind = qstate::parse_backend_kind(next());
       if (!kind) usage(argv[0]);
       opt.backend = *kind;
-    } else if (arg == "--seed") {
-      opt.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--json") {
-      opt.json_path = next();
-    } else if (arg == "--trace") {
-      opt.trace_path = next();
-    } else if (arg == "--monitor") {
-      opt.monitor_path = next();
-    } else if (arg == "--netstate") {
-      opt.netstate_path = next();
-    } else if (arg == "--report") {
-      opt.report_path = next();
     } else {
       usage(argv[0]);
     }
   }
+  opt.seed = shared.seed;
+  opt.json_path = shared.json_path;
+  opt.trace_path = shared.trace_path;
+  opt.monitor_path = shared.monitor_path;
+  opt.netstate_path = shared.netstate_path;
+  opt.report_path = shared.report_path;
   if (opt.scenario != "all" && opt.scenario != "grid" &&
       opt.scenario != "dragonfly" && opt.scenario != "hetero") {
     std::fprintf(stderr, "unknown scenario '%s'\n", opt.scenario.c_str());

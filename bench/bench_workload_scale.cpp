@@ -1,0 +1,618 @@
+// Million-request workload engine bench (ISSUE 9): the flow-level
+// fast path (netlayer::FlowPlane) under streaming ArrivalProcess
+// traffic, plus the oracle that keeps it honest.
+//
+// Two scenario families, one binary:
+//
+//  scale        dragonfly(32 x 32): 1024 nodes / 16368 links. A
+//               weighted three-class traffic mix (bulk / interactive /
+//               batch, each with a pinned endpoint pool so the
+//               router's path cache stays bounded) streams --requests
+//               Poisson arrivals through Router + FlowPlane. One
+//               scheduled event per delivered pair and O(1) state per
+//               in-flight request is what makes 1M+ requests on a
+//               1000+-node topology a minutes-of-wall-time run, with
+//               Monitor/NetState/phase stats still live.
+//  oracle-full  a 3-node chain driven full-detail (QuantumNetwork +
+//  oracle-flow  SwapService) and flow-level (FlowPlane calibrated from
+//               an identical standalone link), same seed, same Poisson
+//               arrival train, same Router plumbing. The JSON's
+//               fastpath_tail_error scalar is the worst relative error
+//               across p50 / p99 request latency and mean delivered
+//               fidelity; the binary exits non-zero when it exceeds
+//               --tol (default 0.35 — flow collapses the MHP's
+//               attempt-level jitter into a geometric model, so tails
+//               agree to tens of percent, not exactly; see
+//               flow_plane.hpp "Validity conditions").
+//
+// Usage: bench_workload_scale [--requests N] [--groups G] [--routers R]
+//          [--oracle-requests N] [--utilization U] [--cap-seconds S]
+//          [--tol T] [--seed K] [--json PATH|-] [--monitor PATH]
+//          [--netstate PATH] [--report PATH]
+//   --utilization is the offered load per distinct endpoint pair
+//   relative to one link's calibrated pair time (default 0.2; the
+//   batch class runs at 2x because its requests carry two pairs).
+//   --json writes machine-readable results (default
+//   BENCH_workload_scale.json; "-" disables). requests_per_sec (scale
+//   row, completed requests per wall second) is the perf headline;
+//   CI gates it with bench_diff's perf class and asserts
+//   fastpath_tail_error <= fastpath_tolerance.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "metrics/edge_stats.hpp"
+#include "netlayer/flow_plane.hpp"
+#include "netlayer/swap_service.hpp"
+#include "netlayer/topology.hpp"
+#include "obs/monitor.hpp"
+#include "obs/netstate.hpp"
+#include "obs/report.hpp"
+#include "obs/snapshot.hpp"
+#include "qstate/backend_registry.hpp"
+#include "routing/router.hpp"
+#include "workload/arrival.hpp"
+
+using namespace qlink;
+using namespace qlink::bench;
+
+namespace {
+
+struct Options {
+  std::uint64_t requests = 1000000;
+  std::size_t groups = 32;
+  std::size_t routers = 32;
+  std::uint64_t oracle_requests = 400;
+  double utilization = 0.2;
+  double oracle_utilization = 0.3;
+  double cap_seconds = 7200.0;         // scale-run simulated backstop
+  double oracle_cap_seconds = 600.0;   // oracle simulated backstop
+  double tol = 0.35;
+  bench::Args shared;
+};
+
+struct Row {
+  std::string scenario;
+  const char* plane = "flow";
+  std::string topology;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t delivered = 0;
+  double mean_fidelity = 0.0;
+  double mean_latency_ms = 0.0;
+  double p50_request_latency_s = 0.0;
+  double p99_request_latency_s = 0.0;
+  double requests_per_sec = 0.0;  // completed / wall
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t open_evicted = 0;
+  std::uint64_t stalled_intervals = 0;
+  std::uint64_t peak_backlog = 0;
+  bool monitored = false;
+  std::string obs_json;
+  std::string monitor_jsonl;
+  std::string netstate_jsonl;
+  std::string report_md;
+};
+
+double wall_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The CREATE-floor set-point every link (full-detail and flow) is
+/// operated and annotated at.
+constexpr double kFloorMenu[] = {0.7};
+
+/// One hardware model for every link in this bench: the lab scenario
+/// with deep decoherence-protected carbon memory (cf.
+/// bench_grid_routing), so request latency is generation-dominated —
+/// the regime the flow model is valid in.
+core::LinkConfig make_link_config(std::uint64_t seed) {
+  core::LinkConfig lc;
+  lc.scenario = hw::ScenarioParams::lab();
+  lc.scenario.nv.carbon_t2_ns = 5e9;
+  lc.scenario.nv.carbon_coupling_rad_per_s /= 10.0;
+  lc.backend = qstate::BackendKind::kBellDiagonal;
+  lc.pauli_twirl_installs = true;
+  lc.seed = seed;
+  return lc;
+}
+
+/// Probe the flow operating menu once from a standalone full-detail
+/// link built from the same config the oracle network uses.
+netlayer::FlowCalibration calibrate(std::uint64_t seed) {
+  core::Link link(make_link_config(seed));
+  return netlayer::FlowCalibration::from_link(link, kFloorMenu);
+}
+
+/// The scale mix: three weighted classes over pinned endpoint pools
+/// sized so every distinct (src, dst) pair sees the same arrival rate
+/// (weight / pool_size equal across classes) — per-pair offered load
+/// is then total_rate / 70 regardless of class, and the batch class's
+/// two pairs per request double its utilization, not its rate.
+std::shared_ptr<workload::ArrivalProcess> make_mix(double total_rate_hz,
+                                                   std::size_t num_nodes,
+                                                   std::uint64_t seed) {
+  sim::Random pick(seed ^ 0x9e3779b97f4a7c15ULL);
+  const auto pool = [&](std::size_t n) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    pairs.reserve(n);
+    const auto hi = static_cast<std::int64_t>(num_nodes) - 1;
+    while (pairs.size() < n) {
+      const auto src = static_cast<std::uint32_t>(pick.uniform_int(0, hi));
+      const auto dst = static_cast<std::uint32_t>(pick.uniform_int(0, hi));
+      if (src == dst) continue;
+      pairs.emplace_back(src, dst);
+    }
+    return pairs;
+  };
+  std::vector<workload::ClassMixProcess::Class> classes(3);
+  classes[0].weight = 4.0;
+  classes[0].shape.name = "bulk";
+  classes[0].shape.endpoints = pool(40);
+  classes[1].weight = 2.0;
+  classes[1].shape.name = "interactive";
+  classes[1].shape.endpoints = pool(20);
+  classes[2].weight = 1.0;
+  classes[2].shape.name = "batch";
+  classes[2].shape.num_pairs = 2;
+  classes[2].shape.endpoints = pool(10);
+  return std::make_shared<workload::ClassMixProcess>(
+      std::make_shared<workload::PoissonProcess>(total_rate_hz),
+      std::move(classes));
+}
+
+void fill_common(Row& row, const routing::Router& router,
+                 const metrics::Collector& collector,
+                 const sim::Simulator& simulator, double wall_seconds) {
+  const auto& nl = collector.kind(core::Priority::kNetworkLayer);
+  row.submitted = router.stats().submitted;
+  row.admitted = router.stats().admitted;
+  row.blocked = router.stats().blocked;
+  row.completed = router.stats().completed;
+  row.failed = router.stats().failed;
+  row.delivered = router.stats().pairs_delivered;
+  row.mean_fidelity = nl.fidelity.mean();
+  row.mean_latency_ms = nl.request_latency_s.mean() * 1e3;
+  row.p50_request_latency_s = collector.request_latency_hist().p50();
+  row.p99_request_latency_s = collector.request_latency_hist().p99();
+  row.requests_per_sec =
+      wall_seconds > 0.0
+          ? static_cast<double>(row.completed) / wall_seconds
+          : 0.0;
+  row.sim_seconds = sim::to_seconds(simulator.now());
+  row.wall_seconds = wall_seconds;
+  row.events = simulator.events_processed();
+  row.open_evicted = collector.open_evicted();
+  obs::Snapshot snap;
+  snap.collector = &collector;
+  snap.router = &router.stats();
+  snap.simulator = &simulator;
+  row.obs_json = snap.json();
+}
+
+void print_row(const Row& r) {
+  std::printf("%-11s %-4s %-14s %7zu %7zu %8llu %8llu %6llu %8llu %9.4f "
+              "%8.2f %8.1f %8.1f %10.0f\n",
+              r.scenario.c_str(), r.plane, r.topology.c_str(), r.nodes,
+              r.links, static_cast<unsigned long long>(r.submitted),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.blocked),
+              static_cast<unsigned long long>(r.delivered),
+              r.mean_fidelity, r.mean_latency_ms * 1e-3, r.sim_seconds,
+              r.wall_seconds, r.requests_per_sec);
+}
+
+/// Drive `simulator` until the driver has issued every request and the
+/// router has settled them all (or the simulated-time cap strikes).
+template <typename RunFor>
+void run_to_completion(const workload::WorkloadDriver& driver,
+                       const routing::Router& router,
+                       const sim::Simulator& simulator, RunFor&& run_for,
+                       std::uint64_t target, double cap_seconds) {
+  const auto& rs = router.stats();
+  while ((driver.requests_issued() < target ||
+          rs.completed + rs.failed + rs.rejected < rs.submitted) &&
+         sim::to_seconds(simulator.now()) < cap_seconds) {
+    run_for(sim::duration::milliseconds(500));
+  }
+}
+
+Row run_scale(const Options& opt) {
+  routing::Graph graph = routing::Graph::dragonfly(opt.groups, opt.routers);
+  const netlayer::FlowCalibration cal = calibrate(opt.shared.seed);
+  const netlayer::FlowCalibration::Entry* point = cal.best();
+  if (point == nullptr) {
+    std::fprintf(stderr, "flow calibration: no feasible operating point\n");
+    std::exit(1);
+  }
+
+  metrics::Collector collector;
+  // Streaming run: bound the in-flight map (a leaked request must not
+  // grow memory for the rest of the run; evictions land in the JSON).
+  collector.set_open_capacity(1u << 16);
+
+  netlayer::FlowPlaneConfig fc;
+  fc.num_nodes = graph.num_nodes();
+  fc.edges.reserve(graph.num_edges());
+  for (const routing::Graph::Edge& e : graph.edges()) {
+    fc.edges.emplace_back(e.a, e.b);
+  }
+  fc.calibration = cal;
+  fc.collector = &collector;
+  fc.seed = opt.shared.seed;
+  netlayer::FlowPlane plane(std::move(fc));
+  plane.simulator().set_telemetry(true);
+
+  routing::RouterConfig rc;
+  rc.k_candidates = 2;
+  rc.cache_paths = true;  // bounded endpoint pools -> bounded cache
+  routing::Router router(graph, plane, rc, &collector);
+  router.annotate_from_network(kFloorMenu);
+  metrics::EdgeStats edge_stats(graph.num_edges(), graph.num_nodes());
+  router.set_edge_stats(&edge_stats);
+
+  // Offered load: 70 equal-rate endpoint pairs (see make_mix), each at
+  // --utilization of one link's calibrated service rate.
+  const double svc_s = std::max(point->pair_time_s, 1e-9);
+  const double total_rate_hz = opt.utilization * 70.0 / svc_s;
+
+  workload::TrafficConfig traffic;
+  traffic.min_fidelity = 0.4;
+  traffic.link_min_fidelity = kFloorMenu[0];
+  traffic.arrivals = make_mix(total_rate_hz, graph.num_nodes(),
+                              opt.shared.seed);
+  workload::DriverConfig tuning;
+  tuning.seed = opt.shared.seed;
+  tuning.poll_interval = sim::duration::milliseconds(10);
+  tuning.max_requests = opt.requests;
+  auto driver = workload::WorkloadDriver::for_routed(router, traffic,
+                                                     tuning, collector);
+
+  obs::MonitorConfig mc;
+  mc.run = "scale";
+  mc.target_requests = opt.requests;
+  mc.stall_consecutive = 10;  // random traffic: quiet 100 ms happens
+  obs::Monitor monitor(plane.simulator(), collector, std::move(mc));
+  monitor.attach_router(&router);
+  driver->set_monitor(&monitor);
+  obs::NetStateConfig nsc;
+  nsc.run = "scale";
+  nsc.interval = sim::duration::seconds(1);  // 16k edges per record
+  obs::NetState netstate(plane.simulator(), edge_stats, std::move(nsc));
+  netstate.attach_collector(&collector);
+  netstate.attach_graph(&graph);
+  driver->set_netstate(&netstate);
+
+  const auto start = std::chrono::steady_clock::now();
+  collector.begin(plane.simulator().now());
+  driver->start();
+  run_to_completion(*driver, router, plane.simulator(),
+                    [&plane](sim::SimTime span) { plane.run_for(span); },
+                    opt.requests, opt.cap_seconds);
+  driver->stop();
+  collector.end(plane.simulator().now());
+  monitor.finish();
+  netstate.finish();
+
+  Row row;
+  row.scenario = "scale";
+  row.plane = "flow";
+  row.topology = "dragonfly" + std::to_string(opt.groups) + "x" +
+                 std::to_string(opt.routers);
+  row.nodes = graph.num_nodes();
+  row.links = graph.num_edges();
+  fill_common(row, router, collector, plane.simulator(),
+              wall_since(start));
+  row.monitored = true;
+  row.stalled_intervals = monitor.stalled_intervals();
+  row.peak_backlog = monitor.peak_backlog();
+  row.monitor_jsonl = monitor.jsonl();
+  row.netstate_jsonl = netstate.jsonl();
+  obs::RunReportOptions ro;
+  ro.title = "scale (" + row.topology + ", flow plane)";
+  row.report_md = obs::render_run_report(plane.simulator(), edge_stats,
+                                         collector, &graph, ro);
+  return row;
+}
+
+/// Oracle traffic: one Poisson train, endpoints pinned end-to-end on
+/// the chain (OriginMode::kAllA), identical for both planes.
+workload::TrafficConfig oracle_traffic(double rate_hz) {
+  workload::TrafficConfig traffic;
+  traffic.origin = workload::OriginMode::kAllA;
+  traffic.min_fidelity = 0.4;
+  traffic.link_min_fidelity = kFloorMenu[0];
+  traffic.arrivals = std::make_shared<workload::PoissonProcess>(rate_hz);
+  return traffic;
+}
+
+workload::DriverConfig oracle_tuning(const Options& opt) {
+  workload::DriverConfig tuning;
+  tuning.seed = opt.shared.seed;
+  tuning.poll_interval = sim::duration::milliseconds(1);
+  tuning.max_requests = opt.oracle_requests;
+  return tuning;
+}
+
+Row run_oracle_full(const Options& opt, double rate_hz) {
+  routing::Graph graph = routing::Graph::chain(3);
+  netlayer::NetworkConfig nc = routing::make_network_config(
+      graph, make_link_config(opt.shared.seed), opt.shared.seed);
+  auto net = std::make_unique<netlayer::QuantumNetwork>(nc);
+  metrics::Collector collector;
+  auto swap = std::make_unique<netlayer::SwapService>(*net, &collector);
+  routing::RouterConfig rc;
+  rc.k_candidates = 1;
+  routing::Router router(graph, *swap, rc, &collector);
+  router.annotate_from_network(kFloorMenu);
+
+  auto driver = workload::WorkloadDriver::for_routed(
+      router, oracle_traffic(rate_hz), oracle_tuning(opt), collector);
+
+  const auto start = std::chrono::steady_clock::now();
+  collector.begin(net->simulator().now());
+  net->start();
+  driver->start();
+  run_to_completion(*driver, router, net->simulator(),
+                    [&net](sim::SimTime span) { net->run_for(span); },
+                    opt.oracle_requests, opt.oracle_cap_seconds);
+  driver->stop();
+  collector.end(net->simulator().now());
+
+  Row row;
+  row.scenario = "oracle-full";
+  row.plane = "full";
+  row.topology = "chain3";
+  row.nodes = graph.num_nodes();
+  row.links = graph.num_edges();
+  fill_common(row, router, collector, net->simulator(),
+              wall_since(start));
+  return row;
+}
+
+Row run_oracle_flow(const Options& opt, double rate_hz) {
+  routing::Graph graph = routing::Graph::chain(3);
+  const netlayer::FlowCalibration cal = calibrate(opt.shared.seed);
+  metrics::Collector collector;
+  netlayer::FlowPlaneConfig fc;
+  fc.num_nodes = graph.num_nodes();
+  for (const routing::Graph::Edge& e : graph.edges()) {
+    fc.edges.emplace_back(e.a, e.b);
+  }
+  fc.calibration = cal;
+  fc.collector = &collector;
+  fc.seed = opt.shared.seed;
+  netlayer::FlowPlane plane(std::move(fc));
+  routing::RouterConfig rc;
+  rc.k_candidates = 1;
+  routing::Router router(graph, plane, rc, &collector);
+  router.annotate_from_network(kFloorMenu);
+
+  auto driver = workload::WorkloadDriver::for_routed(
+      router, oracle_traffic(rate_hz), oracle_tuning(opt), collector);
+
+  const auto start = std::chrono::steady_clock::now();
+  collector.begin(plane.simulator().now());
+  driver->start();
+  run_to_completion(*driver, router, plane.simulator(),
+                    [&plane](sim::SimTime span) { plane.run_for(span); },
+                    opt.oracle_requests, opt.oracle_cap_seconds);
+  driver->stop();
+  collector.end(plane.simulator().now());
+
+  Row row;
+  row.scenario = "oracle-flow";
+  row.plane = "flow";
+  row.topology = "chain3";
+  row.nodes = graph.num_nodes();
+  row.links = graph.num_edges();
+  fill_common(row, router, collector, plane.simulator(),
+              wall_since(start));
+  return row;
+}
+
+double relative_error(double cur, double ref) {
+  return std::abs(cur - ref) / std::max(std::abs(ref), 1e-9);
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                double requests_per_sec, double tail_error, double tol) {
+  if (path == "-") return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"workload_scale\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char mon_fields[128] = "";
+    if (r.monitored) {
+      std::snprintf(mon_fields, sizeof mon_fields,
+                    "\"stalled_intervals\": %llu, \"peak_backlog\": %llu, ",
+                    static_cast<unsigned long long>(r.stalled_intervals),
+                    static_cast<unsigned long long>(r.peak_backlog));
+    }
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"plane\": \"%s\", \"topology\": "
+        "\"%s\", \"nodes\": %zu, \"links\": %zu, \"submitted\": %llu, "
+        "\"admitted\": %llu, \"blocked\": %llu, \"completed\": %llu, "
+        "\"failed\": %llu, \"delivered\": %llu, \"mean_fidelity\": %.6f, "
+        "\"mean_latency_ms\": %.3f, \"p50_request_latency_s\": %.6f, "
+        "\"p99_request_latency_s\": %.6f, \"requests_per_sec\": %.1f, "
+        "\"open_evicted\": %llu, \"sim_seconds\": %.3f, "
+        "\"wall_seconds\": %.4f, \"events\": %llu, "
+        "\"events_per_sec\": %.1f, %s\"obs\": %s}%s\n",
+        r.scenario.c_str(), r.plane, r.topology.c_str(), r.nodes, r.links,
+        static_cast<unsigned long long>(r.submitted),
+        static_cast<unsigned long long>(r.admitted),
+        static_cast<unsigned long long>(r.blocked),
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.failed),
+        static_cast<unsigned long long>(r.delivered), r.mean_fidelity,
+        r.mean_latency_ms, r.p50_request_latency_s,
+        r.p99_request_latency_s, r.requests_per_sec,
+        static_cast<unsigned long long>(r.open_evicted), r.sim_seconds,
+        r.wall_seconds, static_cast<unsigned long long>(r.events),
+        r.wall_seconds > 0.0 ? static_cast<double>(r.events) / r.wall_seconds
+                             : 0.0,
+        mon_fields, r.obs_json.c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::uint64_t stalled = 0;
+  for (const Row& r : rows) stalled += r.stalled_intervals;
+  std::fprintf(f,
+               "  ],\n  \"requests_per_sec\": %.1f,\n"
+               "  \"fastpath_tail_error\": %.6f,\n"
+               "  \"fastpath_tolerance\": %.6f,\n"
+               "  \"stalled_intervals\": %llu\n}\n",
+               requests_per_sec, tail_error, tol,
+               static_cast<unsigned long long>(stalled));
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void write_text(const std::string& path, const std::string& text,
+                const char* what) {
+  if (path.empty() || text.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%s)\n", path.c_str(), what);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--requests N] [--groups G] [--routers R] "
+               "[--oracle-requests N] [--utilization U] "
+               "[--cap-seconds S] [--tol T] %s\n",
+               argv0, qlink::bench::Args::kUsage);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.shared.json_path = "BENCH_workload_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (opt.shared.consume(argc, argv, i, [&] { usage(argv[0]); })) {
+      continue;
+    }
+    const auto arg = std::string(argv[i]);
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--requests") {
+      opt.requests = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--groups") {
+      opt.groups = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--routers") {
+      opt.routers = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--oracle-requests") {
+      opt.oracle_requests = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--oracle-utilization") {
+      opt.oracle_utilization = std::strtod(next(), nullptr);
+    } else if (arg == "--utilization") {
+      opt.utilization = std::strtod(next(), nullptr);
+    } else if (arg == "--cap-seconds") {
+      opt.cap_seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--tol") {
+      opt.tol = std::strtod(next(), nullptr);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.requests < 1 || opt.oracle_requests < 1 ||
+      opt.groups * opt.routers < 2 || opt.utilization <= 0.0 ||
+      opt.utilization > 1.0 || opt.cap_seconds <= 0.0 || opt.tol <= 0.0) {
+    std::fprintf(stderr,
+                 "need requests >= 1, a topology with >= 2 routers, "
+                 "utilization in (0, 1], positive cap/tol\n");
+    usage(argv[0]);
+  }
+
+  print_header(
+      "Workload engine at scale: flow-level fast path vs the "
+      "full-detail oracle");
+  std::printf("%-11s %-4s %-14s %7s %7s %8s %8s %6s %8s %9s %8s %8s %8s "
+              "%10s\n",
+              "scenario", "pln", "topology", "nodes", "links", "subm",
+              "done", "blckd", "pairs", "fidelity", "lat(s)", "sim(s)",
+              "wall(s)", "req/s");
+
+  // The oracle rate: 30% of one link's calibrated service rate — well
+  // inside steady state, where the flow model is valid.
+  const netlayer::FlowCalibration cal = calibrate(opt.shared.seed);
+  const netlayer::FlowCalibration::Entry* point = cal.best();
+  if (point == nullptr) {
+    std::fprintf(stderr, "flow calibration: no feasible operating point\n");
+    return 1;
+  }
+  const double oracle_rate_hz =
+      opt.oracle_utilization / std::max(point->pair_time_s, 1e-9);
+
+  std::vector<Row> rows;
+  rows.push_back(run_scale(opt));
+  print_row(rows.back());
+  rows.push_back(run_oracle_full(opt, oracle_rate_hz));
+  print_row(rows.back());
+  rows.push_back(run_oracle_flow(opt, oracle_rate_hz));
+  print_row(rows.back());
+
+  const Row& full = rows[1];
+  const Row& flow = rows[2];
+  const double tail_error = std::max(
+      {relative_error(flow.p50_request_latency_s,
+                      full.p50_request_latency_s),
+       relative_error(flow.p99_request_latency_s,
+                      full.p99_request_latency_s),
+       relative_error(flow.mean_fidelity, full.mean_fidelity)});
+  const double requests_per_sec = rows[0].requests_per_sec;
+  std::printf("  -> fast path vs oracle: p50 %.4f/%.4f s, p99 %.4f/%.4f "
+              "s, fidelity %.4f/%.4f -> tail error %.3f (tol %.2f)\n",
+              flow.p50_request_latency_s, full.p50_request_latency_s,
+              flow.p99_request_latency_s, full.p99_request_latency_s,
+              flow.mean_fidelity, full.mean_fidelity, tail_error, opt.tol);
+  std::printf("  -> scale: %llu requests completed at %.0f req/s wall "
+              "(%.1f s)\n",
+              static_cast<unsigned long long>(rows[0].completed),
+              requests_per_sec, rows[0].wall_seconds);
+
+  if (!opt.shared.json_path.empty()) {
+    write_json(opt.shared.json_path, rows, requests_per_sec, tail_error,
+               opt.tol);
+  }
+  write_text(opt.shared.monitor_path, rows[0].monitor_jsonl, "monitor");
+  write_text(opt.shared.netstate_path, rows[0].netstate_jsonl, "netstate");
+  write_text(opt.shared.report_path, rows[0].report_md, "report");
+
+  if (tail_error > opt.tol) {
+    std::fprintf(stderr,
+                 "FAIL: fastpath_tail_error %.3f exceeds tolerance %.2f\n",
+                 tail_error, opt.tol);
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 
@@ -25,6 +26,65 @@
 /// and tools/monitor_check.py validates the stream's invariants in CI.
 
 namespace qlink::bench {
+
+/// Shared command-line flags (ISSUE 9): every observability-aware bench
+/// accepts the same six flags with the same spelling and semantics, and
+/// parses them through this one implementation. A bench's argv loop
+/// calls consume() first and falls through to its own flags only when
+/// the argument is not one of ours:
+///
+///   bench::Args shared;
+///   for (int i = 1; i < argc; ++i) {
+///     if (shared.consume(argc, argv, i, [&] { usage(argv[0]); }))
+///       continue;
+///     ... bench-specific flags ...
+///   }
+///
+/// Help text: embed Args::kUsage in the bench's usage() line so every
+/// binary advertises the shared flags identically.
+struct Args {
+  std::uint64_t seed = 7;
+  std::string json_path;      // "-" = stdout; empty = bench's default
+  std::string trace_path;     // empty = tracing off
+  std::string monitor_path;   // empty = keep records in memory only
+  std::string netstate_path;  // empty = keep records in memory only
+  std::string report_path;    // empty = no Markdown report
+
+  static constexpr const char* kUsage =
+      "[--seed K] [--json PATH|-] [--trace PATH] [--monitor PATH] "
+      "[--netstate PATH] [--report PATH]";
+
+  /// Consume argv[i] (and its value) if it is a shared flag; advances
+  /// i past the value and returns true on success. `usage` must not
+  /// return (print help and exit).
+  template <typename Usage>
+  bool consume(int argc, char** argv, int& i, Usage&& usage) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);  // unreachable: usage() exits
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--monitor") {
+      monitor_path = next();
+    } else if (arg == "--netstate") {
+      netstate_path = next();
+    } else if (arg == "--report") {
+      report_path = next();
+    } else {
+      return false;
+    }
+    return true;
+  }
+};
 
 struct RunSpec {
   hw::ScenarioParams scenario = hw::ScenarioParams::lab();

@@ -24,9 +24,36 @@ const char* phase_name(Phase p) {
 void Collector::record_create(std::uint32_t origin_node,
                               std::uint32_t create_id, Priority kind,
                               std::uint16_t num_pairs, sim::SimTime t) {
-  open_[{origin_node, create_id}] = OpenRequest{kind, num_pairs, t,
-                                                origin_node};
+  open_insert({origin_node, create_id},
+              OpenRequest{kind, num_pairs, t, origin_node});
   kinds_[static_cast<std::size_t>(kind)].requests_submitted += 1;
+}
+
+void Collector::open_insert(const OpenKey& key, const OpenRequest& req) {
+  const auto it = open_.find(key);
+  if (it != open_.end()) {
+    open_age_.erase({it->second.created, key.first, key.second});
+    it->second = req;
+  } else {
+    open_.emplace(key, req);
+  }
+  open_age_.insert({req.created, key.first, key.second});
+  enforce_open_capacity();
+}
+
+void Collector::open_erase(std::map<OpenKey, OpenRequest>::iterator it) {
+  open_age_.erase({it->second.created, it->first.first, it->first.second});
+  open_.erase(it);
+}
+
+void Collector::enforce_open_capacity() {
+  if (open_capacity_ == 0) return;
+  while (open_.size() > open_capacity_) {
+    const auto oldest = open_age_.begin();
+    open_.erase({std::get<1>(*oldest), std::get<2>(*oldest)});
+    open_age_.erase(oldest);
+    ++open_evicted_;
+  }
 }
 
 void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
@@ -65,7 +92,7 @@ void Collector::record_ok(const OkMessage& ok, Priority kind, sim::SimTime t,
     km.requests_completed += 1;
     om.requests_completed += 1;
     note_slow_request(ok.create_id, req, request_latency);
-    open_.erase(it);
+    open_erase(it);
   }
 }
 
@@ -131,27 +158,28 @@ void Collector::record_resubmit(std::uint32_t origin, std::uint32_t old_id,
   ++reroutes_;
   const auto it = open_.find({origin, old_id});
   if (it != open_.end()) {
-    auto node = open_.extract(it);
-    node.key() = {origin, new_id};
+    OpenRequest req = it->second;
     // Re-scale to the resubmission's remaining pairs — the recreate
     // branch below can only know those, so both error classes
     // (kExpired keeps the entry, others erase it via record_err) must
     // yield the same scaled_latency_s divisor.
-    node.mapped().num_pairs = num_pairs;
-    open_.insert(std::move(node));
+    req.num_pairs = num_pairs;
+    open_erase(it);
+    open_insert({origin, new_id}, req);
     return;
   }
   // The hop failure's ERR already erased the entry (record_err); put it
   // back at the *original* submission time so queue + reroute time
   // still counts toward latency.
-  open_[{origin, new_id}] = OpenRequest{kind, num_pairs, submitted_at,
-                                        origin};
+  open_insert({origin, new_id},
+              OpenRequest{kind, num_pairs, submitted_at, origin});
 }
 
 void Collector::record_err(const core::ErrMessage& err) {
   error_counts_[err.error] += 1;
   if (err.error != core::EgpError::kExpired) {
-    open_.erase({err.origin_node, err.create_id});
+    const auto it = open_.find({err.origin_node, err.create_id});
+    if (it != open_.end()) open_erase(it);
   }
 }
 
@@ -190,11 +218,8 @@ std::uint64_t Collector::total_pairs_delivered() const {
 }
 
 std::optional<sim::SimTime> Collector::oldest_open_created() const {
-  std::optional<sim::SimTime> oldest;
-  for (const auto& [key, req] : open_) {
-    if (!oldest || req.created < *oldest) oldest = req.created;
-  }
-  return oldest;
+  if (open_age_.empty()) return std::nullopt;
+  return std::get<0>(*open_age_.begin());
 }
 
 namespace {
@@ -237,11 +262,16 @@ void Collector::merge(const Collector& other) {
   // the first submission either shard saw, and the rule is symmetric
   // so merge order cannot change the result.
   for (const auto& [key, req] : other.open_) {
-    const auto [it, inserted] = open_.try_emplace(key, req);
-    if (!inserted && req.created < it->second.created) {
+    const auto it = open_.find(key);
+    if (it == open_.end()) {
+      open_insert(key, req);
+    } else if (req.created < it->second.created) {
+      open_age_.erase({it->second.created, key.first, key.second});
       it->second = req;
+      open_age_.insert({req.created, key.first, key.second});
     }
   }
+  open_evicted_ += other.open_evicted_;
   for (const auto& [err, n] : other.error_counts_) error_counts_[err] += n;
   for (std::size_t b = 0; b < qber_counts_.size(); ++b) {
     qber_counts_[b].first += other.qber_counts_[b].first;

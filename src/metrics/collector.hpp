@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/requests.hpp"
@@ -245,6 +247,21 @@ class Collector {
   /// Creation time of the oldest still-open request (nullopt when none).
   std::optional<sim::SimTime> oldest_open_created() const;
 
+  /// Bound the open-request map (streaming runs, ISSUE 9): an abandoned
+  /// entry that never settles would otherwise leak forever. When more
+  /// than `cap` requests are simultaneously open, the oldest entries
+  /// (smallest `created`, ties broken by key — deterministic) are
+  /// evicted and counted in open_evicted(). An evicted request that
+  /// later settles records no latency (its anchor is gone) but its
+  /// pairs and completions still count. 0 = unbounded (the default).
+  void set_open_capacity(std::size_t cap) {
+    open_capacity_ = cap;
+    enforce_open_capacity();
+  }
+  std::size_t open_capacity() const noexcept { return open_capacity_; }
+  /// Open requests dropped by the capacity cap (summed by merge()).
+  std::uint64_t open_evicted() const noexcept { return open_evicted_; }
+
   /// Shard merge (ISSUE 7): fold another collector's records in, as if
   /// both streams had been recorded here. Histograms and counters merge
   /// exactly and commutatively; RunningStats via parallel Welford (~1e-12
@@ -277,11 +294,24 @@ class Collector {
                          double total_s);
   static void sort_and_trim_slowest(std::vector<SlowRequest>& v);
 
+  using OpenKey = std::pair<std::uint32_t, std::uint32_t>;
+  /// All open_ mutations go through these so open_age_ stays in sync
+  /// and the capacity cap holds after every insert.
+  void open_insert(const OpenKey& key, const OpenRequest& req);
+  void open_erase(std::map<OpenKey, OpenRequest>::iterator it);
+  void enforce_open_capacity();
+
   sim::SimTime start_time_ = 0;
   sim::SimTime end_time_ = 0;
   std::array<KindMetrics, 3> kinds_{};
   std::map<std::uint32_t, KindMetrics> origin_metrics_;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, OpenRequest> open_;
+  std::map<OpenKey, OpenRequest> open_;
+  /// Age index over open_ — (created, origin, id) ascending, the
+  /// eviction order. Maintained at every open_ mutation; makes both
+  /// oldest_open_created() and oldest-eviction O(log n).
+  std::set<std::tuple<sim::SimTime, std::uint32_t, std::uint32_t>> open_age_;
+  std::size_t open_capacity_ = 0;   // 0 = unbounded
+  std::uint64_t open_evicted_ = 0;
   std::map<core::EgpError, std::uint64_t> error_counts_;
   std::array<std::pair<std::uint64_t, std::uint64_t>, 3> qber_counts_{};
   Histogram request_latency_hist_;

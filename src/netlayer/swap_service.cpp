@@ -41,6 +41,33 @@ std::uint32_t SwapService::request(const E2eRequest& request) {
   return this->request(request, net_.path(request.src, request.dst));
 }
 
+std::size_t SwapService::num_links() const noexcept {
+  return net_.num_links();
+}
+
+std::size_t SwapService::num_nodes() const noexcept {
+  return net_.num_nodes();
+}
+
+std::pair<std::uint32_t, std::uint32_t> SwapService::endpoints(
+    std::size_t link) const {
+  return net_.endpoints(link);
+}
+
+core::Link::RateEstimate SwapService::estimate_link(std::size_t link,
+                                                    double floor) {
+  return net_.link(link).estimate_k_create(floor);
+}
+
+double SwapService::link_delay_s(std::size_t link) const {
+  return sim::to_seconds(net_.link(link).scenario().delay_a_to_b());
+}
+
+core::Link::TestRoundEstimate SwapService::measured_estimate(
+    std::size_t link) const {
+  return net_.link(link).test_round_estimate();
+}
+
 std::uint32_t SwapService::request(const E2eRequest& request,
                                    const std::vector<Hop>& route,
                                    std::span<const double> hop_floors) {

@@ -11,6 +11,7 @@
 
 #include "core/requests.hpp"
 #include "metrics/collector.hpp"
+#include "netlayer/plane.hpp"
 #include "netlayer/topology.hpp"
 #include "obs/trace.hpp"
 #include "sim/entity.hpp"
@@ -28,83 +29,17 @@
 /// and delivers an end-to-end pair whose fidelity is measured with
 /// simulator privilege and tracked through metrics::Collector.
 
-namespace qlink::metrics {
-class EdgeStats;
-}
-
 namespace qlink::netlayer {
 
-/// End-to-end entanglement request between two nodes of the network.
-struct E2eRequest {
-  std::uint32_t src = 0;
-  std::uint32_t dst = 1;
-  std::uint16_t num_pairs = 1;
-  /// End-to-end target; also the per-link CREATE floor unless
-  /// link_min_fidelity is set. (Swapping multiplies infidelities, so a
-  /// route of n hops at link fidelity F ends near F^n.)
-  double min_fidelity = 0.5;
-  /// Per-link CREATE min_fidelity override; 0 = use min_fidelity.
-  double link_min_fidelity = 0.0;
-  /// The fidelity floor each hop's CREATE actually carries (also what
-  /// issue-rate calibration must use).
-  double effective_link_floor() const {
-    return link_min_fidelity > 0.0 ? link_min_fidelity : min_fidelity;
-  }
-  sim::SimTime max_time = 0;  // tmax per link-layer CREATE; 0 = unbounded
-  std::uint16_t purpose_id = 1;
-  /// When >= 0, the time the higher layer first saw this request; the
-  /// delivery latency is measured from here. The routing layer stamps
-  /// it at submission so time spent queued behind reservations counts.
-  /// Negative (default): stamped when the SwapService admits it.
-  sim::SimTime submitted_at = -1;
-  /// Move each link pair into carbon memory on delivery (survives the
-  /// wait for the slowest hop; needs the decoupled-memory scenario for
-  /// long waits, see examples/chain_e2e_nl.cpp).
-  bool store_in_memory = true;
-  /// Set by the routing layer when re-submitting a failed request over
-  /// a sibling path (adaptive re-routing): the SwapService request id
-  /// this one continues. Metrics then carry the original submission's
-  /// latency entry to the new id instead of counting a fresh request.
-  /// 0 = a fresh request.
-  std::uint32_t resubmission_of = 0;
-  /// Request-lifecycle trace lane (obs::Tracer::new_trace), stamped by
-  /// whoever first sees the request and carried through resubmissions
-  /// so a rerouted request stays one trace. 0 = untraced.
-  obs::TraceId trace_id = 0;
-};
+// E2eRequest / E2eOk / E2eErr are the entanglement plane's wire format
+// and live in netlayer/plane.hpp (included above): they are shared
+// with the flow-level fast path.
 
-/// End-to-end delivery, the network-layer analogue of core::OkMessage.
-struct E2eOk {
-  std::uint32_t request_id = 0;
-  std::uint32_t src = 0;
-  std::uint32_t dst = 0;
-  std::uint16_t pair_index = 0;
-  std::uint16_t total_pairs = 1;
-  quantum::QubitId qubit_src = 0;
-  quantum::QubitId qubit_dst = 0;
-  /// Fidelity of the delivered pair to |Psi+>, measured at delivery
-  /// time with simulator privilege.
-  double fidelity = 0.0;
-  sim::SimTime submit_time = 0;
-  sim::SimTime deliver_time = 0;
-  int swaps = 0;
-  /// Link-layer backing of the two ends (needed to release them).
-  std::size_t link_src = 0;
-  std::size_t link_dst = 0;
-  core::OkMessage ok_src;
-  core::OkMessage ok_dst;
-};
-
-struct E2eErr {
-  std::uint32_t request_id = 0;
-  core::EgpError error = core::EgpError::kNone;
-  std::size_t link = 0;
-};
-
-class SwapService : public sim::Entity {
+/// The full-detail entanglement plane (the validation oracle).
+class SwapService : public sim::Entity, public EntanglementPlane {
  public:
-  using DeliverFn = std::function<void(const E2eOk&)>;
-  using ErrorFn = std::function<void(const E2eErr&)>;
+  using DeliverFn = EntanglementPlane::DeliverFn;
+  using ErrorFn = EntanglementPlane::ErrorFn;
   using UnclaimedFn = std::function<void(std::size_t link, std::uint32_t node,
                                          const core::OkMessage&)>;
 
@@ -140,15 +75,36 @@ class SwapService : public sim::Entity {
                         const std::vector<Hop>& route,
                         std::span<const double> hop_floors = {});
 
-  void set_deliver_handler(DeliverFn fn) { on_deliver_ = std::move(fn); }
-  void set_error_handler(ErrorFn fn) { on_error_ = std::move(fn); }
+  // --- EntanglementPlane ---
+  sim::Simulator& simulator() noexcept override {
+    return Entity::simulator();
+  }
+  std::size_t num_links() const noexcept override;
+  std::size_t num_nodes() const noexcept override;
+  std::pair<std::uint32_t, std::uint32_t> endpoints(
+      std::size_t link) const override;
+  std::uint32_t submit(const E2eRequest& req, const std::vector<Hop>& route,
+                       std::span<const double> hop_floors = {}) override {
+    return request(req, route, hop_floors);
+  }
+  core::Link::RateEstimate estimate_link(std::size_t link,
+                                         double floor) override;
+  double link_delay_s(std::size_t link) const override;
+  core::Link::TestRoundEstimate measured_estimate(
+      std::size_t link) const override;
+  QuantumNetwork* network() noexcept override { return &net_; }
+
+  void set_deliver_handler(DeliverFn fn) override {
+    on_deliver_ = std::move(fn);
+  }
+  void set_error_handler(ErrorFn fn) override { on_error_ = std::move(fn); }
   /// Called for OKs that belong to no end-to-end request (e.g. link
   /// traffic issued directly by a test). Default: K-type pairs are
   /// released immediately so they cannot exhaust device memory.
   void set_unclaimed_handler(UnclaimedFn fn) { on_unclaimed_ = std::move(fn); }
 
   /// The higher layer is done with a delivered end-to-end pair.
-  void release(const E2eOk& ok);
+  void release(const E2eOk& ok) override;
 
   /// Attach a lifecycle tracer (null to detach). The tracer only
   /// records — it never schedules events or consumes randomness — so
@@ -158,7 +114,7 @@ class SwapService : public sim::Entity {
   /// Attach a per-edge accounting substrate (null to detach): receives
   /// per-hop CREATE attempts, swap executions, and per-hop delivery
   /// facts. Recording only — cannot perturb the trajectory.
-  void set_edge_stats(metrics::EdgeStats* stats) noexcept {
+  void set_edge_stats(metrics::EdgeStats* stats) noexcept override {
     edge_stats_ = stats;
   }
 

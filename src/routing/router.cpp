@@ -25,24 +25,22 @@ netlayer::NetworkConfig make_network_config(
   return config;
 }
 
-Router::Router(Graph graph, netlayer::QuantumNetwork& network,
-               netlayer::SwapService& swap, const RouterConfig& config,
-               metrics::Collector* collector)
+Router::Router(Graph graph, netlayer::EntanglementPlane& plane,
+               const RouterConfig& config, metrics::Collector* collector)
     : graph_(std::move(graph)),
-      net_(network),
-      swap_(swap),
+      plane_(plane),
+      sim_(plane.simulator()),
       config_(config),
       collector_(collector),
       selector_(graph_, config.cost),
       reservations_(graph_) {
-  if (graph_.num_edges() != net_.num_links() ||
-      graph_.num_nodes() != net_.num_nodes()) {
-    throw std::invalid_argument(
-        "Router: graph and network disagree on size");
+  if (graph_.num_edges() != plane_.num_links() ||
+      graph_.num_nodes() != plane_.num_nodes()) {
+    throw std::invalid_argument("Router: graph and plane disagree on size");
   }
   for (std::size_t i = 0; i < graph_.num_edges(); ++i) {
     const Graph::Edge& e = graph_.edge(i);
-    const auto [a, b] = net_.endpoints(i);
+    const auto [a, b] = plane_.endpoints(i);
     const bool match = (e.a == a && e.b == b) || (e.a == b && e.b == a);
     if (!match) {
       throw std::invalid_argument("Router: edge " + std::to_string(i) +
@@ -56,23 +54,34 @@ Router::Router(Graph graph, netlayer::QuantumNetwork& network,
   reservations_.set_drain_policy(config_.batch_admission
                                      ? DrainPolicy::kPerEdgeFifo
                                      : DrainPolicy::kGreedy);
-  swap_.set_deliver_handler(
+  plane_.set_deliver_handler(
       [this](const netlayer::E2eOk& ok) { on_deliver(ok); });
-  swap_.set_error_handler(
+  plane_.set_error_handler(
       [this](const netlayer::E2eErr& err) { on_error(err); });
+}
+
+Router::Router(Graph graph, netlayer::QuantumNetwork& network,
+               netlayer::SwapService& swap, const RouterConfig& config,
+               metrics::Collector* collector)
+    : Router(std::move(graph), static_cast<netlayer::EntanglementPlane&>(swap),
+             config, collector) {
+  if (swap.network() != &network) {
+    throw std::invalid_argument(
+        "Router: swap service was built over a different network");
+  }
 }
 
 void Router::set_edge_stats(metrics::EdgeStats* stats) noexcept {
   edge_stats_ = stats;
   reservations_.set_edge_stats(stats);
-  swap_.set_edge_stats(stats);
+  plane_.set_edge_stats(stats);
 }
 
 Router::~Router() {
   // Pending lease-expiry and deferred-submission events capture `this`.
-  if (expiry_event_) net_.simulator().cancel(*expiry_event_);
+  if (expiry_event_) sim_.cancel(*expiry_event_);
   for (const sim::EventId id : deferred_events_) {
-    net_.simulator().cancel(id);
+    sim_.cancel(id);
   }
 }
 
@@ -82,13 +91,12 @@ void Router::annotate_from_network(std::span<const double> floor_menu) {
   }
   for (std::size_t i = 0; i < graph_.num_edges(); ++i) {
     EdgeParams& params = graph_.params(i);
-    core::Link& link = net_.link(i);
-    params.delay_s = sim::to_seconds(link.scenario().delay_a_to_b());
+    params.delay_s = plane_.link_delay_s(i);
     params.link_floor = 0.0;
     params.fidelity = 0.25;  // separable: the fidelity model shuns it
     params.pair_time_s = 1.0;
     for (const double floor : floor_menu) {
-      const auto estimate = link.estimate_k_create(floor);
+      const auto estimate = plane_.estimate_link(i, floor);
       if (estimate.feasible) {
         params.link_floor = floor;
         params.fidelity = estimate.fidelity;
@@ -97,15 +105,16 @@ void Router::annotate_from_network(std::span<const double> floor_menu) {
       }
     }
   }
+  path_cache_.clear();  // costs changed: cached candidates are stale
 }
 
 void Router::refresh_annotations(const RefreshOptions& options) {
   annotate_from_network(options.floor_menu);  // the static baseline
   const bool first_refresh = freshness_.empty();
   if (first_refresh) freshness_.resize(graph_.num_edges());
-  const sim::SimTime now = net_.simulator().now();
+  const sim::SimTime now = sim_.now();
   for (std::size_t i = 0; i < graph_.num_edges(); ++i) {
-    const auto measured = net_.link(i).test_round_estimate();
+    const auto measured = plane_.measured_estimate(i);
     EdgeFreshness& fresh = freshness_[i];
     if (first_refresh) {
       // Rounds recorded before anyone watched cannot be dated; treat
@@ -149,7 +158,7 @@ std::vector<netlayer::Hop> Router::to_hops(const Path& path) const {
   hops.reserve(path.edges.size());
   for (std::size_t i = 0; i < path.edges.size(); ++i) {
     const std::size_t link = path.edges[i];
-    const auto [a, b] = net_.endpoints(link);
+    const auto [a, b] = plane_.endpoints(link);
     (void)b;
     hops.push_back(netlayer::Hop{link, path.nodes[i] != a});
   }
@@ -179,14 +188,14 @@ sim::SimTime Router::lease_duration(
 }
 
 std::uint32_t Router::try_admit(FlightState& flight) {
-  const sim::SimTime now = net_.simulator().now();
+  const sim::SimTime now = sim_.now();
   for (const Path& path : flight.candidates) {
     const auto ticket = reservations_.try_reserve(
         path.edges, now, lease_duration(path, flight.request));
     if (!ticket) continue;
     std::uint32_t id = 0;
     try {
-      id = swap_.request(flight.request, to_hops(path), hop_floors(path));
+      id = plane_.submit(flight.request, to_hops(path), hop_floors(path));
     } catch (...) {
       // A malformed pinned path (submit_on checks only the endpoints)
       // must not leak its reservation and wedge the edges forever.
@@ -229,7 +238,7 @@ std::uint32_t Router::try_admit(FlightState& flight) {
 
 bool Router::try_defer(FlightState& flight) {
   if (!config_.defer_admission) return false;
-  const sim::SimTime now = net_.simulator().now();
+  const sim::SimTime now = sim_.now();
   // Book the candidate whose window opens first; ties keep candidate
   // (cost) order.
   const Path* best = nullptr;
@@ -271,7 +280,7 @@ bool Router::try_defer(FlightState& flight) {
   // retire itself from deferred_events_ when it fires (the destructor
   // must not cancel an already-fired event).
   auto id_holder = std::make_shared<sim::EventId>(0);
-  const sim::EventId id = net_.simulator().schedule_at(
+  const sim::EventId id = sim_.schedule_at(
       best_start,
       [this, id_holder, flight = std::move(flight), path = *best]() mutable {
         deferred_events_.erase(*id_holder);
@@ -286,16 +295,16 @@ bool Router::try_defer(FlightState& flight) {
 void Router::submit_deferred(FlightState flight, const Path& path) {
   std::uint32_t id = 0;
   try {
-    id = swap_.request(flight.request, to_hops(path), hop_floors(path));
+    id = plane_.submit(flight.request, to_hops(path), hop_floors(path));
   } catch (...) {
-    reservations_.release(flight.ticket, net_.simulator().now());
+    reservations_.release(flight.ticket, sim_.now());
     throw;
   }
   ++stats_.admitted;
   if (flight.request.resubmission_of != 0) ++stats_.rerouted;
   if (flight.request.resubmission_of == 0 &&
       flight.request.submitted_at >= 0) {
-    const double wait_s = sim::to_seconds(net_.simulator().now() -
+    const double wait_s = sim::to_seconds(sim_.now() -
                                           flight.request.submitted_at);
     if (collector_) {
       collector_->record_admission_wait(wait_s, flight.request.src, id);
@@ -311,17 +320,30 @@ void Router::submit_deferred(FlightState flight, const Path& path) {
   flight.booked_wait_s = 0.0;
   if (tracer_ && flight.request.resubmission_of == 0 &&
       flight.request.submitted_at >= 0 &&
-      net_.simulator().now() > flight.request.submitted_at) {
+      sim_.now() > flight.request.submitted_at) {
     tracer_->complete(flight.request.trace_id, "router", "admission_wait",
-                      flight.request.submitted_at, net_.simulator().now());
+                      flight.request.submitted_at, sim_.now());
   }
   in_flight_.emplace(id, std::move(flight));
   schedule_expiry_wakeup();
 }
 
+std::vector<Path> Router::candidates_for(std::uint32_t src,
+                                         std::uint32_t dst) {
+  if (!config_.cache_paths) {
+    return selector_.k_shortest(src, dst, config_.k_candidates);
+  }
+  const auto key = std::make_pair(src, dst);
+  const auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) return it->second;
+  std::vector<Path> candidates =
+      selector_.k_shortest(src, dst, config_.k_candidates);
+  path_cache_.emplace(key, candidates);
+  return candidates;
+}
+
 std::uint32_t Router::submit(const netlayer::E2eRequest& request) {
-  std::vector<Path> candidates = selector_.k_shortest(
-      request.src, request.dst, config_.k_candidates);
+  std::vector<Path> candidates = candidates_for(request.src, request.dst);
   if (candidates.empty()) {
     throw std::invalid_argument("Router: no path between nodes " +
                                 std::to_string(request.src) + " and " +
@@ -373,7 +395,7 @@ std::uint32_t Router::submit_flight(FlightState flight) {
   // Latency is measured from here: time a request spends queued behind
   // reservations is part of its service time.
   if (flight.request.submitted_at < 0) {
-    flight.request.submitted_at = net_.simulator().now();
+    flight.request.submitted_at = sim_.now();
   }
   if (tracer_) {
     if (flight.request.trace_id == 0) {
@@ -381,7 +403,7 @@ std::uint32_t Router::submit_flight(FlightState flight) {
     }
     tracer_->instant(
         flight.request.trace_id, "router", "submit",
-        net_.simulator().now(),
+        sim_.now(),
         {obs::Tracer::num_arg(
              "src", static_cast<std::uint64_t>(flight.request.src)),
          obs::Tracer::num_arg(
@@ -453,7 +475,7 @@ void Router::trace_terminal(const FlightState& flight, const char* outcome) {
   if (tracer_ == nullptr || flight.request.submitted_at < 0) return;
   tracer_->complete(
       flight.request.trace_id, "request", "request",
-      flight.request.submitted_at, net_.simulator().now(),
+      flight.request.submitted_at, sim_.now(),
       {obs::Tracer::str_arg("outcome", outcome),
        obs::Tracer::num_arg(
            "src", static_cast<std::uint64_t>(flight.request.src)),
@@ -481,7 +503,7 @@ void Router::queue_or_drop_reroute(FlightState flight,
   if (collector_) collector_->record_abandon();
   if (tracer_) {
     tracer_->instant(flight.request.trace_id, "router", "abandon",
-                     net_.simulator().now());
+                     sim_.now());
     trace_terminal(flight, "abandoned");
   }
   if (on_error_) on_error_(err);
@@ -495,17 +517,17 @@ void Router::schedule_expiry_wakeup() {
   // drain the blocked queue) synchronously here, which could reenter
   // try_admit from inside a submit already in progress. A lease that
   // lapsed in the past wakes "now", i.e. right after the current event.
-  const sim::SimTime at = std::max(*next, net_.simulator().now());
+  const sim::SimTime at = std::max(*next, sim_.now());
   if (expiry_event_ && expiry_at_ <= at) return;
-  if (expiry_event_) net_.simulator().cancel(*expiry_event_);
+  if (expiry_event_) sim_.cancel(*expiry_event_);
   expiry_at_ = at;
-  expiry_event_ = net_.simulator().schedule_at(
+  expiry_event_ = sim_.schedule_at(
       at,
       [this] {
         expiry_event_.reset();
         // Prunes every lease lapsed by now and retries the blocked
         // queue; anything still blocked gets the next wakeup.
-        reservations_.expire_until(net_.simulator().now());
+        reservations_.expire_until(sim_.now());
         sync_contention_metrics();
         schedule_expiry_wakeup();
       },
@@ -521,7 +543,7 @@ void Router::on_deliver(const netlayer::E2eOk& ok) {
   } else {
     // Same policy as an unhandled SwapService delivery: a pair nobody
     // consumes must not pin device memory forever.
-    swap_.release(ok);
+    plane_.release(ok);
   }
   if (ok.pair_index + 1 == ok.total_pairs) {
     ++stats_.completed;
@@ -532,7 +554,7 @@ void Router::on_deliver(const netlayer::E2eOk& ok) {
       in_flight_.erase(it);
       // May reentrantly admit blocked requests (fresh SwapService
       // CREATEs fire from inside this delivery).
-      reservations_.release(ticket, net_.simulator().now());
+      reservations_.release(ticket, sim_.now());
       sync_contention_metrics();
       schedule_expiry_wakeup();
     }
@@ -551,7 +573,7 @@ void Router::on_error(const netlayer::E2eErr& err) {
   in_flight_.erase(it);
   // May reentrantly admit blocked requests; the failed request's own
   // resubmission (below) queues behind them — it already had service.
-  reservations_.release(flight.ticket, net_.simulator().now());
+  reservations_.release(flight.ticket, sim_.now());
   sync_contention_metrics();
   schedule_expiry_wakeup();
 
@@ -561,7 +583,7 @@ void Router::on_error(const netlayer::E2eErr& err) {
     // only re-runs over the exclusion set once they run dry. Exclusions
     // decay first (TTL / fidelity recovery), so a recovered edge is
     // back in the search space within the re-route budget.
-    const sim::SimTime now = net_.simulator().now();
+    const sim::SimTime now = sim_.now();
     flight.excluded.push_back({err.link, now});
     prune_exclusions(flight, now);
     std::erase_if(flight.candidates, [&err](const Path& path) {
@@ -609,7 +631,7 @@ void Router::on_error(const netlayer::E2eErr& err) {
   if (tracer_) {
     tracer_->instant(
         flight.request.trace_id, "router",
-        abandoned ? "abandon" : "failed", net_.simulator().now(),
+        abandoned ? "abandon" : "failed", sim_.now(),
         {obs::Tracer::str_arg("error", core::egp_error_name(err.error)),
          obs::Tracer::num_arg("link",
                               static_cast<std::uint64_t>(err.link))});

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "metrics/collector.hpp"
+#include "netlayer/plane.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
 #include "obs/trace.hpp"
@@ -19,9 +20,10 @@
 /// \file router.hpp
 /// The glue that turns graph + path selection + reservations into a
 /// running network: a Router owns the Graph's annotated view of a
-/// netlayer::QuantumNetwork (edge i == link i, verified on
+/// netlayer::EntanglementPlane (edge i == link i, verified on
 /// construction) and admits end-to-end requests onto reserved routed
-/// paths of its SwapService.
+/// paths of that plane — the full-detail SwapService or the flow-level
+/// FlowPlane, interchangeably.
 ///
 /// Admission: the k cheapest candidate paths under the configured cost
 /// model are tried in order; the first whose edges all have spare
@@ -100,6 +102,15 @@ struct RouterConfig {
   /// much across refresh_annotations calls counts as recovered and is
   /// dropped from exclusion sets at the next re-route.
   double recovery_min_gain = 0.05;
+  /// Cache Yen candidate lists per (src, dst), invalidated whenever
+  /// annotate_from_network / refresh_annotations rewrites the edge
+  /// parameters. The selector is deterministic, so a cache hit returns
+  /// byte-identical candidates — this cannot change a trajectory, only
+  /// skip recomputation. Off by default: callers that mutate
+  /// graph().params() directly between submissions (tests do) would
+  /// otherwise route on stale costs. Streaming workloads over big
+  /// topologies (bench_workload_scale) switch it on.
+  bool cache_paths = false;
 };
 
 /// How Router::refresh_annotations folds live FEU test-round estimates
@@ -150,10 +161,16 @@ class Router {
     std::uint64_t pairs_delivered = 0;
   };
 
-  /// Takes over the SwapService's deliver/error handlers (route the
-  /// higher layer's handlers through the Router instead). Throws
-  /// std::invalid_argument when graph and network disagree (edge/link
+  /// Takes over the plane's deliver/error handlers (route the higher
+  /// layer's handlers through the Router instead). Throws
+  /// std::invalid_argument when graph and plane disagree (edge/link
   /// count, node count, or any edge's endpoints).
+  Router(Graph graph, netlayer::EntanglementPlane& plane,
+         const RouterConfig& config = {},
+         metrics::Collector* collector = nullptr);
+
+  /// Deprecated shim (pre-plane API): the SwapService *is* the
+  /// full-detail plane; `network` must be the one it was built over.
   Router(Graph graph, netlayer::QuantumNetwork& network,
          netlayer::SwapService& swap, const RouterConfig& config = {},
          metrics::Collector* collector = nullptr);
@@ -240,8 +257,11 @@ class Router {
   sim::SimTime edge_recovered_at(std::size_t edge) const {
     return edge < recovered_at_.size() ? recovered_at_[edge] : 0;
   }
-  netlayer::QuantumNetwork& network() noexcept { return net_; }
-  netlayer::SwapService& swap() noexcept { return swap_; }
+  /// The entanglement plane this router admits onto.
+  netlayer::EntanglementPlane& plane() noexcept { return plane_; }
+  /// The full-detail network behind the plane, or nullptr on a plane
+  /// without one (the flow-level fast path).
+  netlayer::QuantumNetwork* network() noexcept { return plane_.network(); }
 
   /// A selector path as SwapService hops / per-hop CREATE floors.
   std::vector<netlayer::Hop> to_hops(const Path& path) const;
@@ -279,6 +299,10 @@ class Router {
     double booked_wait_s = 0.0;
   };
 
+  /// Yen candidates for submit(): served from the (src, dst) cache when
+  /// cache_paths is on and the annotations have not changed since the
+  /// entry was computed.
+  std::vector<Path> candidates_for(std::uint32_t src, std::uint32_t dst);
   std::uint32_t submit_flight(FlightState flight);
   /// Reserve + hand to the SwapService over the first fitting
   /// candidate; returns the SwapService request id, 0 when nothing
@@ -313,14 +337,18 @@ class Router {
   void schedule_expiry_wakeup();
 
   Graph graph_;
-  netlayer::QuantumNetwork& net_;
-  netlayer::SwapService& swap_;
+  netlayer::EntanglementPlane& plane_;
+  sim::Simulator& sim_;
   RouterConfig config_;
   metrics::Collector* collector_;
   obs::Tracer* tracer_ = nullptr;
   metrics::EdgeStats* edge_stats_ = nullptr;
   PathSelector selector_;
   ReservationTable reservations_;
+  /// (src, dst) -> Yen candidates (cache_paths only). Cleared whenever
+  /// annotate_from_network / refresh_annotations rewrites edge costs.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Path>>
+      path_cache_;
   /// SwapService request id -> its flight (reservation + reroute
   /// state).
   std::map<std::uint32_t, FlightState> in_flight_;

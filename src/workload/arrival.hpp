@@ -1,0 +1,191 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+/// \file arrival.hpp
+/// Traffic-shape library for the workload engine: when do requests
+/// arrive, and what does each one ask for.
+///
+/// An ArrivalProcess is a deterministic pure function of
+/// (Random&, now): given the shared random source and the current
+/// simulation time it returns the next arrival instant (strictly
+/// after now). It holds no mutable state of its own — burst phases
+/// and diurnal position are derived from `now`, never stored — so the
+/// same seed replays the same arrival train regardless of who else
+/// shares the Random, and a process can be swapped mid-run without
+/// losing its place. The driver keeps exactly one pending arrival
+/// event on the heap (O(1) heap state however high the offered rate).
+
+namespace qlink::workload {
+
+/// What one arrival asks for. The driver fills endpoints according to
+/// its OriginMode unless the class pins them via `endpoints`.
+struct RequestShape {
+  std::uint16_t num_pairs = 1;
+  /// End-to-end fidelity target; 0 = use the traffic default.
+  double min_fidelity = 0.0;
+  /// Pinned (src, dst) endpoint pool: when non-empty, each arrival of
+  /// this class picks one pair uniformly. Empty = driver's OriginMode.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> endpoints;
+  /// Class label for reporting (unused by the engine itself).
+  std::string name;
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// The next arrival instant, strictly after `now`. Must consume the
+  /// same number of random draws for the same (seed, now) so seeded
+  /// trajectories replay byte-identically.
+  virtual sim::SimTime next_arrival(sim::Random& random,
+                                    sim::SimTime now) const = 0;
+
+  /// What the arrival at `now` asks for. The base process issues the
+  /// default shape; class mixes override.
+  virtual RequestShape sample_shape(sim::Random& random,
+                                    sim::SimTime now) const {
+    (void)random;
+    (void)now;
+    return RequestShape{};
+  }
+
+  /// Mean offered rate (requests per simulated second), for reporting
+  /// and run sizing.
+  virtual double mean_rate_hz() const = 0;
+};
+
+/// Poisson arrivals: exponential inter-arrival times at `rate_hz`.
+class PoissonProcess : public ArrivalProcess {
+ public:
+  explicit PoissonProcess(double rate_hz) : rate_hz_(rate_hz) {
+    if (rate_hz <= 0.0) {
+      throw std::invalid_argument("PoissonProcess: rate must be positive");
+    }
+  }
+
+  sim::SimTime next_arrival(sim::Random& random,
+                            sim::SimTime now) const override {
+    const double gap_s = random.exponential(1.0 / rate_hz_);
+    return now + std::max<sim::SimTime>(sim::duration::seconds(gap_s), 1);
+  }
+
+  double mean_rate_hz() const override { return rate_hz_; }
+
+ private:
+  double rate_hz_;
+};
+
+/// Bursty on/off arrivals: a deterministic square wave of period
+/// `on_s + off_s` (phase derived from `now`, anchored at t = 0).
+/// During ON windows arrivals are Poisson at `rate_hz`; draws that
+/// land in an OFF window are pushed past it, so the duty cycle is
+/// exact however long the run.
+class OnOffProcess : public ArrivalProcess {
+ public:
+  OnOffProcess(double rate_hz, double on_s, double off_s)
+      : rate_hz_(rate_hz),
+        on_(sim::duration::seconds(on_s)),
+        off_(sim::duration::seconds(off_s)) {
+    if (rate_hz <= 0.0 || on_ <= 0 || off_ < 0) {
+      throw std::invalid_argument("OnOffProcess: bad rate or window");
+    }
+  }
+
+  sim::SimTime next_arrival(sim::Random& random,
+                            sim::SimTime now) const override {
+    const sim::SimTime period = on_ + off_;
+    // Remaining ON budget: one exponential draw, spent across however
+    // many ON windows it takes (OFF time does not consume budget).
+    sim::SimTime budget = std::max<sim::SimTime>(
+        sim::duration::seconds(random.exponential(1.0 / rate_hz_)), 1);
+    sim::SimTime t = now;
+    while (true) {
+      const sim::SimTime phase = t % period;
+      if (phase >= on_) {
+        t += period - phase;  // inside OFF: skip to the next window
+        continue;
+      }
+      const sim::SimTime window_left = on_ - phase;
+      if (budget <= window_left) return t + budget;
+      budget -= window_left;
+      t += window_left;  // now at the OFF boundary; loop skips it
+    }
+  }
+
+  double mean_rate_hz() const override {
+    return rate_hz_ * sim::to_seconds(on_) / sim::to_seconds(on_ + off_);
+  }
+
+ private:
+  double rate_hz_;
+  sim::SimTime on_;
+  sim::SimTime off_;
+};
+
+/// Diurnal-modulated Poisson arrivals: instantaneous rate
+/// rate_hz * (1 + depth * sin(2*pi * now / period)) via thinning
+/// against the peak rate — each candidate gap is drawn at the peak and
+/// accepted with probability rate(t)/peak, which is exact and keeps
+/// the process a pure function of now.
+class DiurnalProcess : public ArrivalProcess {
+ public:
+  DiurnalProcess(double rate_hz, double period_s, double depth = 0.5)
+      : rate_hz_(rate_hz), period_s_(period_s), depth_(depth) {
+    if (rate_hz <= 0.0 || period_s <= 0.0 || depth < 0.0 || depth > 1.0) {
+      throw std::invalid_argument("DiurnalProcess: bad rate/period/depth");
+    }
+  }
+
+  sim::SimTime next_arrival(sim::Random& random,
+                            sim::SimTime now) const override;
+
+  double mean_rate_hz() const override { return rate_hz_; }
+
+ private:
+  double rate_hz_;
+  double period_s_;
+  double depth_;
+};
+
+/// Weighted per-user-class mix over an inner arrival process: arrival
+/// *times* come from the inner process; each arrival then draws a
+/// class by weight and takes its shape (pairs, fidelity target,
+/// pinned endpoint pool).
+class ClassMixProcess : public ArrivalProcess {
+ public:
+  struct Class {
+    double weight = 1.0;
+    RequestShape shape;
+  };
+
+  ClassMixProcess(std::shared_ptr<ArrivalProcess> inner,
+                  std::vector<Class> classes);
+
+  sim::SimTime next_arrival(sim::Random& random,
+                            sim::SimTime now) const override {
+    return inner_->next_arrival(random, now);
+  }
+
+  RequestShape sample_shape(sim::Random& random,
+                            sim::SimTime now) const override;
+
+  double mean_rate_hz() const override { return inner_->mean_rate_hz(); }
+
+  const std::vector<Class>& classes() const noexcept { return classes_; }
+
+ private:
+  std::shared_ptr<ArrivalProcess> inner_;
+  std::vector<Class> classes_;
+  std::vector<double> weights_;
+};
+
+}  // namespace qlink::workload

@@ -1,6 +1,7 @@
 #include "workload/workload.hpp"
 
 #include <stdexcept>
+#include <tuple>
 
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
@@ -16,6 +17,29 @@ using core::ErrMessage;
 using core::OkMessage;
 using core::Priority;
 using core::RequestType;
+
+TrafficConfig WorkloadConfig::traffic() const {
+  TrafficConfig t;
+  t.nl = nl;
+  t.ck = ck;
+  t.md = md;
+  t.origin = origin;
+  t.min_fidelity = min_fidelity;
+  t.max_time = max_time;
+  t.link_min_fidelity = link_min_fidelity;
+  return t;
+}
+
+DriverConfig WorkloadConfig::tuning() const {
+  DriverConfig d;
+  d.seed = seed;
+  d.stale_pair_horizon = stale_pair_horizon;
+  d.annotate_refresh_interval = annotate_refresh_interval;
+  d.refresh_floor_menu = refresh_floor_menu;
+  d.refresh_min_rounds = refresh_min_rounds;
+  d.refresh_stale_halflife_s = refresh_stale_halflife_s;
+  return d;
+}
 
 UsagePattern usage_pattern(const std::string& name, double load) {
   WorkloadConfig c;
@@ -44,72 +68,159 @@ UsagePattern usage_pattern(const std::string& name, double load) {
   return UsagePattern{name, c};
 }
 
-WorkloadDriver::WorkloadDriver(core::Link& link, const WorkloadConfig& config,
+WorkloadDriver::WorkloadDriver(const Wiring& wiring, TrafficConfig traffic,
+                               DriverConfig tuning,
                                metrics::Collector& collector)
-    : Entity(link.simulator(), "workload"),
-      link_(&link),
-      config_(config),
+    : Entity(*wiring.simulator, wiring.name),
+      link_(wiring.link),
+      net_(wiring.net),
+      plane_(wiring.plane),
+      swap_(wiring.swap),
+      router_(wiring.router),
+      traffic_(std::move(traffic)),
+      tuning_(std::move(tuning)),
       collector_(collector),
-      random_(config.seed),
-      timer_(link.simulator(), link.scenario().mhp_cycle,
-             [this] { on_cycle(); }, "workload.cycle") {
-  for (std::uint32_t node : {link.node_id_a(), link.node_id_b()}) {
-    core::Egp& egp = link_->egp(node);
-    egp.set_ok_handler(
-        [this, node](const OkMessage& ok) { on_ok(node, ok); });
-    egp.set_err_handler(
-        [this, node](const ErrMessage& err) { on_err(node, err); });
+      random_(tuning_.seed),
+      timer_(
+          *wiring.simulator,
+          [&]() -> sim::SimTime {
+            if (tuning_.poll_interval > 0) return tuning_.poll_interval;
+            if (link_ != nullptr) return link_->scenario().mhp_cycle;
+            if (net_ != nullptr) return net_->link(0).scenario().mhp_cycle;
+            return sim::duration::microseconds(10);
+          }(),
+          [this] { on_cycle(); }, "workload.cycle") {
+  if (link_ != nullptr) {
+    if (traffic_.arrivals != nullptr) {
+      throw std::invalid_argument(
+          "WorkloadDriver: single-link mode has no arrival-process "
+          "traffic; use the per-cycle KindSpecs");
+    }
+    for (std::uint32_t node : {link_->node_id_a(), link_->node_id_b()}) {
+      core::Egp& egp = link_->egp(node);
+      egp.set_ok_handler(
+          [this, node](const OkMessage& ok) { on_ok(node, ok); });
+      egp.set_err_handler(
+          [this, node](const ErrMessage& err) { on_err(node, err); });
+    }
+    return;
+  }
+  if (net_ == nullptr && traffic_.arrivals == nullptr) {
+    throw std::invalid_argument(
+        "WorkloadDriver: a flow-plane routed driver needs an "
+        "ArrivalProcess (the per-cycle issue calibrates against "
+        "full-detail hardware)");
+  }
+  if (router_ != nullptr) {
+    // The Router owns the plane's handlers; we consume the routed
+    // deliveries it forwards.
+    router_->set_deliver_handler([this](const netlayer::E2eOk& ok) {
+      ++matched_;
+      plane_->release(ok);
+    });
+  } else {
+    // The SwapService owns the EGP OK/ERR streams; we only consume its
+    // end-to-end deliveries.
+    plane_->set_deliver_handler([this](const netlayer::E2eOk& ok) {
+      ++matched_;
+      plane_->release(ok);
+    });
   }
 }
+
+std::unique_ptr<WorkloadDriver> WorkloadDriver::for_link(
+    core::Link& link, const TrafficConfig& traffic,
+    const DriverConfig& tuning, metrics::Collector& collector) {
+  Wiring w;
+  w.link = &link;
+  w.simulator = &link.simulator();
+  w.name = "workload";
+  return std::unique_ptr<WorkloadDriver>(
+      new WorkloadDriver(w, traffic, tuning, collector));
+}
+
+std::unique_ptr<WorkloadDriver> WorkloadDriver::for_e2e(
+    netlayer::QuantumNetwork& network, netlayer::SwapService& swap,
+    const TrafficConfig& traffic, const DriverConfig& tuning,
+    metrics::Collector& collector) {
+  Wiring w;
+  w.net = &network;
+  w.plane = &swap;
+  w.swap = &swap;
+  w.simulator = &network.simulator();
+  w.name = "workload-e2e";
+  return std::unique_ptr<WorkloadDriver>(
+      new WorkloadDriver(w, traffic, tuning, collector));
+}
+
+std::unique_ptr<WorkloadDriver> WorkloadDriver::for_routed(
+    routing::Router& router, const TrafficConfig& traffic,
+    const DriverConfig& tuning, metrics::Collector& collector) {
+  Wiring w;
+  w.router = &router;
+  w.plane = &router.plane();
+  w.net = router.network();  // nullptr over the flow plane
+  w.simulator = &router.plane().simulator();
+  w.name = "workload-routed";
+  return std::unique_ptr<WorkloadDriver>(
+      new WorkloadDriver(w, traffic, tuning, collector));
+}
+
+WorkloadDriver::WorkloadDriver(core::Link& link, const WorkloadConfig& config,
+                               metrics::Collector& collector)
+    : WorkloadDriver(
+          [&link] {
+            Wiring w;
+            w.link = &link;
+            w.simulator = &link.simulator();
+            w.name = "workload";
+            return w;
+          }(),
+          config.traffic(), config.tuning(), collector) {}
 
 WorkloadDriver::WorkloadDriver(netlayer::QuantumNetwork& network,
                                netlayer::SwapService& swap,
                                const WorkloadConfig& config,
                                metrics::Collector& collector)
-    : Entity(network.simulator(), "workload-e2e"),
-      net_(&network),
-      swap_(&swap),
-      config_(config),
-      collector_(collector),
-      random_(config.seed),
-      timer_(network.simulator(), network.link(0).scenario().mhp_cycle,
-             [this] { on_cycle(); }, "workload.cycle") {
-  // The SwapService owns the EGP OK/ERR streams; we only consume its
-  // end-to-end deliveries.
-  swap_->set_deliver_handler([this](const netlayer::E2eOk& ok) {
-    ++matched_;
-    swap_->release(ok);
-  });
-}
+    : WorkloadDriver(
+          [&network, &swap] {
+            Wiring w;
+            w.net = &network;
+            w.plane = &swap;
+            w.swap = &swap;
+            w.simulator = &network.simulator();
+            w.name = "workload-e2e";
+            return w;
+          }(),
+          config.traffic(), config.tuning(), collector) {}
 
 WorkloadDriver::WorkloadDriver(routing::Router& router,
                                const WorkloadConfig& config,
                                metrics::Collector& collector)
-    : Entity(router.network().simulator(), "workload-routed"),
-      net_(&router.network()),
-      swap_(&router.swap()),
-      router_(&router),
-      config_(config),
-      collector_(collector),
-      random_(config.seed),
-      timer_(router.network().simulator(),
-             router.network().link(0).scenario().mhp_cycle,
-             [this] { on_cycle(); }, "workload.cycle") {
-  // The Router owns the SwapService's handlers; we consume the routed
-  // deliveries it forwards.
-  router_->set_deliver_handler([this](const netlayer::E2eOk& ok) {
-    ++matched_;
-    swap_->release(ok);
-  });
-}
+    : WorkloadDriver(
+          [&router] {
+            Wiring w;
+            w.router = &router;
+            w.plane = &router.plane();
+            w.net = router.network();
+            w.simulator = &router.plane().simulator();
+            w.name = "workload-routed";
+            return w;
+          }(),
+          config.traffic(), config.tuning(), collector) {}
 
 void WorkloadDriver::start() {
   collector_.begin(now());
   timer_.start();
+  if (traffic_.arrivals != nullptr) schedule_next_arrival();
 }
 
 void WorkloadDriver::stop() {
   timer_.stop();
+  if (arrival_event_) {
+    simulator().cancel(*arrival_event_);
+    arrival_event_.reset();
+  }
   collector_.end(now());
 }
 
@@ -127,10 +238,10 @@ double WorkloadDriver::issue_probability(Priority kind,
     // In e2e mode, calibrate against the floor each hop's CREATE will
     // actually carry (see E2eRequest::effective_link_floor).
     netlayer::E2eRequest floor_probe;
-    floor_probe.min_fidelity = config_.min_fidelity;
-    floor_probe.link_min_fidelity = config_.link_min_fidelity;
+    floor_probe.min_fidelity = traffic_.min_fidelity;
+    floor_probe.link_min_fidelity = traffic_.link_min_fidelity;
     double floor = link_ == nullptr ? floor_probe.effective_link_floor()
-                                    : config_.min_fidelity;
+                                    : traffic_.min_fidelity;
     // Routed mode: the router operates every link at its annotated
     // CREATE floor, so calibrate against the reference link's actual
     // set-point — probing a degraded link at a floor its hardware
@@ -166,15 +277,15 @@ double WorkloadDriver::issue_probability(Priority kind,
 }
 
 void WorkloadDriver::maybe_refresh_annotations() {
-  if (router_ == nullptr || config_.annotate_refresh_interval <= 0) return;
+  if (router_ == nullptr || tuning_.annotate_refresh_interval <= 0) return;
   if (last_refresh_ &&
-      now() - *last_refresh_ < config_.annotate_refresh_interval) {
+      now() - *last_refresh_ < tuning_.annotate_refresh_interval) {
     return;
   }
   routing::RefreshOptions options;
-  options.floor_menu = config_.refresh_floor_menu;
-  options.min_rounds = config_.refresh_min_rounds;
-  options.stale_halflife_s = config_.refresh_stale_halflife_s;
+  options.floor_menu = tuning_.refresh_floor_menu;
+  options.min_rounds = tuning_.refresh_min_rounds;
+  options.stale_halflife_s = tuning_.refresh_stale_halflife_s;
   router_->refresh_annotations(options);
   last_refresh_ = now();
 }
@@ -182,16 +293,18 @@ void WorkloadDriver::maybe_refresh_annotations() {
 void WorkloadDriver::on_cycle() {
   if (monitor_ != nullptr) monitor_->poll();
   if (netstate_ != nullptr) netstate_->poll();
-  if (swap_ != nullptr) {
-    // Stale-pair eviction lives in the SwapService here; pending_ is
-    // only populated in single-link mode.
+  if (plane_ != nullptr) {
+    // Stale-pair eviction lives in the plane here; pending_ is only
+    // populated in single-link mode.
     maybe_refresh_annotations();
-    maybe_issue_e2e();
-    std::size_t queued = 0;
-    for (std::size_t i = 0; i < net_->num_links(); ++i) {
-      queued += net_->link(i).egp_a().queue().total_size();
+    if (traffic_.arrivals == nullptr) maybe_issue_e2e();
+    if (net_ != nullptr) {
+      std::size_t queued = 0;
+      for (std::size_t i = 0; i < net_->num_links(); ++i) {
+        queued += net_->link(i).egp_a().queue().total_size();
+      }
+      collector_.sample_queue_length(queued);
     }
-    collector_.sample_queue_length(queued);
     if (router_ != nullptr) {
       // Scheduler occupancy: requests parked blind in the blocked queue
       // plus deferred bookings waiting for their window to open.
@@ -200,9 +313,9 @@ void WorkloadDriver::on_cycle() {
     }
     return;
   }
-  maybe_issue(Priority::kNetworkLayer, config_.nl);
-  maybe_issue(Priority::kCreateKeep, config_.ck);
-  maybe_issue(Priority::kMeasureDirectly, config_.md);
+  maybe_issue(Priority::kNetworkLayer, traffic_.nl);
+  maybe_issue(Priority::kCreateKeep, traffic_.ck);
+  maybe_issue(Priority::kMeasureDirectly, traffic_.md);
   sweep_stale();
   collector_.sample_queue_length(link_->egp_a().queue().total_size());
 }
@@ -215,25 +328,26 @@ std::uint16_t WorkloadDriver::throttled_request_size(double base,
   return random_.bernoulli(base / static_cast<double>(k)) ? k : 0;
 }
 
-void WorkloadDriver::maybe_issue_e2e() {
-  const double base = issue_probability(Priority::kNetworkLayer, config_.nl);
-  const std::uint16_t k = throttled_request_size(base, config_.nl.k_max);
-  if (k == 0) return;
+std::size_t WorkloadDriver::e2e_num_nodes() const {
+  if (net_ != nullptr) return net_->num_nodes();
+  return router_->graph().num_nodes();
+}
 
-  const auto last = static_cast<std::uint32_t>(net_->num_nodes() - 1);
+std::pair<std::uint32_t, std::uint32_t> WorkloadDriver::pick_endpoints() {
+  const auto last = static_cast<std::uint32_t>(e2e_num_nodes() - 1);
   // In a star, node 0 is the center: the "first" end is leaf 1 so that
   // fixed-endpoint runs actually traverse a swap at the center. (Only
   // the built-in shapes have a distinguished center; edge-list
   // topologies use plain node 0.)
   const std::uint32_t first =
-      net_->config().edges.empty() &&
+      net_ != nullptr && net_->config().edges.empty() &&
               net_->config().kind == netlayer::TopologyKind::kStar &&
               last > 1
           ? 1
           : 0;
   std::uint32_t src = first;
   std::uint32_t dst = last;
-  switch (config_.origin) {
+  switch (traffic_.origin) {
     case OriginMode::kAllA:
       break;
     case OriginMode::kAllB:
@@ -246,16 +360,67 @@ void WorkloadDriver::maybe_issue_e2e() {
       break;
     }
   }
+  return {src, dst};
+}
 
+void WorkloadDriver::maybe_issue_e2e() {
+  const double base = issue_probability(Priority::kNetworkLayer, traffic_.nl);
+  const std::uint16_t k = throttled_request_size(base, traffic_.nl.k_max);
+  if (k == 0) return;
+
+  const auto [src, dst] = pick_endpoints();
   netlayer::E2eRequest req;
   req.src = src;
   req.dst = dst;
   req.num_pairs = k;
-  req.min_fidelity = config_.min_fidelity;
-  req.link_min_fidelity = config_.link_min_fidelity;
-  req.max_time = config_.max_time;
+  req.min_fidelity = traffic_.min_fidelity;
+  req.link_min_fidelity = traffic_.link_min_fidelity;
+  req.max_time = traffic_.max_time;
   if (router_ != nullptr) {
     router_->submit(req);  // admission (or queueing) is the router's call
+  } else {
+    swap_->request(req);
+  }
+  ++issued_;
+}
+
+void WorkloadDriver::schedule_next_arrival() {
+  if (tuning_.max_requests > 0 && issued_ >= tuning_.max_requests) return;
+  const sim::SimTime at = traffic_.arrivals->next_arrival(random_, now());
+  arrival_event_ = schedule_at(
+      at,
+      [this] {
+        arrival_event_.reset();
+        on_arrival();
+      },
+      "workload.arrival");
+}
+
+void WorkloadDriver::on_arrival() {
+  // Draw order is part of the seeded contract: the arrival's shape
+  // first, then the gap to the next arrival.
+  issue_shaped(traffic_.arrivals->sample_shape(random_, now()));
+  schedule_next_arrival();
+}
+
+void WorkloadDriver::issue_shaped(const RequestShape& shape) {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  if (!shape.endpoints.empty()) {
+    std::tie(src, dst) = shape.endpoints.front();
+  } else {
+    std::tie(src, dst) = pick_endpoints();
+  }
+  netlayer::E2eRequest req;
+  req.src = src;
+  req.dst = dst;
+  req.num_pairs = std::max<std::uint16_t>(shape.num_pairs, 1);
+  req.min_fidelity =
+      shape.min_fidelity > 0.0 ? shape.min_fidelity : traffic_.min_fidelity;
+  req.link_min_fidelity = traffic_.link_min_fidelity;
+  req.max_time = traffic_.max_time;
+  if (router_ != nullptr) {
+    router_->submit(req);
   } else {
     swap_->request(req);
   }
@@ -268,7 +433,7 @@ void WorkloadDriver::maybe_issue(Priority kind, const KindSpec& spec) {
   if (k == 0) return;
 
   std::uint32_t origin = link_->node_id_a();
-  switch (config_.origin) {
+  switch (traffic_.origin) {
     case OriginMode::kAllA:
       origin = link_->node_id_a();
       break;
@@ -285,8 +450,8 @@ void WorkloadDriver::maybe_issue(Priority kind, const KindSpec& spec) {
   req.remote_node_id = origin == link_->node_id_a() ? link_->node_id_b()
                                                     : link_->node_id_a();
   req.num_pairs = k;
-  req.min_fidelity = config_.min_fidelity;
-  req.max_time = config_.max_time;
+  req.min_fidelity = traffic_.min_fidelity;
+  req.max_time = traffic_.max_time;
   req.priority = kind;
   req.consecutive = true;  // Section 6: all three kinds deliver per pair
   switch (kind) {
@@ -365,7 +530,7 @@ void WorkloadDriver::consume(const PendingPair& pair) {
 void WorkloadDriver::sweep_stale() {
   for (auto it = pending_.begin(); it != pending_.end();) {
     PendingPair& p = it->second;
-    if (now() - p.first_seen > config_.stale_pair_horizon) {
+    if (now() - p.first_seen > tuning_.stale_pair_horizon) {
       // The partner OK will never come (lost REPLY, later EXPIREd).
       if (p.ok_a && !p.ok_a->is_measure_directly) {
         link_->egp_a().release_delivered(*p.ok_a);

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -9,8 +10,10 @@
 #include "core/network.hpp"
 #include "metrics/collector.hpp"
 #include "sim/entity.hpp"
+#include "workload/arrival.hpp"
 
 namespace qlink::netlayer {
+class EntanglementPlane;
 class QuantumNetwork;
 class SwapService;
 }  // namespace qlink::netlayer
@@ -25,31 +28,36 @@ class Router;
 }  // namespace qlink::routing
 
 /// \file workload.hpp
-/// The evaluation harness of Section 6 / Appendix C.2.
+/// The traffic engine: offered load in, consumed deliveries out.
 ///
-/// In every MHP cycle a new CREATE of kind P in {NL, CK, MD} is issued
-/// with probability f_P * p_succ / (E * k), for a uniformly random
-/// number of pairs k <= k_max. f_P sets the offered load relative to
-/// link capacity: 0.7 = Low, 0.99 = High, 1.5 = Ultra. The driver also
-/// plays the higher layer: it consumes delivered pairs (measuring their
-/// true fidelity first — simulator privilege), records all metrics, and
-/// releases qubits back to the memory managers.
+/// Two traffic generators share one driver core:
 ///
-/// Three modes:
-///  - single-link (historical): drive one core::Link directly;
-///  - end-to-end: drive a netlayer::QuantumNetwork through its
-///    SwapService — every issued request asks for entanglement between
-///    two nodes of the topology (the fixed-endpoint modes pick the two
-///    farthest ends, so the route always crosses at least one swap),
-///    and the NL KindSpec controls rate and request size;
-///  - routed (multi-pair random traffic over graphs): submit through a
-///    routing::Router instead of the SwapService directly, so every
-///    request is path-selected under the router's cost model and
-///    admitted against its reservation table (blocked requests queue
-///    and retry, or book a deferred window when the router runs with
-///    defer_admission; see routing/router.hpp). Each MHP cycle the
-///    driver samples the scheduler backlog (blocked + deferred-pending
-///    requests) into metrics::Collector::sched_backlog.
+///  - the per-cycle Bernoulli issue of Section 6 / Appendix C.2 (the
+///    historical mode): every MHP cycle a new CREATE of kind
+///    P in {NL, CK, MD} is issued with probability f_P * p_succ /
+///    (E * k) for a uniformly random k <= k_max — f_P sets the offered
+///    load relative to link capacity (0.7 = Low, 0.99 = High,
+///    1.5 = Ultra);
+///  - an ArrivalProcess (workload/arrival.hpp): Poisson / bursty
+///    on/off / diurnal / per-class mixes streaming requests with O(1)
+///    heap state per in-flight request — the million-request mode.
+///
+/// Three plumbing modes, built through the named factories:
+///
+///  - for_link: drive one core::Link directly (the historical
+///    single-link harness);
+///  - for_e2e: drive a netlayer::QuantumNetwork through its
+///    SwapService — every request asks for entanglement between two
+///    nodes of the topology;
+///  - for_routed: submit through a routing::Router, so every request
+///    is path-selected and admitted against its reservation table.
+///    Works over either plane: the full-detail SwapService or the
+///    flow-level netlayer::FlowPlane (which is how
+///    bench_workload_scale reaches 1M+ requests).
+///
+/// In every mode the driver also plays the higher layer: it consumes
+/// delivered pairs, records all metrics, releases resources, and polls
+/// any attached Monitor/NetState from its cycle event.
 
 namespace qlink::workload {
 
@@ -63,19 +71,38 @@ struct KindSpec {
   std::uint16_t k_max = 1;
 };
 
-struct WorkloadConfig {
+/// Traffic shape: what the offered load looks like. (The API split of
+/// ISSUE 9 — shape here, plumbing in DriverConfig.)
+struct TrafficConfig {
   KindSpec nl;
   KindSpec ck;
   KindSpec md;
   OriginMode origin = OriginMode::kRandom;
   double min_fidelity = 0.64;
   sim::SimTime max_time = 0;  // tmax on requests; 0 = unbounded
+  /// End-to-end modes only: per-link CREATE fidelity floor (0 = use
+  /// min_fidelity on every hop; see E2eRequest::link_min_fidelity).
+  double link_min_fidelity = 0.0;
+  /// When set, requests arrive through this process instead of the
+  /// per-cycle Bernoulli issue (end-to-end and routed modes only).
+  /// Shared so one shape can drive many runs.
+  std::shared_ptr<ArrivalProcess> arrivals;
+};
+
+/// Plumbing: seeds, polling cadence, annotation refresh. Nothing here
+/// changes what the traffic asks for.
+struct DriverConfig {
   std::uint64_t seed = 7;
   /// Evict unmatched delivered pairs after this long (covers lost OKs).
   sim::SimTime stale_pair_horizon = sim::duration::milliseconds(20);
-  /// End-to-end mode only: per-link CREATE fidelity floor (0 = use
-  /// min_fidelity on every hop; see E2eRequest::link_min_fidelity).
-  double link_min_fidelity = 0.0;
+  /// Control-loop cadence (monitor/netstate polls, queue/backlog
+  /// samples, refresh checks, Bernoulli issue). 0 = the reference
+  /// link's MHP cycle, or 10 us when no full-detail link exists
+  /// (routed mode over a flow plane).
+  sim::SimTime poll_interval = 0;
+  /// Arrival mode: stop issuing after this many requests (0 =
+  /// unlimited — issue until stop()).
+  std::uint64_t max_requests = 0;
   /// Routed mode only: refresh the router's edge annotations from live
   /// FEU test-round estimates this often (0 = static annotations). See
   /// routing::Router::refresh_annotations.
@@ -90,6 +117,29 @@ struct WorkloadConfig {
   double refresh_stale_halflife_s = 0.5;
 };
 
+/// Deprecated aggregate (pre-split API): the union of TrafficConfig
+/// and DriverConfig with the historical field names. Existing callers
+/// keep compiling; new code should pass the split configs to the
+/// factories.
+struct WorkloadConfig {
+  KindSpec nl;
+  KindSpec ck;
+  KindSpec md;
+  OriginMode origin = OriginMode::kRandom;
+  double min_fidelity = 0.64;
+  sim::SimTime max_time = 0;
+  std::uint64_t seed = 7;
+  sim::SimTime stale_pair_horizon = sim::duration::milliseconds(20);
+  double link_min_fidelity = 0.0;
+  sim::SimTime annotate_refresh_interval = 0;
+  std::vector<double> refresh_floor_menu{0.85, 0.775, 0.7, 0.625};
+  std::size_t refresh_min_rounds = 30;
+  double refresh_stale_halflife_s = 0.5;
+
+  TrafficConfig traffic() const;
+  DriverConfig tuning() const;
+};
+
 /// The named usage patterns of Table 2 (Appendix C.2).
 struct UsagePattern {
   std::string name;
@@ -99,23 +149,38 @@ UsagePattern usage_pattern(const std::string& name, double load = 0.99);
 
 class WorkloadDriver : public sim::Entity {
  public:
-  /// Single-link mode.
-  WorkloadDriver(core::Link& link, const WorkloadConfig& config,
-                 metrics::Collector& collector);
+  /// Single-link mode (the historical harness). ArrivalProcess traffic
+  /// is not supported here (std::invalid_argument): link-layer CREATEs
+  /// follow the paper's per-cycle issue model.
+  static std::unique_ptr<WorkloadDriver> for_link(
+      core::Link& link, const TrafficConfig& traffic,
+      const DriverConfig& tuning, metrics::Collector& collector);
 
   /// End-to-end mode. The SwapService owns every EGP's OK/ERR stream
   /// and should have been constructed with `collector` so deliveries
   /// are recorded under Priority::kNetworkLayer; the driver issues
   /// requests, releases delivered pairs, and samples queue lengths.
+  static std::unique_ptr<WorkloadDriver> for_e2e(
+      netlayer::QuantumNetwork& network, netlayer::SwapService& swap,
+      const TrafficConfig& traffic, const DriverConfig& tuning,
+      metrics::Collector& collector);
+
+  /// Routed mode: traffic over a general graph through `router`, whose
+  /// reservation table decides admission. Works over either
+  /// entanglement plane; a flow-plane router requires ArrivalProcess
+  /// traffic (the Bernoulli issue calibrates against full-detail
+  /// hardware the flow plane does not carry).
+  static std::unique_ptr<WorkloadDriver> for_routed(
+      routing::Router& router, const TrafficConfig& traffic,
+      const DriverConfig& tuning, metrics::Collector& collector);
+
+  /// Deprecated constructor shims over the factories' core (pre-split
+  /// API). New code: WorkloadDriver::for_link / for_e2e / for_routed.
+  WorkloadDriver(core::Link& link, const WorkloadConfig& config,
+                 metrics::Collector& collector);
   WorkloadDriver(netlayer::QuantumNetwork& network,
                  netlayer::SwapService& swap, const WorkloadConfig& config,
                  metrics::Collector& collector);
-
-  /// Routed mode: multi-pair random traffic over a general graph. Each
-  /// issued request picks its endpoints per OriginMode (kRandom: a
-  /// uniformly random distinct pair) and goes through `router`, whose
-  /// reservation table decides admission. The driver consumes the
-  /// router's deliveries.
   WorkloadDriver(routing::Router& router, const WorkloadConfig& config,
                  metrics::Collector& collector);
 
@@ -124,8 +189,8 @@ class WorkloadDriver : public sim::Entity {
   void stop();
 
   /// Attach a live-run monitor (ISSUE 7): the driver polls it once per
-  /// MHP cycle — an event that exists with or without the monitor — so
-  /// interval records stream without perturbing the trajectory. The
+  /// control cycle — an event that exists with or without the monitor —
+  /// so interval records stream without perturbing the trajectory. The
   /// caller still owns the monitor and calls finish() after stop().
   void set_monitor(obs::Monitor* monitor) { monitor_ = monitor; }
 
@@ -134,7 +199,8 @@ class WorkloadDriver : public sim::Entity {
   /// owns it and calls finish() after stop()).
   void set_netstate(obs::NetState* netstate) { netstate_ = netstate; }
 
-  const WorkloadConfig& config() const { return config_; }
+  const TrafficConfig& traffic() const { return traffic_; }
+  const DriverConfig& tuning() const { return tuning_; }
   std::uint64_t requests_issued() const { return issued_; }
   std::uint64_t pairs_matched() const { return matched_; }
 
@@ -144,6 +210,21 @@ class WorkloadDriver : public sim::Entity {
     std::optional<core::OkMessage> ok_b;
     sim::SimTime first_seen = 0;
   };
+
+  /// How the driver is plumbed into the system (filled by the
+  /// factories / shims; exactly one mode's fields are set).
+  struct Wiring {
+    core::Link* link = nullptr;
+    netlayer::QuantumNetwork* net = nullptr;
+    netlayer::EntanglementPlane* plane = nullptr;
+    netlayer::SwapService* swap = nullptr;
+    routing::Router* router = nullptr;
+    sim::Simulator* simulator = nullptr;
+    const char* name = "workload";
+  };
+
+  WorkloadDriver(const Wiring& wiring, TrafficConfig traffic,
+                 DriverConfig tuning, metrics::Collector& collector);
 
   /// The link whose FEU/herald model calibrates issue probabilities
   /// (the only link in single-link mode, link 0 otherwise).
@@ -161,10 +242,19 @@ class WorkloadDriver : public sim::Entity {
   /// stays identical.
   std::uint16_t throttled_request_size(double base, std::uint16_t k_max);
 
+  /// Endpoint pair for an end-to-end request under OriginMode.
+  std::pair<std::uint32_t, std::uint32_t> pick_endpoints();
+  std::size_t e2e_num_nodes() const;
+
   void on_cycle();
   void maybe_refresh_annotations();
   void maybe_issue(core::Priority kind, const KindSpec& spec);
   void maybe_issue_e2e();
+  /// Arrival mode: issue the request the process shaped, then schedule
+  /// the next arrival.
+  void on_arrival();
+  void schedule_next_arrival();
+  void issue_shaped(const RequestShape& shape);
   void on_ok(std::uint32_t node, const core::OkMessage& ok);
   void on_err(std::uint32_t node, const core::ErrMessage& err);
   void consume(const PendingPair& pair);
@@ -172,15 +262,18 @@ class WorkloadDriver : public sim::Entity {
   double issue_probability(core::Priority kind, const KindSpec& spec);
 
   core::Link* link_ = nullptr;               // single-link mode
-  netlayer::QuantumNetwork* net_ = nullptr;  // end-to-end mode
-  netlayer::SwapService* swap_ = nullptr;
+  netlayer::QuantumNetwork* net_ = nullptr;  // full-detail e2e plumbing
+  netlayer::EntanglementPlane* plane_ = nullptr;  // e2e + routed modes
+  netlayer::SwapService* swap_ = nullptr;    // e2e mode (direct submit)
   routing::Router* router_ = nullptr;        // routed mode
   obs::Monitor* monitor_ = nullptr;          // polled each cycle
   obs::NetState* netstate_ = nullptr;        // polled each cycle
-  WorkloadConfig config_;
+  TrafficConfig traffic_;
+  DriverConfig tuning_;
   metrics::Collector& collector_;
   sim::Random random_;
   sim::PeriodicTimer timer_;
+  std::optional<sim::EventId> arrival_event_;
   std::map<std::uint32_t, PendingPair> pending_;  // by ent_id.seq_mhp
   std::map<std::uint32_t, core::Priority> kind_by_create_[2];
   std::uint64_t issued_ = 0;

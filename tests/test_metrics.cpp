@@ -516,5 +516,57 @@ TEST(Collector, MergeOfDuplicateOpenKeysKeepsTheEarlierCreate) {
   EXPECT_EQ(*b.oldest_open_created(), sim::duration::seconds(3));
 }
 
+TEST(Collector, OpenCapacityEvictsOldestDeterministically) {
+  // ISSUE 9: at streaming scale an abandoned request must not leak
+  // open_ state forever. With a cap of 2, the third create evicts the
+  // oldest entry (smallest created, ties by key) and counts it.
+  Collector c;
+  c.set_open_capacity(2);
+  c.record_create(0, 1, Priority::kNetworkLayer, 1,
+                  sim::duration::seconds(1));
+  c.record_create(0, 2, Priority::kNetworkLayer, 1,
+                  sim::duration::seconds(2));
+  EXPECT_EQ(c.open_evicted(), 0u);
+  c.record_create(0, 3, Priority::kNetworkLayer, 1,
+                  sim::duration::seconds(3));
+  EXPECT_EQ(c.open_requests(), 2u);
+  EXPECT_EQ(c.open_evicted(), 1u);
+  ASSERT_TRUE(c.oldest_open_created().has_value());
+  EXPECT_EQ(*c.oldest_open_created(), sim::duration::seconds(2));
+
+  // An OK for the evicted request is harmless: the pair still counts,
+  // but no latency sample is recorded (its anchor is gone) and the
+  // surviving entries are untouched.
+  c.record_ok(make_ok(0, 1, 0, 1), Priority::kNetworkLayer,
+              sim::duration::seconds(9), std::nullopt);
+  EXPECT_EQ(c.open_requests(), 2u);
+  EXPECT_EQ(c.kind(Priority::kNetworkLayer).pairs_delivered, 1u);
+  EXPECT_EQ(c.kind(Priority::kNetworkLayer).request_latency_s.count(), 0u);
+
+  // Requests that settle normally keep the map under the cap with no
+  // further evictions.
+  c.record_ok(make_ok(0, 2, 0, 1), Priority::kNetworkLayer,
+              sim::duration::seconds(10), std::nullopt);
+  c.record_create(0, 4, Priority::kNetworkLayer, 1,
+                  sim::duration::seconds(11));
+  EXPECT_EQ(c.open_requests(), 2u);
+  EXPECT_EQ(c.open_evicted(), 1u);
+
+  // Lowering the cap evicts immediately; merge() sums the counters and
+  // re-applies the cap to the union.
+  c.set_open_capacity(1);
+  EXPECT_EQ(c.open_requests(), 1u);
+  EXPECT_EQ(c.open_evicted(), 2u);
+  EXPECT_EQ(*c.oldest_open_created(), sim::duration::seconds(11));
+
+  Collector other;
+  other.record_create(7, 9, Priority::kNetworkLayer, 1,
+                      sim::duration::seconds(12));
+  c.merge(other);
+  EXPECT_EQ(c.open_requests(), 1u);
+  EXPECT_EQ(c.open_evicted(), 3u);
+  EXPECT_EQ(*c.oldest_open_created(), sim::duration::seconds(12));
+}
+
 }  // namespace
 }  // namespace qlink::metrics

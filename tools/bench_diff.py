@@ -69,7 +69,7 @@ IDENTITY_KEYS = ("bench", "hops", "backend", "scenario", "topology",
 COUNT_KEYS = ("completed", "delivered", "pairs_delivered", "issued",
               "swaps")
 PERF_HIGHER_IS_WORSE = ("wall_seconds",)
-PERF_LOWER_IS_WORSE = ("events_per_sec",)
+PERF_LOWER_IS_WORSE = ("events_per_sec", "requests_per_sec")
 
 
 def is_quality_key(key):

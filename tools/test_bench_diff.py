@@ -39,6 +39,7 @@ BASE = {
         "scenario": "grid", "mode": "a",
         "mean_fidelity": 0.80, "completed": 100, "delivered": 400,
         "wall_seconds": 2.0, "events_per_sec": 1e6, "note_metric": 7.0,
+        "requests_per_sec": 5e4,
         "p99_request_latency_s": 0.30,
         "obs": {"engine": {"events_processed": 12345}},
     }],
@@ -102,6 +103,11 @@ class BenchDiffTest(unittest.TestCase):
         code, out = self.compare(self.current(events_per_sec=1e5))
         self.assertEqual(code, 1)
         self.assertIn("events_per_sec", out)
+
+    def test_request_rate_collapse_fails(self):
+        code, out = self.compare(self.current(requests_per_sec=5e3))
+        self.assertEqual(code, 1)
+        self.assertIn("requests_per_sec", out)
 
     def test_informational_key_change_is_noted_not_gated(self):
         code, _ = self.compare(self.current(note_metric=0.0))
