@@ -26,7 +26,10 @@ double throughput(const hw::ScenarioParams& scenario, bool multiplex,
   wl.origin = workload::OriginMode::kRandom;
   wl.min_fidelity = 0.64;
   wl.seed = 7;
-  workload::WorkloadDriver driver(link, wl, collector);
+  auto driver_ptr =
+      workload::WorkloadDriver::for_link(link, wl.traffic(), wl.tuning(),
+                                         collector);
+  workload::WorkloadDriver& driver = *driver_ptr;
   link.start();
   driver.start();
   link.run_for(sim::duration::seconds(seconds));

@@ -262,8 +262,8 @@ void write_json(const std::string& path, const Row& st, const Row& ad,
   std::fprintf(stderr,
                "usage: %s [--rows R] [--cols C] [--pairs P] "
                "[--reroutes N] [--lease-slack S] [--cap-seconds S] "
-               "[--backend dense|bell] [--seed K] [--json PATH|-]\n",
-               argv0);
+               "[--backend dense|bell] %s\n",
+               argv0, qlink::bench::Args::kUsage);
   std::exit(2);
 }
 
@@ -271,7 +271,11 @@ void write_json(const std::string& path, const Row& st, const Row& ad,
 
 int main(int argc, char** argv) {
   Options opt;
+  bench::Args shared;
+  shared.seed = opt.seed;
+  shared.json_path = opt.json_path;
   for (int i = 1; i < argc; ++i) {
+    if (shared.consume(argc, argv, i, [&] { usage(argv[0]); })) continue;
     const auto arg = std::string(argv[i]);
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage(argv[0]);
@@ -294,14 +298,12 @@ int main(int argc, char** argv) {
       const auto kind = qstate::parse_backend_kind(next());
       if (!kind) usage(argv[0]);
       opt.backend = *kind;
-    } else if (arg == "--seed") {
-      opt.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--json") {
-      opt.json_path = next();
     } else {
       usage(argv[0]);
     }
   }
+  opt.seed = shared.seed;
+  opt.json_path = shared.json_path;
   if (opt.rows < 2 || opt.cols < 3 || opt.pairs < 1 ||
       opt.reroutes < 1 || opt.cap_seconds <= 0.0) {
     std::fprintf(stderr,

@@ -87,7 +87,9 @@ Row run_row(std::size_t hops, qstate::BackendKind backend,
   wl.min_fidelity = 0.5;        // end-to-end target
   wl.link_min_fidelity = 0.78;  // per-hop CREATE floor
   wl.seed = seed;
-  workload::WorkloadDriver driver(net, swap, wl, collector);
+  auto driver_ptr = workload::WorkloadDriver::for_e2e(
+      net, swap, wl.traffic(), wl.tuning(), collector);
+  workload::WorkloadDriver& driver = *driver_ptr;
 
   const auto wall_start = std::chrono::steady_clock::now();
   net.start();
@@ -163,8 +165,8 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--hops N] [--seconds S] "
-               "[--backend dense|bell|both] [--seed K] [--json PATH|-]\n",
-               argv0);
+               "[--backend dense|bell|both] %s\n",
+               argv0, qlink::bench::Args::kUsage);
   std::exit(2);
 }
 
@@ -173,11 +175,12 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   std::size_t hops = 0;  // 0 = sweep 1..4
   double seconds = 5.0;
-  std::uint64_t seed = 7;
   std::string backend = "both";
-  std::string json_path = "BENCH_chain_scaling.json";
 
+  bench::Args shared;
+  shared.json_path = "BENCH_chain_scaling.json";
   for (int i = 1; i < argc; ++i) {
+    if (shared.consume(argc, argv, i, [&] { usage(argv[0]); })) continue;
     const auto arg = std::string(argv[i]);
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage(argv[0]);
@@ -189,14 +192,12 @@ int main(int argc, char** argv) {
       seconds = std::strtod(next(), nullptr);
     } else if (arg == "--backend") {
       backend = next();
-    } else if (arg == "--seed") {
-      seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--json") {
-      json_path = next();
     } else {
       usage(argv[0]);
     }
   }
+  const std::uint64_t seed = shared.seed;
+  const std::string json_path = shared.json_path;
 
   std::vector<qstate::BackendKind> backends;
   if (backend == "both") {

@@ -33,7 +33,10 @@ void run(core::SchedulerKind kind, double seconds,
   wl.md = {0.99 * 1.0 / 5.0, 3};
   wl.origin = workload::OriginMode::kRandom;
   wl.seed = 7;
-  workload::WorkloadDriver driver(link, wl, collector);
+  auto driver_ptr =
+      workload::WorkloadDriver::for_link(link, wl.traffic(), wl.tuning(),
+                                         collector);
+  workload::WorkloadDriver& driver = *driver_ptr;
 
   // Latency-over-time series: snapshot the collector's running stats
   // each simulated second and difference them.

@@ -322,7 +322,9 @@ Row run_dragonfly(const Options& opt) {
   wl.origin = workload::OriginMode::kRandom;
   wl.min_fidelity = 0.5;
   wl.seed = opt.seed;
-  workload::WorkloadDriver driver(*w.router, wl, w.collector);
+  auto driver_ptr = workload::WorkloadDriver::for_routed(
+      *w.router, wl.traffic(), wl.tuning(), w.collector);
+  workload::WorkloadDriver& driver = *driver_ptr;
 
   obs::MonitorConfig mc;
   mc.run = "dragonfly";

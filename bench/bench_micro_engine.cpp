@@ -35,6 +35,7 @@ namespace {
 
 struct Options {
   double min_seconds = 0.5;  // timed wall budget per case
+  std::uint64_t seed = 7;
   std::string json_path = "BENCH_micro_engine.json";
 };
 
@@ -94,7 +95,7 @@ Row bench_periodic_timer(const Options& opt) {
 }
 
 Row bench_single_qubit_kraus(const Options& opt) {
-  sim::Random rnd(1);
+  sim::Random rnd(opt.seed);
   quantum::QuantumRegistry reg(rnd);
   const auto q = reg.create();
   const auto kraus = quantum::channels::t1t2(1000.0, 2.86e6, 1.0e6);
@@ -108,7 +109,7 @@ Row bench_single_qubit_kraus(const Options& opt) {
 }
 
 Row bench_two_qubit_fidelity(const Options& opt) {
-  sim::Random rnd(1);
+  sim::Random rnd(opt.seed);
   quantum::QuantumRegistry reg(rnd);
   const auto a = reg.create();
   const auto b = reg.create();
@@ -164,7 +165,7 @@ Row bench_protocol_millisecond(const Options& opt) {
   // "ops" are engine events, so events_per_sec is real event throughput.
   core::LinkConfig cfg;
   cfg.scenario = hw::ScenarioParams::lab();
-  cfg.seed = 3;
+  cfg.seed = opt.seed;
   core::Link link(cfg);
   link.start();
   core::CreateRequest r;
@@ -201,8 +202,8 @@ void print_row(const Row& r) {
 }
 
 [[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--min-seconds S] [--json PATH|-]\n",
-               argv0);
+  std::fprintf(stderr, "usage: %s [--min-seconds S] %s\n", argv0,
+               qlink::bench::Args::kUsage);
   std::exit(2);
 }
 
@@ -210,7 +211,11 @@ void print_row(const Row& r) {
 
 int main(int argc, char** argv) {
   Options opt;
+  bench::Args shared;
+  shared.seed = opt.seed;
+  shared.json_path = opt.json_path;
   for (int i = 1; i < argc; ++i) {
+    if (shared.consume(argc, argv, i, [&] { usage(argv[0]); })) continue;
     const auto arg = std::string(argv[i]);
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage(argv[0]);
@@ -218,12 +223,12 @@ int main(int argc, char** argv) {
     };
     if (arg == "--min-seconds") {
       opt.min_seconds = std::strtod(next(), nullptr);
-    } else if (arg == "--json") {
-      opt.json_path = next();
     } else {
       usage(argv[0]);
     }
   }
+  opt.seed = shared.seed;
+  opt.json_path = shared.json_path;
   if (opt.min_seconds <= 0.0) usage(argv[0]);
 
   print_header("Engine micro-benchmarks: substrate hot-path throughput");

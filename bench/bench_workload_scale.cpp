@@ -24,10 +24,23 @@
 //               attempt-level jitter into a geometric model, so tails
 //               agree to tens of percent, not exactly; see
 //               flow_plane.hpp "Validity conditions").
+//  island-mono  sharded-engine comparison (ISSUE 10, opt-in via
+//  island-shard --shards S >= 2): the same dragonfly carved into S
+//               node islands serving identical per-island traffic.
+//               island-mono runs one Router + FlowPlane over the full
+//               graph on a single heap; island-shard gives each
+//               island its own shard (sim::ShardedEngine) + induced
+//               subgraph + Router, with live cross-shard heartbeat
+//               channels exercising the lookahead/barrier protocol.
+//               Both legs run with the path cache off so every
+//               request pays path search against the graph its
+//               router sees. The JSON's sharded_speedup scalar
+//               (mono wall / shard wall) is gated >= 2 in CI.
 //
 // Usage: bench_workload_scale [--requests N] [--groups G] [--routers R]
 //          [--oracle-requests N] [--utilization U] [--cap-seconds S]
-//          [--tol T] [--seed K] [--json PATH|-] [--monitor PATH]
+//          [--tol T] [--shards S] [--sharded-requests N]
+//          [--seed K] [--json PATH|-] [--monitor PATH]
 //          [--netstate PATH] [--report PATH]
 //   --utilization is the offered load per distinct endpoint pair
 //   relative to one link's calibrated pair time (default 0.2; the
@@ -39,19 +52,23 @@
 //   fastpath_tail_error <= fastpath_tolerance.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "metrics/edge_stats.hpp"
+#include "net/channel.hpp"
 #include "netlayer/flow_plane.hpp"
 #include "netlayer/swap_service.hpp"
 #include "netlayer/topology.hpp"
+#include "sim/sharded_engine.hpp"
 #include "obs/monitor.hpp"
 #include "obs/netstate.hpp"
 #include "obs/report.hpp"
@@ -75,6 +92,10 @@ struct Options {
   double cap_seconds = 7200.0;         // scale-run simulated backstop
   double oracle_cap_seconds = 600.0;   // oracle simulated backstop
   double tol = 0.35;
+  /// 0 = skip the sharded comparison; >= 2 adds the island-mono /
+  /// island-shard rows and the sharded_speedup scalar (ISSUE 10).
+  std::size_t shards = 0;
+  std::uint64_t sharded_requests = 6000;
   bench::Args shared;
 };
 
@@ -331,6 +352,330 @@ Row run_scale(const Options& opt) {
   return row;
 }
 
+// ---- Sharded comparison (ISSUE 10) ----------------------------------
+//
+// The same dragonfly carved into `--shards` contiguous islands
+// (sim::ShardAssignment::blocks keeps whole groups together), with all
+// traffic intra-island — the only partition the islands model admits,
+// since quantum state cannot span simulators. Two legs, identical
+// logical workload:
+//
+//  island-mono   one FlowPlane + Router over the full topology, one
+//                event heap — today's monolithic shape;
+//  island-shard  one FlowPlane + Router per island over its
+//                Graph::induced subgraph, all on one ShardedEngine,
+//                islands coupled by 50 ms classical heartbeat channels
+//                (the conservative lookahead the engine advances on).
+//
+// Both legs run with the path cache off, so every request pays its
+// path search against the graph the router actually sees: the full
+// 16k-edge dragonfly for mono, the island's ~2k edges for shard. That
+// per-request locality — not thread count — is what sharded_speedup
+// (mono wall / shard wall, the CI-gated scalar) measures; on a
+// multi-core host the engine additionally runs islands on threads.
+
+/// Per-island node lists (global ids, ascending) under the blocks rule.
+std::vector<std::vector<std::uint32_t>> island_nodes(
+    std::size_t num_nodes, std::size_t shards) {
+  const auto assign = sim::ShardAssignment::blocks(num_nodes, shards);
+  std::vector<std::vector<std::uint32_t>> nodes(shards);
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    nodes[assign.shard(n)].push_back(n);
+  }
+  return nodes;
+}
+
+/// The scale mix confined to one island. Endpoints are drawn as
+/// *positions* into `nodes` from a seed shared by both legs, so the
+/// legs see identical logical pairs: the mono leg maps positions to
+/// global ids (`global_ids`), the island leg to the induced subgraph's
+/// local ids (position i *is* local id i — Graph::induced's contract).
+void append_island_classes(
+    std::vector<workload::ClassMixProcess::Class>& classes,
+    const std::vector<std::uint32_t>& nodes, std::uint64_t seed,
+    bool global_ids) {
+  sim::Random pick(seed ^ 0x9e3779b97f4a7c15ULL);
+  const auto pool = [&](std::size_t n) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    pairs.reserve(n);
+    const auto hi = static_cast<std::int64_t>(nodes.size()) - 1;
+    while (pairs.size() < n) {
+      const auto src = static_cast<std::uint32_t>(pick.uniform_int(0, hi));
+      const auto dst = static_cast<std::uint32_t>(pick.uniform_int(0, hi));
+      if (src == dst) continue;
+      pairs.emplace_back(global_ids ? nodes[src] : src,
+                         global_ids ? nodes[dst] : dst);
+    }
+    return pairs;
+  };
+  workload::ClassMixProcess::Class bulk;
+  bulk.weight = 4.0;
+  bulk.shape.name = "bulk";
+  bulk.shape.endpoints = pool(40);
+  workload::ClassMixProcess::Class interactive;
+  interactive.weight = 2.0;
+  interactive.shape.name = "interactive";
+  interactive.shape.endpoints = pool(20);
+  workload::ClassMixProcess::Class batch;
+  batch.weight = 1.0;
+  batch.shape.name = "batch";
+  batch.shape.num_pairs = 2;
+  batch.shape.endpoints = pool(10);
+  classes.push_back(std::move(bulk));
+  classes.push_back(std::move(interactive));
+  classes.push_back(std::move(batch));
+}
+
+std::uint64_t island_seed(const Options& opt, std::size_t island) {
+  return opt.shared.seed + 0x100000001b3ULL * (island + 1);
+}
+
+workload::TrafficConfig sharded_traffic(
+    std::shared_ptr<workload::ArrivalProcess> arrivals) {
+  workload::TrafficConfig traffic;
+  traffic.min_fidelity = 0.4;
+  traffic.link_min_fidelity = kFloorMenu[0];
+  traffic.arrivals = std::move(arrivals);
+  return traffic;
+}
+
+routing::RouterConfig sharded_router_config() {
+  routing::RouterConfig rc;
+  rc.k_candidates = 2;
+  rc.cache_paths = false;  // pay path search per request (see above)
+  return rc;
+}
+
+/// Monolithic comparator: all islands' classes behind one Poisson train
+/// of the summed rate, one router over the full graph.
+Row run_island_mono(const Options& opt, const routing::Graph& graph,
+                    const netlayer::FlowCalibration& cal,
+                    double island_rate_hz, std::uint64_t target) {
+  const auto islands = island_nodes(graph.num_nodes(), opt.shards);
+  metrics::Collector collector;
+  netlayer::FlowPlaneConfig fc;
+  fc.num_nodes = graph.num_nodes();
+  fc.edges.reserve(graph.num_edges());
+  for (const routing::Graph::Edge& e : graph.edges()) {
+    fc.edges.emplace_back(e.a, e.b);
+  }
+  fc.calibration = cal;
+  fc.collector = &collector;
+  fc.seed = opt.shared.seed;
+  netlayer::FlowPlane plane(std::move(fc));
+  plane.simulator().set_telemetry(true);
+
+  routing::Router router(graph, plane, sharded_router_config(),
+                         &collector);
+  router.annotate_from_network(kFloorMenu);
+
+  std::vector<workload::ClassMixProcess::Class> classes;
+  for (std::size_t s = 0; s < opt.shards; ++s) {
+    append_island_classes(classes, islands[s], island_seed(opt, s),
+                          /*global_ids=*/true);
+  }
+  auto mix = std::make_shared<workload::ClassMixProcess>(
+      std::make_shared<workload::PoissonProcess>(
+          island_rate_hz * static_cast<double>(opt.shards)),
+      std::move(classes));
+
+  workload::DriverConfig tuning;
+  tuning.seed = opt.shared.seed;
+  tuning.poll_interval = sim::duration::milliseconds(10);
+  tuning.max_requests = target;
+  auto driver = workload::WorkloadDriver::for_routed(
+      router, sharded_traffic(mix), tuning, collector);
+
+  const auto start = std::chrono::steady_clock::now();
+  collector.begin(plane.simulator().now());
+  driver->start();
+  run_to_completion(*driver, router, plane.simulator(),
+                    [&plane](sim::SimTime span) { plane.run_for(span); },
+                    target, opt.cap_seconds);
+  driver->stop();
+  collector.end(plane.simulator().now());
+
+  Row row;
+  row.scenario = "island-mono";
+  row.plane = "flow";
+  row.topology = "dragonfly" + std::to_string(opt.groups) + "x" +
+                 std::to_string(opt.routers);
+  row.nodes = graph.num_nodes();
+  row.links = graph.num_edges();
+  fill_common(row, router, collector, plane.simulator(),
+              wall_since(start));
+  row.obs_json = "{}";
+  return row;
+}
+
+/// The sharded leg: per-island planes/routers/drivers on one engine.
+Row run_island_shard(const Options& opt, const routing::Graph& graph,
+                     const netlayer::FlowCalibration& cal,
+                     double island_rate_hz, std::uint64_t per_island) {
+  const auto islands = island_nodes(graph.num_nodes(), opt.shards);
+  const std::size_t shards = opt.shards;
+
+  sim::ShardedEngine::Config ecfg;
+  ecfg.num_shards = shards;
+  sim::ShardedEngine engine(ecfg);
+
+  std::vector<std::unique_ptr<metrics::Collector>> collectors;
+  std::vector<std::unique_ptr<routing::Graph>> graphs;
+  std::vector<std::unique_ptr<netlayer::FlowPlane>> planes;
+  std::vector<std::unique_ptr<routing::Router>> routers;
+  std::vector<std::unique_ptr<workload::WorkloadDriver>> drivers;
+  for (std::size_t s = 0; s < shards; ++s) {
+    collectors.push_back(std::make_unique<metrics::Collector>());
+    graphs.push_back(
+        std::make_unique<routing::Graph>(graph.induced(islands[s])));
+    netlayer::FlowPlaneConfig fc;
+    fc.num_nodes = graphs[s]->num_nodes();
+    fc.edges.reserve(graphs[s]->num_edges());
+    for (const routing::Graph::Edge& e : graphs[s]->edges()) {
+      fc.edges.emplace_back(e.a, e.b);
+    }
+    fc.calibration = cal;
+    fc.collector = collectors[s].get();
+    fc.seed = island_seed(opt, s);
+    fc.engine = &engine;
+    fc.shard = s;
+    planes.push_back(
+        std::make_unique<netlayer::FlowPlane>(std::move(fc)));
+    routers.push_back(std::make_unique<routing::Router>(
+        *graphs[s], *planes[s], sharded_router_config(),
+        collectors[s].get()));
+    routers[s]->annotate_from_network(kFloorMenu);
+
+    std::vector<workload::ClassMixProcess::Class> classes;
+    append_island_classes(classes, islands[s], island_seed(opt, s),
+                          /*global_ids=*/false);
+    auto mix = std::make_shared<workload::ClassMixProcess>(
+        std::make_shared<workload::PoissonProcess>(island_rate_hz),
+        std::move(classes));
+    workload::DriverConfig tuning;
+    tuning.seed = island_seed(opt, s);
+    tuning.poll_interval = sim::duration::milliseconds(10);
+    tuning.max_requests = per_island;
+    drivers.push_back(workload::WorkloadDriver::for_routed(
+        *routers[s], sharded_traffic(mix), tuning, *collectors[s]));
+  }
+
+  // Heartbeats over the shard-crossing seam: a classical channel
+  // between consecutive islands, delay 50 ms (the lookahead), a frame
+  // each way every 100 ms. This is the cross-shard traffic the round
+  // protocol conservatively waits on.
+  const sim::SimTime heartbeat_delay = sim::duration::milliseconds(50);
+  const sim::SimTime heartbeat_period = sim::duration::milliseconds(100);
+  std::vector<std::unique_ptr<sim::Random>> channel_randoms;
+  std::vector<std::unique_ptr<net::ClassicalChannel>> channels;
+  std::atomic<std::uint64_t> heartbeats{0};
+  for (std::size_t s = 0; s + 1 < shards; ++s) {
+    channel_randoms.push_back(
+        std::make_unique<sim::Random>(island_seed(opt, s) ^ 0x5eedULL));
+    channel_randoms.push_back(
+        std::make_unique<sim::Random>(island_seed(opt, s + 1) ^ 0x5eedULL));
+    channels.push_back(std::make_unique<net::ClassicalChannel>(
+        engine.ref(s), *channel_randoms[2 * s], engine.ref(s + 1),
+        *channel_randoms[2 * s + 1],
+        "heartbeat." + std::to_string(s), heartbeat_delay));
+    channels[s]->set_receiver(0, [&heartbeats](std::vector<std::uint8_t>) {
+      heartbeats.fetch_add(1, std::memory_order_relaxed);
+    });
+    channels[s]->set_receiver(1, [&heartbeats](std::vector<std::uint8_t>) {
+      heartbeats.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // One self-rescheduling tick per island, on that island's own heap.
+  std::vector<std::function<void()>> ticks(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    ticks[s] = [&, s] {
+      if (s + 1 < shards) channels[s]->send_from(0, {0xA1});
+      if (s > 0) channels[s - 1]->send_from(1, {0xB2});
+      engine.sim(s).schedule_at(engine.sim(s).now() + heartbeat_period,
+                                [&ticks, s] { ticks[s](); },
+                                "bench.heartbeat");
+    };
+    engine.sim(s).schedule_at(engine.sim(s).now() + heartbeat_period,
+                              [&ticks, s] { ticks[s](); },
+                              "bench.heartbeat");
+  }
+
+  const auto settled = [&] {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto& rs = routers[s]->stats();
+      if (drivers[s]->requests_issued() < per_island ||
+          rs.completed + rs.failed + rs.rejected < rs.submitted) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < shards; ++s) {
+    collectors[s]->begin(engine.sim(s).now());
+    drivers[s]->start();
+  }
+  while (!settled() &&
+         sim::to_seconds(engine.now()) < opt.cap_seconds) {
+    engine.run_for(sim::duration::milliseconds(500));
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    drivers[s]->stop();
+    collectors[s]->end(engine.sim(s).now());
+  }
+  const double wall = wall_since(start);
+
+  // End-of-run merge: one Collector view of all islands (ISSUE 7 made
+  // merge shard-ready; totals match an unsharded recording).
+  metrics::Collector merged;
+  for (std::size_t s = 0; s < shards; ++s) merged.merge(*collectors[s]);
+  const auto& nl = merged.kind(core::Priority::kNetworkLayer);
+
+  Row row;
+  row.scenario = "island-shard";
+  row.plane = "flow";
+  row.topology = "dragonfly" + std::to_string(opt.groups) + "x" +
+                 std::to_string(opt.routers) + "/" +
+                 std::to_string(shards) + "i";
+  row.nodes = graph.num_nodes();
+  row.links = graph.num_edges();
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto& rs = routers[s]->stats();
+    row.submitted += rs.submitted;
+    row.admitted += rs.admitted;
+    row.blocked += rs.blocked;
+    row.completed += rs.completed;
+    row.failed += rs.failed;
+    row.delivered += rs.pairs_delivered;
+  }
+  row.mean_fidelity = nl.fidelity.mean();
+  row.mean_latency_ms = nl.request_latency_s.mean() * 1e3;
+  row.p50_request_latency_s = merged.request_latency_hist().p50();
+  row.p99_request_latency_s = merged.request_latency_hist().p99();
+  row.requests_per_sec =
+      wall > 0.0 ? static_cast<double>(row.completed) / wall : 0.0;
+  row.sim_seconds = sim::to_seconds(engine.now());
+  row.wall_seconds = wall;
+  row.events = engine.events_processed();
+  row.open_evicted = merged.open_evicted();
+  row.obs_json = "{}";
+
+  const auto es = engine.stats();
+  std::printf("  -> engine: %zu shards (threads %s), %llu rounds "
+              "(%llu parallel, %llu idle jumps), %llu cross-shard events "
+              "posted / %llu drained, %llu heartbeats\n",
+              shards, engine.threads_enabled() ? "on" : "off",
+              static_cast<unsigned long long>(es.rounds),
+              static_cast<unsigned long long>(es.parallel_rounds),
+              static_cast<unsigned long long>(es.idle_jumps),
+              static_cast<unsigned long long>(es.posted),
+              static_cast<unsigned long long>(es.drained),
+              static_cast<unsigned long long>(
+                  heartbeats.load(std::memory_order_relaxed)));
+  return row;
+}
+
 /// Oracle traffic: one Poisson train, endpoints pinned end-to-end on
 /// the chain (OriginMode::kAllA), identical for both planes.
 workload::TrafficConfig oracle_traffic(double rate_hz) {
@@ -432,7 +777,8 @@ double relative_error(double cur, double ref) {
 }
 
 void write_json(const std::string& path, const std::vector<Row>& rows,
-                double requests_per_sec, double tail_error, double tol) {
+                double requests_per_sec, double tail_error, double tol,
+                double sharded_speedup) {
   if (path == "-") return;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -477,12 +823,17 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
   }
   std::uint64_t stalled = 0;
   for (const Row& r : rows) stalled += r.stalled_intervals;
+  char sharded_field[64] = "";
+  if (sharded_speedup > 0.0) {
+    std::snprintf(sharded_field, sizeof sharded_field,
+                  "  \"sharded_speedup\": %.4f,\n", sharded_speedup);
+  }
   std::fprintf(f,
                "  ],\n  \"requests_per_sec\": %.1f,\n"
                "  \"fastpath_tail_error\": %.6f,\n"
-               "  \"fastpath_tolerance\": %.6f,\n"
+               "  \"fastpath_tolerance\": %.6f,\n%s"
                "  \"stalled_intervals\": %llu\n}\n",
-               requests_per_sec, tail_error, tol,
+               requests_per_sec, tail_error, tol, sharded_field,
                static_cast<unsigned long long>(stalled));
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -505,7 +856,8 @@ void write_text(const std::string& path, const std::string& text,
   std::fprintf(stderr,
                "usage: %s [--requests N] [--groups G] [--routers R] "
                "[--oracle-requests N] [--utilization U] "
-               "[--cap-seconds S] [--tol T] %s\n",
+               "[--cap-seconds S] [--tol T] [--shards S] "
+               "[--sharded-requests N] %s\n",
                argv0, qlink::bench::Args::kUsage);
   std::exit(2);
 }
@@ -540,6 +892,10 @@ int main(int argc, char** argv) {
       opt.cap_seconds = std::strtod(next(), nullptr);
     } else if (arg == "--tol") {
       opt.tol = std::strtod(next(), nullptr);
+    } else if (arg == "--shards") {
+      opt.shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--sharded-requests") {
+      opt.sharded_requests = std::strtoull(next(), nullptr, 10);
     } else {
       usage(argv[0]);
     }
@@ -550,6 +906,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "need requests >= 1, a topology with >= 2 routers, "
                  "utilization in (0, 1], positive cap/tol\n");
+    usage(argv[0]);
+  }
+  if (opt.shards == 1 || opt.shards > opt.groups ||
+      (opt.shards >= 2 && opt.sharded_requests < opt.shards)) {
+    std::fprintf(stderr,
+                 "need --shards in {0, 2..groups} (islands carve whole "
+                 "dragonfly groups) and sharded-requests >= shards\n");
     usage(argv[0]);
   }
 
@@ -581,6 +944,31 @@ int main(int argc, char** argv) {
   rows.push_back(run_oracle_flow(opt, oracle_rate_hz));
   print_row(rows.back());
 
+  double sharded_speedup = 0.0;
+  if (opt.shards >= 2) {
+    routing::Graph graph =
+        routing::Graph::dragonfly(opt.groups, opt.routers);
+    const double svc_s = std::max(point->pair_time_s, 1e-9);
+    const double island_rate_hz = opt.utilization * 70.0 / svc_s;
+    const std::uint64_t per_island = opt.sharded_requests / opt.shards;
+    const std::uint64_t target = per_island * opt.shards;
+    rows.push_back(
+        run_island_mono(opt, graph, cal, island_rate_hz, target));
+    print_row(rows.back());
+    rows.push_back(
+        run_island_shard(opt, graph, cal, island_rate_hz, per_island));
+    print_row(rows.back());
+    const Row& mono = rows[rows.size() - 2];
+    const Row& shard = rows.back();
+    sharded_speedup = shard.wall_seconds > 0.0
+                          ? mono.wall_seconds / shard.wall_seconds
+                          : 0.0;
+    std::printf("  -> sharded: mono %.2f s vs %zu-island %.2f s wall "
+                "-> sharded_speedup %.2fx\n",
+                mono.wall_seconds, opt.shards, shard.wall_seconds,
+                sharded_speedup);
+  }
+
   const Row& full = rows[1];
   const Row& flow = rows[2];
   const double tail_error = std::max(
@@ -602,7 +990,7 @@ int main(int argc, char** argv) {
 
   if (!opt.shared.json_path.empty()) {
     write_json(opt.shared.json_path, rows, requests_per_sec, tail_error,
-               opt.tol);
+               opt.tol, sharded_speedup);
   }
   write_text(opt.shared.monitor_path, rows[0].monitor_jsonl, "monitor");
   write_text(opt.shared.netstate_path, rows[0].netstate_jsonl, "netstate");

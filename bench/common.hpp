@@ -114,7 +114,9 @@ inline RunResult run_scenario(const RunSpec& spec) {
   core::Link link(link_cfg);
 
   RunResult result;
-  workload::WorkloadDriver driver(link, spec.workload, result.collector);
+  auto driver_ptr = workload::WorkloadDriver::for_link(
+      link, spec.workload.traffic(), spec.workload.tuning(), result.collector);
+  workload::WorkloadDriver& driver = *driver_ptr;
   link.start();
   driver.start();
   link.run_for(sim::duration::seconds(spec.simulated_seconds));

@@ -10,18 +10,26 @@ void ClassicalChannel::send_from(int end, std::vector<std::uint8_t> frame) {
   if (end != 0 && end != 1) {
     throw std::invalid_argument("ClassicalChannel: endpoint must be 0 or 1");
   }
-  ++sent_;
-  if (random_.bernoulli(loss_probability_)) {
-    ++dropped_;
+  const auto src = static_cast<std::size_t>(end);
+  const auto dest = static_cast<std::size_t>(1 - end);
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  if (randoms_[src]->bernoulli(loss_probability_)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  const int dest = 1 - end;
-  schedule_in(delay_, [this, dest, data = std::move(frame)]() mutable {
-    Handler& h = receivers_[static_cast<std::size_t>(dest)];
+  const sim::SimTime at = sims_[src]->now() + delay_;
+  auto deliver = [this, dest, data = std::move(frame)]() mutable {
+    Handler& h = receivers_[dest];
     if (!h) return;  // unconnected endpoint: frame silently discarded
-    ++delivered_;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     h(std::move(data));
-  }, "net.channel");
+  };
+  if (engine_ != nullptr && shards_[src] != shards_[dest]) {
+    engine_->post(shards_[src], shards_[dest], at, std::move(deliver),
+                  "net.channel");
+  } else {
+    sims_[dest]->schedule_at(at, std::move(deliver), "net.channel");
+  }
 }
 
 }  // namespace qlink::net

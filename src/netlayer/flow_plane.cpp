@@ -70,12 +70,20 @@ const FlowCalibration::Entry* FlowCalibration::best() const noexcept {
 }
 
 FlowPlane::FlowPlane(FlowPlaneConfig config)
-    : random_(config.seed),
+    : owned_engine_(config.engine == nullptr
+                        ? std::make_unique<sim::ShardedEngine>()
+                        : nullptr),
+      engine_(config.engine == nullptr ? owned_engine_.get() : config.engine),
+      shard_(config.engine == nullptr ? 0 : config.shard),
+      random_(config.seed),
       edges_(std::move(config.edges)),
       num_nodes_(config.num_nodes),
       calibration_(std::move(config.calibration)),
       calibrations_(std::move(config.calibrations)),
       collector_(config.collector) {
+  if (shard_ >= engine_->num_shards()) {
+    throw std::invalid_argument("FlowPlane: shard out of range");
+  }
   if (edges_.empty()) {
     throw std::invalid_argument("FlowPlane: no links");
   }
@@ -160,7 +168,7 @@ std::uint32_t FlowPlane::submit(const E2eRequest& request,
 
   const std::uint32_t id = next_request_id_++;
   ++stats_.requests;
-  const sim::SimTime now = simulator_.now();
+  const sim::SimTime now = simulator().now();
   const sim::SimTime submitted =
       request.submitted_at >= 0 ? request.submitted_at : now;
   const std::uint16_t pairs = std::max<std::uint16_t>(request.num_pairs, 1);
@@ -184,7 +192,7 @@ std::uint32_t FlowPlane::submit(const E2eRequest& request,
     corr_delay_s += calibration(route[h].link).delay_s;
     if (points[h] == nullptr) {
       const std::size_t link = route[h].link;
-      simulator_.schedule_in(
+      simulator().schedule_in(
           1,
           [this, id, link] {
             if (on_error_ != nullptr) {
@@ -247,7 +255,7 @@ std::uint32_t FlowPlane::submit(const E2eRequest& request,
     ok.link_dst = route.back().link;
     const double corr_s = corr_delay_s;
     const sim::SimTime admitted = now;
-    simulator_.schedule_at(
+    simulator().schedule_at(
         ok.deliver_time,
         [this, ok, facts, corr_s, admitted] {
           ++stats_.pairs_delivered;
@@ -278,7 +286,7 @@ std::uint32_t FlowPlane::submit(const E2eRequest& request,
             record.goodness_time = ok.deliver_time;
             record.create_time = ok.submit_time;
             collector_->record_ok(record, core::Priority::kNetworkLayer,
-                                  simulator_.now(), ok.fidelity);
+                                  simulator().now(), ok.fidelity);
           }
           if (on_deliver_ != nullptr) on_deliver_(ok);
         },

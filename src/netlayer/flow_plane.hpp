@@ -8,6 +8,7 @@
 
 #include "netlayer/plane.hpp"
 #include "sim/random.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulator.hpp"
 
 /// \file flow_plane.hpp
@@ -91,6 +92,12 @@ struct FlowPlaneConfig {
   /// Optional.
   metrics::Collector* collector = nullptr;
   std::uint64_t seed = 1;
+  /// Bind the plane to one shard of an existing engine instead of
+  /// owning a private single-shard one (same contract as
+  /// NetworkConfig::engine/shard: the engine must outlive the plane,
+  /// and everything this plane schedules stays on that shard).
+  sim::ShardedEngine* engine = nullptr;
+  std::size_t shard = 0;
 };
 
 class FlowPlane : public EntanglementPlane {
@@ -104,7 +111,12 @@ class FlowPlane : public EntanglementPlane {
   explicit FlowPlane(FlowPlaneConfig config);
 
   // --- EntanglementPlane ---
-  sim::Simulator& simulator() noexcept override { return simulator_; }
+  sim::EngineRef engine_ref() noexcept override {
+    return engine_->ref(shard_);
+  }
+  sim::Simulator& simulator() noexcept override {
+    return engine_->sim(shard_);
+  }
   std::size_t num_links() const noexcept override { return edges_.size(); }
   std::size_t num_nodes() const noexcept override { return num_nodes_; }
   std::pair<std::uint32_t, std::uint32_t> endpoints(
@@ -135,12 +147,13 @@ class FlowPlane : public EntanglementPlane {
     return {};  // no live measurements: the router stays on the model
   }
 
-  /// Advance the shared clock (mirrors QuantumNetwork::run_for so
-  /// drivers treat both planes alike).
+  /// Advance the clock (mirrors QuantumNetwork::run_for so drivers
+  /// treat both planes alike). When bound to a shared engine this
+  /// drives every shard together.
   void run_for(sim::SimTime span) {
-    simulator_.run_until(simulator_.now() + span);
+    engine_->run_until(simulator().now() + span);
   }
-  void run_until(sim::SimTime t) { simulator_.run_until(t); }
+  void run_until(sim::SimTime t) { engine_->run_until(t); }
 
   const Stats& stats() const noexcept { return stats_; }
   const FlowCalibration& calibration(std::size_t link) const {
@@ -153,7 +166,10 @@ class FlowPlane : public EntanglementPlane {
   sim::SimTime sample_pair_time(const FlowCalibration::Entry& entry,
                                 std::size_t link);
 
-  sim::Simulator simulator_;
+  /// Private single-shard engine when the config does not bind one.
+  std::unique_ptr<sim::ShardedEngine> owned_engine_;
+  sim::ShardedEngine* engine_ = nullptr;
+  std::size_t shard_ = 0;
   sim::Random random_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
   std::size_t num_nodes_ = 0;

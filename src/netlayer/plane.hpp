@@ -112,8 +112,15 @@ class EntanglementPlane {
 
   virtual ~EntanglementPlane() = default;
 
-  /// The clock every delivery is scheduled on.
-  virtual sim::Simulator& simulator() noexcept = 0;
+  /// The engine shard this plane's deliveries run on. Every plane is
+  /// bound to exactly one shard (a default-constructed plane owns a
+  /// private single-shard engine); the routing layer constructs against
+  /// this handle rather than a bare Simulator&.
+  virtual sim::EngineRef engine_ref() noexcept = 0;
+
+  /// The clock every delivery is scheduled on (the bound shard's
+  /// simulator).
+  virtual sim::Simulator& simulator() noexcept { return engine_ref().sim(); }
 
   virtual std::size_t num_links() const noexcept = 0;
   virtual std::size_t num_nodes() const noexcept = 0;

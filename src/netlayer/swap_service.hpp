@@ -76,6 +76,7 @@ class SwapService : public sim::Entity, public EntanglementPlane {
                         std::span<const double> hop_floors = {});
 
   // --- EntanglementPlane ---
+  sim::EngineRef engine_ref() noexcept override { return net_.engine_ref(); }
   sim::Simulator& simulator() noexcept override {
     return Entity::simulator();
   }

@@ -76,8 +76,17 @@ QuantumNetwork::resolve_edges() {
 
 QuantumNetwork::QuantumNetwork(const NetworkConfig& config)
     : config_(config),
+      owned_engine_(config.engine == nullptr
+                        ? std::make_unique<sim::ShardedEngine>()
+                        : nullptr),
+      engine_(config.engine == nullptr ? owned_engine_.get() : config.engine),
+      shard_(config.engine == nullptr ? 0 : config.shard),
       random_(config.seed),
       registry_(random_, config.link.backend) {
+  if (shard_ >= engine_->num_shards()) {
+    throw std::invalid_argument("QuantumNetwork: shard out of range");
+  }
+  sim::Simulator& simulator = engine_->sim(shard_);
   const auto edges = resolve_edges();
   links_.reserve(edges.size());
   for (std::size_t i = 0; i < edges.size(); ++i) {
@@ -91,7 +100,7 @@ QuantumNetwork::QuantumNetwork(const NetworkConfig& config)
     lc.node_id_a = edges[i].first;
     lc.node_id_b = edges[i].second;
     lc.backend = config_.link.backend;
-    links_.push_back(std::make_unique<core::Link>(simulator_, random_,
+    links_.push_back(std::make_unique<core::Link>(simulator, random_,
                                                   registry_, lc));
   }
 }

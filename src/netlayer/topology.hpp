@@ -9,6 +9,7 @@
 #include "core/network.hpp"
 #include "quantum/registry.hpp"
 #include "sim/random.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulator.hpp"
 
 /// \file topology.hpp
@@ -20,6 +21,13 @@
 /// source, and one QuantumRegistry, so (a) every link advances on the
 /// same deterministic clock and (b) qubits of different links can be
 /// joined into one density matrix when a swap entangles them.
+///
+/// Since ISSUE 10 the network constructs against a sim::ShardedEngine
+/// handle rather than owning a bare Simulator: by default it still owns
+/// a private single-shard engine (byte-identical to the old behaviour),
+/// but NetworkConfig::engine/shard bind it as one *island* of a sharded
+/// run — all of its links (and their quantum state) live on that one
+/// shard, and only classical channels may reach other shards.
 ///
 /// Shapes: the built-in chain of N links (nodes 0..N, link i between
 /// nodes i and i+1) and star of N links (center node 0, leaves 1..N),
@@ -56,6 +64,12 @@ struct NetworkConfig {
   std::function<void(std::size_t, core::LinkConfig&)> configure_link;
   /// Seed of the single shared Random source.
   std::uint64_t seed = 1;
+  /// Bind the network to one shard of an existing engine instead of
+  /// owning a private single-shard one. Every link of this network
+  /// lives on that shard (quantum links must be intra-shard — see
+  /// sim::ShardAssignment); the engine must outlive the network.
+  sim::ShardedEngine* engine = nullptr;
+  std::size_t shard = 0;
 };
 
 /// One step of a route: which link to traverse and in which direction.
@@ -73,7 +87,11 @@ class QuantumNetwork {
   QuantumNetwork(const QuantumNetwork&) = delete;
   QuantumNetwork& operator=(const QuantumNetwork&) = delete;
 
-  sim::Simulator& simulator() noexcept { return simulator_; }
+  sim::Simulator& simulator() noexcept { return engine_->sim(shard_); }
+  sim::ShardedEngine& engine() noexcept { return *engine_; }
+  std::size_t shard() const noexcept { return shard_; }
+  /// The handle downstream layers (planes, Router) construct against.
+  sim::EngineRef engine_ref() noexcept { return engine_->ref(shard_); }
   sim::Random& random() noexcept { return random_; }
   quantum::QuantumRegistry& registry() noexcept { return registry_; }
   const NetworkConfig& config() const noexcept { return config_; }
@@ -113,11 +131,12 @@ class QuantumNetwork {
   /// Start every link's MHP cycle clocks.
   void start();
 
-  /// Advance the shared clock.
+  /// Advance the clock. When bound to a shared engine this drives the
+  /// whole engine: every shard advances together to the same time.
   void run_for(sim::SimTime span) {
-    simulator_.run_until(simulator_.now() + span);
+    engine_->run_until(simulator().now() + span);
   }
-  void run_until(sim::SimTime t) { simulator_.run_until(t); }
+  void run_until(sim::SimTime t) { engine_->run_until(t); }
 
  private:
   /// Validated (node_a, node_b) pairs for every link, resolved from
@@ -125,7 +144,10 @@ class QuantumNetwork {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> resolve_edges();
 
   NetworkConfig config_;
-  sim::Simulator simulator_;
+  /// Private single-shard engine when the config does not bind one.
+  std::unique_ptr<sim::ShardedEngine> owned_engine_;
+  sim::ShardedEngine* engine_ = nullptr;
+  std::size_t shard_ = 0;
   sim::Random random_;
   quantum::QuantumRegistry registry_;
   std::size_t num_nodes_ = 0;

@@ -73,6 +73,34 @@ bool Graph::connected() const {
   return count == num_nodes_;
 }
 
+Graph Graph::induced(std::span<const std::uint32_t> nodes) const {
+  if (nodes.size() < 2) {
+    throw std::invalid_argument("Graph::induced: at least two nodes");
+  }
+  constexpr std::uint32_t kAbsent = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> local_of(num_nodes_, kAbsent);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::uint32_t g = nodes[i];
+    if (g >= num_nodes_) {
+      throw std::invalid_argument("Graph::induced: unknown node id " +
+                                  std::to_string(g));
+    }
+    if (local_of[g] != kAbsent) {
+      throw std::invalid_argument("Graph::induced: duplicate node id " +
+                                  std::to_string(g));
+    }
+    local_of[g] = static_cast<std::uint32_t>(i);
+  }
+  Graph sub(nodes.size());
+  for (const Edge& e : edges_) {
+    const std::uint32_t la = local_of[e.a];
+    const std::uint32_t lb = local_of[e.b];
+    if (la == kAbsent || lb == kAbsent) continue;
+    sub.add_edge(la, lb, e.params);
+  }
+  return sub;
+}
+
 Graph Graph::chain(std::size_t num_nodes, const EdgeParams& params) {
   Graph g(num_nodes);
   for (std::size_t i = 0; i + 1 < num_nodes; ++i) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,14 @@ class Graph {
 
   /// Every node reachable from node 0 (false for an empty graph).
   bool connected() const;
+
+  /// Induced subgraph on `nodes` (distinct global ids, each < num_nodes,
+  /// throws std::invalid_argument otherwise): local node i of the result
+  /// is global node nodes[i], and every edge with *both* endpoints in
+  /// the set is kept with its params (edge order follows this graph's).
+  /// This is how a sharded run carves per-island routing graphs out of
+  /// one global topology (see sim::ShardAssignment).
+  Graph induced(std::span<const std::uint32_t> nodes) const;
 
   // --- Generators ----------------------------------------------------
   // All generators stamp `params` onto every edge they create.

@@ -29,7 +29,8 @@ Router::Router(Graph graph, netlayer::EntanglementPlane& plane,
                const RouterConfig& config, metrics::Collector* collector)
     : graph_(std::move(graph)),
       plane_(plane),
-      sim_(plane.simulator()),
+      engine_ref_(plane.engine_ref()),
+      sim_(engine_ref_.sim()),
       config_(config),
       collector_(collector),
       selector_(graph_, config.cost),

@@ -259,6 +259,10 @@ class Router {
   }
   /// The entanglement plane this router admits onto.
   netlayer::EntanglementPlane& plane() noexcept { return plane_; }
+  /// The engine shard the router schedules on — resolved through the
+  /// plane's handle at construction, so a router bound to an island of
+  /// a sharded run stays wholly on that island's shard.
+  sim::EngineRef engine_ref() const noexcept { return engine_ref_; }
   /// The full-detail network behind the plane, or nullptr on a plane
   /// without one (the flow-level fast path).
   netlayer::QuantumNetwork* network() noexcept { return plane_.network(); }
@@ -338,6 +342,7 @@ class Router {
 
   Graph graph_;
   netlayer::EntanglementPlane& plane_;
+  sim::EngineRef engine_ref_;
   sim::Simulator& sim_;
   RouterConfig config_;
   metrics::Collector* collector_;

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+/// \file shard_ring.hpp
+/// Single-producer single-consumer ring for cross-shard event exchange.
+///
+/// Each ordered shard pair (from, to) owns one ring: the producer is the
+/// thread running shard `from` during a round, the consumer is the engine
+/// draining at the next barrier. Classic power-of-two SPSC — the producer
+/// only writes `head_`, the consumer only writes `tail_`, and each reads
+/// the other's index with acquire ordering, so no locks are needed on the
+/// fast path. Capacity is fixed at construction; the engine layers a
+/// mutex-protected overflow list on top (see ShardedEngine::Coupling) so
+/// a full ring degrades to a slow path instead of dropping or reordering
+/// events.
+namespace qlink::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// \p capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full, leaving
+  /// `value` untouched (caller must divert it to its overflow path —
+  /// and keep diverting until the next drain, or FIFO order breaks).
+  bool try_push(T&& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_.size()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side size estimate (exact when the producer is quiescent,
+  /// i.e. at a barrier).
+  std::size_t size() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace qlink::sim

@@ -30,6 +30,11 @@ void Simulator::prune_cancelled_top() {
   }
 }
 
+SimTime Simulator::next_event_time() {
+  prune_cancelled_top();
+  return queue_.empty() ? kNoEventTime : queue_.top().time;
+}
+
 bool Simulator::step() {
   prune_cancelled_top();
   if (queue_.empty()) return false;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <string>
 #include <unordered_map>
@@ -44,9 +45,15 @@ class Simulator {
   /// Current simulation time.
   SimTime now() const noexcept { return now_; }
 
-  /// Schedule \p fn to run at absolute time \p at (>= now). \p label,
-  /// when given, must outlive the simulator (pass a string literal) —
+  /// Schedule \p fn to run at absolute time \p at. \p label, when
+  /// given, must outlive the simulator (pass a string literal) —
   /// telemetry aggregates by it.
+  ///
+  /// \p at must be >= now(): a past time throws std::invalid_argument
+  /// rather than silently time-travelling (the event would fire
+  /// immediately but stamp the clock backwards-in-order, corrupting
+  /// FIFO determinism). Callers computing times from measured or
+  /// decayed quantities must clamp, e.g. `std::max(at, sim.now())`.
   EventId schedule_at(SimTime at, std::function<void()> fn,
                       const char* label = nullptr);
 
@@ -76,6 +83,13 @@ class Simulator {
   /// Number of events still pending. Exact: cancelled events are
   /// excluded even while their queue slots await lazy removal.
   std::size_t pending() const noexcept { return live_.size(); }
+
+  /// next_event_time() when no live event is pending.
+  static constexpr SimTime kNoEventTime = std::numeric_limits<SimTime>::max();
+
+  /// Timestamp of the earliest live event, or kNoEventTime when idle.
+  /// Non-const: lazily prunes cancelled events off the queue head.
+  SimTime next_event_time();
 
   // -- Telemetry ---------------------------------------------------------
 

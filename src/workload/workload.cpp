@@ -166,49 +166,6 @@ std::unique_ptr<WorkloadDriver> WorkloadDriver::for_routed(
       new WorkloadDriver(w, traffic, tuning, collector));
 }
 
-WorkloadDriver::WorkloadDriver(core::Link& link, const WorkloadConfig& config,
-                               metrics::Collector& collector)
-    : WorkloadDriver(
-          [&link] {
-            Wiring w;
-            w.link = &link;
-            w.simulator = &link.simulator();
-            w.name = "workload";
-            return w;
-          }(),
-          config.traffic(), config.tuning(), collector) {}
-
-WorkloadDriver::WorkloadDriver(netlayer::QuantumNetwork& network,
-                               netlayer::SwapService& swap,
-                               const WorkloadConfig& config,
-                               metrics::Collector& collector)
-    : WorkloadDriver(
-          [&network, &swap] {
-            Wiring w;
-            w.net = &network;
-            w.plane = &swap;
-            w.swap = &swap;
-            w.simulator = &network.simulator();
-            w.name = "workload-e2e";
-            return w;
-          }(),
-          config.traffic(), config.tuning(), collector) {}
-
-WorkloadDriver::WorkloadDriver(routing::Router& router,
-                               const WorkloadConfig& config,
-                               metrics::Collector& collector)
-    : WorkloadDriver(
-          [&router] {
-            Wiring w;
-            w.router = &router;
-            w.plane = &router.plane();
-            w.net = router.network();
-            w.simulator = &router.plane().simulator();
-            w.name = "workload-routed";
-            return w;
-          }(),
-          config.traffic(), config.tuning(), collector) {}
-
 void WorkloadDriver::start() {
   collector_.begin(now());
   timer_.start();

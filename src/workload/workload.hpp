@@ -117,10 +117,10 @@ struct DriverConfig {
   double refresh_stale_halflife_s = 0.5;
 };
 
-/// Deprecated aggregate (pre-split API): the union of TrafficConfig
-/// and DriverConfig with the historical field names. Existing callers
-/// keep compiling; new code should pass the split configs to the
-/// factories.
+/// Convenience aggregate: the union of TrafficConfig and DriverConfig
+/// with the historical field names, split by traffic()/tuning() at the
+/// factory call (the constructor shims that used to take it whole were
+/// removed in ISSUE 10). usage_pattern() returns one.
 struct WorkloadConfig {
   KindSpec nl;
   KindSpec ck;
@@ -174,16 +174,6 @@ class WorkloadDriver : public sim::Entity {
       routing::Router& router, const TrafficConfig& traffic,
       const DriverConfig& tuning, metrics::Collector& collector);
 
-  /// Deprecated constructor shims over the factories' core (pre-split
-  /// API). New code: WorkloadDriver::for_link / for_e2e / for_routed.
-  WorkloadDriver(core::Link& link, const WorkloadConfig& config,
-                 metrics::Collector& collector);
-  WorkloadDriver(netlayer::QuantumNetwork& network,
-                 netlayer::SwapService& swap, const WorkloadConfig& config,
-                 metrics::Collector& collector);
-  WorkloadDriver(routing::Router& router, const WorkloadConfig& config,
-                 metrics::Collector& collector);
-
   /// Begin issuing requests and consuming results.
   void start();
   void stop();
@@ -212,7 +202,7 @@ class WorkloadDriver : public sim::Entity {
   };
 
   /// How the driver is plumbed into the system (filled by the
-  /// factories / shims; exactly one mode's fields are set).
+  /// factories; exactly one mode's fields are set).
   struct Wiring {
     core::Link* link = nullptr;
     netlayer::QuantumNetwork* net = nullptr;

@@ -57,7 +57,9 @@ SingleLinkResult run_single_link(BackendKind backend) {
   wl.ck = {0.6, 1};  // K-type: fidelity through the registry
   wl.md = {0.3, 1};  // M-type: QBER correlations
   wl.seed = 5;
-  workload::WorkloadDriver driver(link, wl, collector);
+  auto driver_ptr = workload::WorkloadDriver::for_link(
+      link, wl.traffic(), wl.tuning(), collector);
+  workload::WorkloadDriver& driver = *driver_ptr;
 
   link.start();
   driver.start();
@@ -102,7 +104,9 @@ ChainResult run_chain(BackendKind backend, double sim_seconds) {
   wl.min_fidelity = 0.5;
   wl.link_min_fidelity = 0.78;
   wl.seed = 7;
-  workload::WorkloadDriver driver(net, swap, wl, collector);
+  auto driver_ptr = workload::WorkloadDriver::for_e2e(
+      net, swap, wl.traffic(), wl.tuning(), collector);
+  workload::WorkloadDriver& driver = *driver_ptr;
 
   // After the driver (its constructor installs the default consuming
   // handler): log every delivery byte-exactly, then release it.

@@ -196,7 +196,9 @@ TEST(Integration, WfqPrioritisesNlUnderMixedLoad) {
     wl.md = {0.8, 3};
     wl.origin = workload::OriginMode::kAllA;
     wl.seed = 99;
-    workload::WorkloadDriver driver(link, wl, collector);
+    auto driver_ptr = workload::WorkloadDriver::for_link(
+        link, wl.traffic(), wl.tuning(), collector);
+    workload::WorkloadDriver& driver = *driver_ptr;
     link.start();
     driver.start();
     link.run_for(sim::duration::seconds(30));

@@ -511,7 +511,9 @@ TEST(Router, DrivesRandomTrafficOverGrid) {
   wl.origin = workload::OriginMode::kRandom;
   wl.min_fidelity = 0.5;
   wl.seed = 21;
-  workload::WorkloadDriver driver(router, wl, collector);
+  auto driver_ptr = workload::WorkloadDriver::for_routed(
+      router, wl.traffic(), wl.tuning(), collector);
+  workload::WorkloadDriver& driver = *driver_ptr;
 
   net.start();
   driver.start();

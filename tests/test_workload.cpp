@@ -39,7 +39,9 @@ TEST(WorkloadDriver, IssuesAndCompletesMdRequests) {
   cfg.md = {0.99, 3};
   cfg.origin = OriginMode::kAllA;
   cfg.min_fidelity = 0.6;
-  WorkloadDriver driver(link, cfg, collector);
+  auto driver_ptr = WorkloadDriver::for_link(link, cfg.traffic(),
+                                             cfg.tuning(), collector);
+  WorkloadDriver& driver = *driver_ptr;
   link.start();
   driver.start();
   link.run_for(sim::duration::seconds(20));
@@ -62,7 +64,9 @@ TEST(WorkloadDriver, KeepPairsAreConsumedAndSlotsRecycled) {
   cfg.ck = {0.99, 2};
   cfg.origin = OriginMode::kAllA;
   cfg.min_fidelity = 0.6;
-  WorkloadDriver driver(link, cfg, collector);
+  auto driver_ptr = WorkloadDriver::for_link(link, cfg.traffic(),
+                                             cfg.tuning(), collector);
+  WorkloadDriver& driver = *driver_ptr;
   link.start();
   driver.start();
   link.run_for(sim::duration::seconds(25));
@@ -87,7 +91,9 @@ TEST(WorkloadDriver, RandomOriginExercisesBothNodes) {
   WorkloadConfig cfg;
   cfg.md = {0.99, 1};
   cfg.origin = OriginMode::kRandom;
-  WorkloadDriver driver(link, cfg, collector);
+  auto driver_ptr = WorkloadDriver::for_link(link, cfg.traffic(),
+                                             cfg.tuning(), collector);
+  WorkloadDriver& driver = *driver_ptr;
   link.start();
   driver.start();
   link.run_for(sim::duration::seconds(30));
@@ -105,7 +111,9 @@ TEST(WorkloadDriver, LoadScalesThroughput) {
     WorkloadConfig cfg;
     cfg.md = {load, 1};
     cfg.origin = OriginMode::kAllA;
-    WorkloadDriver driver(link, cfg, collector);
+    auto driver_ptr = WorkloadDriver::for_link(link, cfg.traffic(),
+                                             cfg.tuning(), collector);
+  WorkloadDriver& driver = *driver_ptr;
     link.start();
     driver.start();
     link.run_for(sim::duration::seconds(25));
@@ -123,7 +131,9 @@ TEST(WorkloadDriver, MixedKindsAllServed) {
   const auto pattern = usage_pattern("Uniform", 0.99);
   WorkloadConfig cfg = pattern.config;
   cfg.origin = OriginMode::kRandom;
-  WorkloadDriver driver(link, cfg, collector);
+  auto driver_ptr = WorkloadDriver::for_link(link, cfg.traffic(),
+                                             cfg.tuning(), collector);
+  WorkloadDriver& driver = *driver_ptr;
   link.start();
   driver.start();
   link.run_for(sim::duration::seconds(40));
